@@ -1,0 +1,55 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! `cargo bench -p specmpk-bench` runs three suites:
+//!
+//! * **`paper_figures`** — one benchmark group per paper table/figure.
+//!   Each group simulates a *reduced* version of the experiment (so the
+//!   whole suite terminates in minutes) and prints the figure's headline
+//!   numbers once, outside the measured region; the measured quantity is
+//!   the host cost of regenerating that figure's data point.
+//! * **`microarch`** — throughput of the simulator's building blocks
+//!   (cache hierarchy, TLB, PKRU engine, branch predictor).
+//! * **`ablations`** — the design-choice costs `DESIGN.md` calls out:
+//!   `ROB_pkru` sizing, the serialized baseline, the conservative
+//!   TLB-miss stall, and store-forward blocking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use specmpk_core::WrpkruPolicy;
+use specmpk_isa::Program;
+use specmpk_ooo::{Core, SimConfig, SimStats};
+use specmpk_workloads::{standard_suite, Workload};
+
+/// Instruction budget for bench-sized simulations.
+pub const BENCH_INSTR: u64 = 20_000;
+
+/// Simulates `program` under `policy` for [`BENCH_INSTR`] instructions.
+#[must_use]
+pub fn simulate(program: &Program, policy: WrpkruPolicy) -> SimStats {
+    simulate_n(program, policy, BENCH_INSTR)
+}
+
+/// Simulates `program` under `policy` for `n` instructions.
+#[must_use]
+pub fn simulate_n(program: &Program, policy: WrpkruPolicy, n: u64) -> SimStats {
+    let mut config = SimConfig::with_policy(policy);
+    config.max_instructions = n;
+    let mut core = Core::new(config, program);
+    core.run().stats
+}
+
+/// A small, WRPKRU-dense workload (the suite's omnetpp-SS) for benches.
+#[must_use]
+pub fn dense_workload() -> Workload {
+    standard_suite().into_iter().next().expect("suite non-empty")
+}
+
+/// A WRPKRU-sparse workload (the suite's mcf-SS) for contrast benches.
+#[must_use]
+pub fn sparse_workload() -> Workload {
+    standard_suite()
+        .into_iter()
+        .find(|w| w.profile.name == "505.mcf_r")
+        .expect("mcf present")
+}

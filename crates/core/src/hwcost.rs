@@ -1,0 +1,123 @@
+//! Analytic hardware-cost model (paper §VIII).
+//!
+//! The paper reports **93 B of sequential logic** for the Table III
+//! configuration (8-entry `ROB_pkru`, 72-entry store queue), ~0.19 % of the
+//! 48 KiB L1 data cache. This module derives that figure from first
+//! principles so the cost of any configuration (e.g. the Fig. 11 sweep) can
+//! be reported.
+
+use crate::SpecMpkConfig;
+
+/// Bit-level storage breakdown of the SpecMPK additions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareCost {
+    /// `ROB_pkru`: per entry, a 32-bit PKRU value plus two 16-bit pkey
+    /// bitmaps for counter decrement at retire/squash.
+    pub rob_pkru_bits: u64,
+    /// `ARF_pkru`: one committed 32-bit PKRU.
+    pub arf_pkru_bits: u64,
+    /// Disabling Counters: 2 counters × 16 pkeys ×
+    /// (⌊log2(ROB_pkru)⌋ + 1) bits.
+    pub counter_bits: u64,
+    /// Store-queue forwarding-disable bits: one per SQ entry.
+    pub sq_bits: u64,
+    /// Pointer/rename state: head, tail, and `RMT_pkru` (valid + tag).
+    pub pointer_bits: u64,
+}
+
+impl HardwareCost {
+    /// Total storage in bits, including pointer state.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.rob_pkru_bits
+            + self.arf_pkru_bits
+            + self.counter_bits
+            + self.sq_bits
+            + self.pointer_bits
+    }
+
+    /// The headline byte count the paper reports: the four array
+    /// structures, excluding the few bits of pointer state.
+    #[must_use]
+    pub fn headline_bytes(&self) -> u64 {
+        (self.rob_pkru_bits + self.arf_pkru_bits + self.counter_bits + self.sq_bits) / 8
+    }
+
+    /// Storage as a fraction of a data cache of `cache_bytes` (the paper
+    /// compares against the 48 KiB L1D: ≈ 0.19 %).
+    #[must_use]
+    pub fn fraction_of_cache(&self, cache_bytes: u64) -> f64 {
+        self.headline_bytes() as f64 / cache_bytes as f64
+    }
+}
+
+/// Computes the storage cost of a SpecMPK configuration.
+///
+/// # Examples
+///
+/// ```
+/// use specmpk_core::{hardware_cost, SpecMpkConfig};
+///
+/// let cost = hardware_cost(SpecMpkConfig::default());
+/// assert_eq!(cost.headline_bytes(), 93); // the paper's §VIII figure
+/// ```
+#[must_use]
+pub fn hardware_cost(config: SpecMpkConfig) -> HardwareCost {
+    let entries = config.rob_pkru_size as u64;
+    let counter_width = 64 - u64::from((entries).leading_zeros()); // ⌊log2 n⌋ + 1
+    let tag_width = u64::from(usize::BITS - (config.rob_pkru_size - 1).leading_zeros()).max(1);
+    HardwareCost {
+        rob_pkru_bits: entries * (32 + 16 + 16),
+        arf_pkru_bits: 32,
+        counter_bits: 2 * 16 * counter_width,
+        sq_bits: config.store_queue_size as u64,
+        pointer_bits: 2 * tag_width + (1 + tag_width),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_headline() {
+        let cost = hardware_cost(SpecMpkConfig::default());
+        // 8×64 + 32 + 2×16×4 + 72 = 512 + 32 + 128 + 72 = 744 bits = 93 B.
+        assert_eq!(cost.rob_pkru_bits, 512);
+        assert_eq!(cost.arf_pkru_bits, 32);
+        assert_eq!(cost.counter_bits, 128);
+        assert_eq!(cost.sq_bits, 72);
+        assert_eq!(cost.headline_bytes(), 93);
+    }
+
+    #[test]
+    fn fraction_of_l1d_matches_paper() {
+        let cost = hardware_cost(SpecMpkConfig::default());
+        let frac = cost.fraction_of_cache(48 * 1024);
+        assert!((frac - 0.0019).abs() < 2e-4, "{frac}");
+    }
+
+    #[test]
+    fn counter_width_follows_log_formula() {
+        // ROB_pkru = 2 → 2-bit counters; = 4 → 3 bits; = 8 → 4 bits.
+        let c2 = hardware_cost(SpecMpkConfig { rob_pkru_size: 2, store_queue_size: 72 });
+        assert_eq!(c2.counter_bits, 2 * 16 * 2);
+        let c4 = hardware_cost(SpecMpkConfig { rob_pkru_size: 4, store_queue_size: 72 });
+        assert_eq!(c4.counter_bits, 2 * 16 * 3);
+        let c8 = hardware_cost(SpecMpkConfig { rob_pkru_size: 8, store_queue_size: 72 });
+        assert_eq!(c8.counter_bits, 2 * 16 * 4);
+    }
+
+    #[test]
+    fn cost_scales_monotonically_with_rob_size() {
+        let sizes = [2usize, 4, 8, 16];
+        let costs: Vec<u64> = sizes
+            .iter()
+            .map(|&s| {
+                hardware_cost(SpecMpkConfig { rob_pkru_size: s, store_queue_size: 72 })
+                    .total_bits()
+            })
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] < w[1]), "{costs:?}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates every table and figure in one run (the source of
+//! `EXPERIMENTS.md`).
+use specmpk_experiments as exp;
+
+fn main() {
+    let budget = exp::instr_budget();
+    println!("=== SpecMPK reproduction: all experiments (budget {budget} instr/run) ===\n");
+    exp::print_table1();
+    println!();
+    exp::print_table2();
+    println!();
+    exp::print_table3();
+    println!();
+    exp::print_fig3(&exp::fig3_data(budget));
+    println!();
+    exp::print_fig4(&exp::fig4_data(400));
+    println!();
+    exp::print_fig9(&exp::fig9_data(budget));
+    println!();
+    exp::print_fig10(&exp::fig10_data(budget));
+    println!();
+    exp::print_fig11(&exp::fig11_data(budget));
+    println!();
+    exp::print_fig13(&exp::fig13_data());
+    println!();
+    exp::print_hw_overhead();
+}

@@ -1,0 +1,109 @@
+//! Extension experiment (paper §III-B / §X-A): the cost of *virtualizing*
+//! protection domains once an application needs more than the 16 hardware
+//! pkeys — the libmpk \[40\] / VDom \[64\] problem, and the reason ERIM \[51\]
+//! reports 4.2% overhead for OpenSSL session-key isolation.
+//!
+//! Sweeps the number of 4-page domains and measures recolor traffic per
+//! domain switch under two access patterns: round-robin (LRU's worst case)
+//! and a skewed 90/10 pattern (typical server behaviour). Recolors are
+//! applied to a real [`MemorySystem`], so the TLB-invalidation side effect
+//! is exercised too.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use specmpk_isa::SegmentPerms;
+use specmpk_mem::{MemConfig, MemorySystem};
+use specmpk_mpk::{Pkey, Recolor, VirtualDomain, VirtualDomainTable};
+
+const PAGES_PER_DOMAIN: u64 = 4;
+const SWITCHES: usize = 10_000;
+
+struct Harness {
+    table: VirtualDomainTable,
+    mem: MemorySystem,
+    domains: Vec<VirtualDomain>,
+    bases: Vec<u64>,
+}
+
+impl Harness {
+    fn new(count: usize) -> Self {
+        let mut table = VirtualDomainTable::new();
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let mut domains = Vec::new();
+        let mut bases = Vec::new();
+        for i in 0..count {
+            let base = 0x1000_0000 + (i as u64) * PAGES_PER_DOMAIN * 4096;
+            mem.map_region(base, PAGES_PER_DOMAIN * 4096, Pkey::DEFAULT, SegmentPerms::RW);
+            domains.push(table.create(PAGES_PER_DOMAIN));
+            bases.push(base);
+        }
+        Harness { table, mem, domains, bases }
+    }
+
+    /// Switches to domain `i`, applying any recolor actions through
+    /// `pkey_mprotect` (which also invalidates stale TLB entries).
+    fn switch(&mut self, i: usize) {
+        let (_key, actions) = self.table.activate(self.domains[i]);
+        for action in actions {
+            let (domain, new_key) = match action {
+                Recolor::Unmap { domain, .. } => (domain, Pkey::DEFAULT),
+                Recolor::Map { domain, to, .. } => (domain, to),
+            };
+            self.mem
+                .pkey_mprotect(
+                    self.bases[domain.index() as usize],
+                    PAGES_PER_DOMAIN * 4096,
+                    new_key,
+                )
+                .expect("regions are mapped");
+        }
+    }
+}
+
+fn run_pattern(count: usize, skewed: bool) -> (f64, f64) {
+    let mut h = Harness::new(count);
+    let mut rng = StdRng::seed_from_u64(42);
+    for s in 0..SWITCHES {
+        let i = if skewed {
+            // 90% of switches hit the two hottest domains.
+            if rng.gen_bool(0.9) {
+                s % 2
+            } else {
+                rng.gen_range(0..count)
+            }
+        } else {
+            s % count
+        };
+        h.switch(i);
+    }
+    let stats = h.table.stats();
+    let per_switch = stats.pages_recolored as f64 / SWITCHES as f64;
+    let evict_rate = stats.evictions as f64 / SWITCHES as f64;
+    (per_switch, evict_rate)
+}
+
+fn main() {
+    println!("Domain virtualization (libmpk-style) — recolor traffic per domain switch");
+    println!("({SWITCHES} switches, {PAGES_PER_DOMAIN}-page domains, 15 allocatable hardware pkeys)");
+    println!(
+        "{:>8} {:>24} {:>24}",
+        "domains", "round-robin", "skewed 90/10"
+    );
+    println!(
+        "{:>8} {:>12} {:>11} {:>12} {:>11}",
+        "", "pages/switch", "evict rate", "pages/switch", "evict rate"
+    );
+    for count in [4usize, 8, 15, 16, 20, 24, 32, 64] {
+        let (rr_pages, rr_evict) = run_pattern(count, false);
+        let (sk_pages, sk_evict) = run_pattern(count, true);
+        println!(
+            "{count:>8} {rr_pages:>12.2} {rr_evict:>11.3} {sk_pages:>12.2} {sk_evict:>11.3}"
+        );
+    }
+    println!();
+    println!("≤15 domains: zero steady-state traffic (every key fits).");
+    println!(">15 domains, round-robin: LRU thrashes — every switch recolors");
+    println!("  2×{PAGES_PER_DOMAIN} pages (evicted + mapped), the libmpk worst case.");
+    println!("Skewed access keeps the hot domains resident: traffic stays low,");
+    println!("  matching why ERIM's OpenSSL isolation costs only ~4.2%.");
+}

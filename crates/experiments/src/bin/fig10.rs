@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (WRPKRU per kilo-instruction).
+use specmpk_experiments::{fig10_data, instr_budget, print_fig10};
+fn main() {
+    print_fig10(&fig10_data(instr_budget()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 11 (ROB_pkru size sensitivity).
+use specmpk_experiments::{fig11_data, instr_budget, print_fig11};
+fn main() {
+    print_fig11(&fig11_data(instr_budget()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 13 (flush+reload latencies: NonSecure vs SpecMPK).
+use specmpk_experiments::{fig13_data, print_fig13};
+fn main() {
+    print_fig13(&fig13_data());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 (speculative-WRPKRU speedup + rename stalls).
+use specmpk_experiments::{fig3_data, instr_budget, print_fig3};
+fn main() {
+    print_fig3(&fig3_data(instr_budget()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (overhead breakdown vs insecure baseline).
+use specmpk_experiments::{fig4_data, print_fig4};
+fn main() {
+    print_fig4(&fig4_data(400));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (normalized IPC of the three WRPKRU designs).
+use specmpk_experiments::{fig9_data, instr_budget, print_fig9};
+fn main() {
+    print_fig9(&fig9_data(instr_budget()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section VIII hardware-overhead analysis.
+fn main() {
+    specmpk_experiments::print_hw_overhead();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I (properties of isolation techniques).
+fn main() {
+    specmpk_experiments::print_table1();
+}

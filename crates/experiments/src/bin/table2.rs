@@ -1,0 +1,4 @@
+//! Regenerates Table II (additional source operands in SpecMPK).
+fn main() {
+    specmpk_experiments::print_table2();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table III (simulation configuration).
+fn main() {
+    specmpk_experiments::print_table3();
+}

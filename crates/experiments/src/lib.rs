@@ -1,0 +1,543 @@
+//! Experiment harness regenerating every table and figure of the SpecMPK
+//! paper (see `DESIGN.md` §5 for the experiment index).
+//!
+//! Each `figN`/`tableN` function returns structured rows *and* knows how to
+//! print them in the paper's format; the `src/bin/*` binaries are thin
+//! wrappers, and `cargo run -p specmpk-experiments --bin all` regenerates
+//! everything (the source of `EXPERIMENTS.md`).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! let rows = specmpk_experiments::fig10_data(100_000);
+//! for row in &rows {
+//!     println!("{}: {:.2} WRPKRU/kinstr", row.name, row.wrpkru_per_kinstr);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use specmpk_core::{hardware_cost, SpecMpkConfig, WrpkruPolicy};
+use specmpk_isa::Program;
+use specmpk_ooo::{Core, RenameStall, SimConfig, SimStats};
+use specmpk_workloads::{standard_suite, Protection, Workload};
+
+pub use specmpk_attacks as attacks;
+
+/// Default per-run retired-instruction budget for IPC experiments.
+///
+/// Overridable with the `SPECMPK_INSTR_BUDGET` environment variable
+/// (the paper simulates 5 × 100 M-instruction SimPoints; we default to 1 M
+/// per run, which is past warm-up for these footprints).
+#[must_use]
+pub fn instr_budget() -> u64 {
+    std::env::var("SPECMPK_INSTR_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Runs `program` under `policy` for at most `max_instructions`.
+#[must_use]
+pub fn run_policy(program: &Program, policy: WrpkruPolicy, max_instructions: u64) -> SimStats {
+    let mut config = SimConfig::with_policy(policy);
+    config.max_instructions = max_instructions;
+    let mut core = Core::new(config, program);
+    core.run().stats
+}
+
+/// Runs `program` under `policy` with an explicit `ROB_pkru` size.
+#[must_use]
+pub fn run_policy_with_rob(
+    program: &Program,
+    policy: WrpkruPolicy,
+    rob_pkru_size: usize,
+    max_instructions: u64,
+) -> SimStats {
+    let mut config = SimConfig::with_policy(policy).with_rob_pkru_size(rob_pkru_size);
+    config.max_instructions = max_instructions;
+    let mut core = Core::new(config, program);
+    core.run().stats
+}
+
+/// Geometric mean of a non-empty slice.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    let sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean of a non-empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+// ------------------------------------------------------------------ Fig. 3
+
+/// One row of Fig. 3: motivation — the speedup unrestricted speculation
+/// would give, and the rename-stall share under serialization.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Workload display name.
+    pub name: String,
+    /// `IPC(NonSecure speculative) / IPC(Serialized)` — Fig. 3's bars.
+    pub speedup: f64,
+    /// Fraction of cycles fully stalled at rename by WRPKRU serialization.
+    pub rename_stall_fraction: f64,
+}
+
+/// Computes Fig. 3 for the standard suite.
+#[must_use]
+pub fn fig3_data(max_instructions: u64) -> Vec<Fig3Row> {
+    standard_suite()
+        .iter()
+        .map(|w| {
+            let p = w.build_protected();
+            let ser = run_policy(&p, WrpkruPolicy::Serialized, max_instructions);
+            let spec = run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions);
+            Fig3Row {
+                name: w.name(),
+                speedup: spec.ipc() / ser.ipc(),
+                rename_stall_fraction: ser.wrpkru_stall_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 3 in the paper's layout.
+pub fn print_fig3(rows: &[Fig3Row]) {
+    println!("Figure 3: speedup from speculative WRPKRU and rename-stall share");
+    println!("(paper: 12.58% average speedup, up to 48.43%)");
+    println!("{:<24} {:>10} {:>18}", "workload", "speedup", "rename stall (%)");
+    for r in rows {
+        println!(
+            "{:<24} {:>9.2}% {:>17.1}%",
+            r.name,
+            (r.speedup - 1.0) * 100.0,
+            r.rename_stall_fraction * 100.0
+        );
+    }
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+    println!(
+        "{:<24} {:>9.2}%  (max {:.2}%)",
+        "average",
+        (mean(&speedups) - 1.0) * 100.0,
+        (speedups.iter().copied().fold(f64::MIN, f64::max) - 1.0) * 100.0
+    );
+}
+
+// ------------------------------------------------------------------ Fig. 4
+
+/// One row of Fig. 4: protection overhead split into compiler
+/// transformation vs WRPKRU serialization.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Workload display name.
+    pub name: String,
+    /// Slowdown of the instrumented binary with WRPKRU→NOP, vs insecure.
+    pub compiler_overhead: f64,
+    /// Additional slowdown from real serialized WRPKRU.
+    pub serialization_overhead: f64,
+}
+
+/// Computes Fig. 4. Runs each variant *to completion* on a shortened
+/// driver so cycle counts compare equal work (the three binaries execute
+/// different instruction streams). Per-iteration cost varies ~100× across
+/// the suite, so the driver length is sized per workload from a cheap
+/// probe run to hit roughly `target_instructions` total.
+#[must_use]
+pub fn fig4_data(target_kilo_instructions: u32) -> Vec<Fig4Row> {
+    let target = u64::from(target_kilo_instructions) * 1000;
+    standard_suite()
+        .iter()
+        .map(|w| {
+            let mut profile = w.profile;
+            profile.driver_iterations = 8;
+            let probe = Workload::from_profile(profile);
+            let per_iter = run_policy(&probe.build_unprotected(), WrpkruPolicy::Serialized, 0)
+                .retired
+                / 8;
+            profile.driver_iterations =
+                (target / per_iter.max(1)).clamp(20, 2000) as u32;
+            let w = Workload::from_profile(profile);
+            let insecure = w.build_unprotected();
+            let nop = w.build_nop_wrpkru();
+            let protected = w.build_protected();
+            let base = run_policy(&insecure, WrpkruPolicy::Serialized, 0).cycles as f64;
+            let nop_c = run_policy(&nop, WrpkruPolicy::Serialized, 0).cycles as f64;
+            let full_c = run_policy(&protected, WrpkruPolicy::Serialized, 0).cycles as f64;
+            Fig4Row {
+                name: w.name(),
+                compiler_overhead: nop_c / base - 1.0,
+                serialization_overhead: (full_c - nop_c) / base,
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 4 in the paper's layout.
+pub fn print_fig4(rows: &[Fig4Row]) {
+    println!("Figure 4: overhead breakdown vs insecure baseline");
+    println!("(paper, native Cascade Lake: 10.28% compiler + 69.76% serialization on average)");
+    println!(
+        "{:<24} {:>14} {:>16} {:>10}",
+        "workload", "compiler (%)", "serialization (%)", "total (%)"
+    );
+    for r in rows {
+        println!(
+            "{:<24} {:>13.1}% {:>15.1}% {:>9.1}%",
+            r.name,
+            r.compiler_overhead * 100.0,
+            r.serialization_overhead * 100.0,
+            (r.compiler_overhead + r.serialization_overhead) * 100.0
+        );
+    }
+    println!(
+        "{:<24} {:>13.1}% {:>15.1}%",
+        "average",
+        mean(&rows.iter().map(|r| r.compiler_overhead).collect::<Vec<_>>()) * 100.0,
+        mean(&rows.iter().map(|r| r.serialization_overhead).collect::<Vec<_>>()) * 100.0
+    );
+}
+
+// ------------------------------------------------------------- Figs. 9/10
+
+/// One row of Fig. 9 (+ the Fig. 10 density that explains it).
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Workload display name.
+    pub name: String,
+    /// IPC under serialized WRPKRU (the baseline = 1.0).
+    pub serialized_ipc: f64,
+    /// Normalized IPC of SpecMPK.
+    pub specmpk: f64,
+    /// Normalized IPC of NonSecure SpecMPK.
+    pub nonsecure: f64,
+    /// WRPKRU per kilo-instruction (Fig. 10).
+    pub wrpkru_per_kinstr: f64,
+}
+
+/// Computes Fig. 9 (normalized IPC of all three microarchitectures) and
+/// Fig. 10 (WRPKRU density) in one pass over the suite.
+#[must_use]
+pub fn fig9_data(max_instructions: u64) -> Vec<Fig9Row> {
+    standard_suite()
+        .iter()
+        .map(|w| {
+            let p = w.build_protected();
+            let ser = run_policy(&p, WrpkruPolicy::Serialized, max_instructions);
+            let spec = run_policy(&p, WrpkruPolicy::SpecMpk, max_instructions);
+            let nonsec = run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions);
+            Fig9Row {
+                name: w.name(),
+                serialized_ipc: ser.ipc(),
+                specmpk: spec.ipc() / ser.ipc(),
+                nonsecure: nonsec.ipc() / ser.ipc(),
+                wrpkru_per_kinstr: ser.wrpkru_per_kilo_instr(),
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 9 in the paper's layout.
+pub fn print_fig9(rows: &[Fig9Row]) {
+    println!("Figure 9: IPC normalized to the serialized-WRPKRU baseline");
+    println!("(paper: SpecMPK 12.21% average speedup, max 48.42%; SpecMPK ≈ NonSecure)");
+    println!(
+        "{:<24} {:>8} {:>10} {:>11} {:>12}",
+        "workload", "base IPC", "SpecMPK", "NonSecure", "gap (%)"
+    );
+    for r in rows {
+        println!(
+            "{:<24} {:>8.3} {:>10.3} {:>11.3} {:>11.2}%",
+            r.name,
+            r.serialized_ipc,
+            r.specmpk,
+            r.nonsecure,
+            (r.nonsecure - r.specmpk) / r.nonsecure * 100.0
+        );
+    }
+    let spec: Vec<f64> = rows.iter().map(|r| r.specmpk).collect();
+    let nons: Vec<f64> = rows.iter().map(|r| r.nonsecure).collect();
+    println!(
+        "{:<24} {:>8} {:>10.3} {:>11.3}   (SpecMPK speedup avg {:.2}%, max {:.2}%)",
+        "average",
+        "",
+        mean(&spec),
+        mean(&nons),
+        (mean(&spec) - 1.0) * 100.0,
+        (spec.iter().copied().fold(f64::MIN, f64::max) - 1.0) * 100.0
+    );
+}
+
+/// One row of Fig. 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Workload display name.
+    pub name: String,
+    /// Dynamic WRPKRU instructions per kilo-instruction.
+    pub wrpkru_per_kinstr: f64,
+}
+
+/// Computes Fig. 10: dynamic WRPKRU density of each workload.
+#[must_use]
+pub fn fig10_data(max_instructions: u64) -> Vec<Fig10Row> {
+    standard_suite()
+        .iter()
+        .map(|w| {
+            let p = w.build_protected();
+            let s = run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions);
+            Fig10Row { name: w.name(), wrpkru_per_kinstr: s.wrpkru_per_kilo_instr() }
+        })
+        .collect()
+}
+
+/// Prints Fig. 10 in the paper's layout.
+pub fn print_fig10(rows: &[Fig10Row]) {
+    println!("Figure 10: WRPKRU instructions per kilo-instruction");
+    println!("{:<24} {:>14}", "workload", "WRPKRU/kinstr");
+    for r in rows {
+        println!("{:<24} {:>14.2}", r.name, r.wrpkru_per_kinstr);
+    }
+}
+
+// ----------------------------------------------------------------- Fig. 11
+
+/// One row of Fig. 11: `ROB_pkru` size sensitivity.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Workload display name.
+    pub name: String,
+    /// Normalized IPC with a 2-entry `ROB_pkru` (the paper's 1/96 ratio —
+    /// it pairs ratios {1/96, 1/48, 1/24} with {2, 4, 8} entries; we follow
+    /// the entry counts).
+    pub size2: f64,
+    /// Normalized IPC with 4 entries.
+    pub size4: f64,
+    /// Normalized IPC with 8 entries (Table III default).
+    pub size8: f64,
+    /// Normalized IPC of NonSecure (the ceiling).
+    pub nonsecure: f64,
+}
+
+/// Computes Fig. 11: SpecMPK IPC for `ROB_pkru` ∈ {2, 4, 8}, normalized to
+/// the serialized baseline, with NonSecure as the ceiling.
+#[must_use]
+pub fn fig11_data(max_instructions: u64) -> Vec<Fig11Row> {
+    standard_suite()
+        .iter()
+        .map(|w| {
+            let p = w.build_protected();
+            let ser = run_policy(&p, WrpkruPolicy::Serialized, max_instructions).ipc();
+            let at = |n| {
+                run_policy_with_rob(&p, WrpkruPolicy::SpecMpk, n, max_instructions).ipc() / ser
+            };
+            let nonsecure =
+                run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions).ipc() / ser;
+            Fig11Row { name: w.name(), size2: at(2), size4: at(4), size8: at(8), nonsecure }
+        })
+        .collect()
+}
+
+/// Prints Fig. 11 in the paper's layout.
+pub fn print_fig11(rows: &[Fig11Row]) {
+    println!("Figure 11: normalized IPC vs ROB_pkru size (ratios 1/96, 1/48, 1/24 of AL)");
+    println!("(paper: WRPKRU-hot workloads need 8 entries to match NonSecure)");
+    println!(
+        "{:<24} {:>8} {:>8} {:>8} {:>11}",
+        "workload", "2-entry", "4-entry", "8-entry", "NonSecure"
+    );
+    for r in rows {
+        println!(
+            "{:<24} {:>8.3} {:>8.3} {:>8.3} {:>11.3}",
+            r.name, r.size2, r.size4, r.size8, r.nonsecure
+        );
+    }
+}
+
+// ----------------------------------------------------------------- Fig. 13
+
+/// Fig. 13 data: reload latency per probe index for one policy.
+#[derive(Debug, Clone)]
+pub struct Fig13Series {
+    /// Policy label.
+    pub policy: WrpkruPolicy,
+    /// Per-index reload latency (256 entries).
+    pub latencies: Vec<u64>,
+    /// Indices classified as cache hits.
+    pub hot: Vec<usize>,
+}
+
+/// Runs the Spectre-V1 flush+reload experiment (secret byte 101, training
+/// byte 72 — the paper's values) under NonSecure SpecMPK and SpecMPK.
+#[must_use]
+pub fn fig13_data() -> Vec<Fig13Series> {
+    let attack = specmpk_attacks::spectre_v1(101, 72);
+    [WrpkruPolicy::NonSecureSpec, WrpkruPolicy::SpecMpk]
+        .into_iter()
+        .map(|policy| {
+            let outcome = specmpk_attacks::run_attack(&attack, policy);
+            Fig13Series {
+                policy,
+                latencies: outcome.latencies().to_vec(),
+                hot: outcome.hot_indices(),
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 13 in the paper's layout.
+pub fn print_fig13(series: &[Fig13Series]) {
+    println!("Figure 13: access latency of array2 indices in the reload phase");
+    println!("(paper: NonSecure hits at 72 AND 101; SpecMPK hits only at 72)");
+    for s in series {
+        println!("--- {} ---", s.policy);
+        println!("cache-hit indices: {:?}", s.hot);
+        for &i in &[71usize, 72, 73, 100, 101, 102] {
+            println!("  latency[{i:>3}] = {:>4} cycles", s.latencies[i]);
+        }
+    }
+}
+
+// ------------------------------------------------------------ Tables I–III
+
+/// Prints Table I: properties of isolation techniques (qualitative, encoded
+/// from §III-A's analysis).
+pub fn print_table1() {
+    println!("Table I: properties of various isolation techniques");
+    println!(
+        "{:<12} {:>24} {:>8} {:>28}",
+        "method", "fast interleaved access", "secure", "least-privilege capability"
+    );
+    let rows: [(&str, bool, bool, bool, &str); 7] = [
+        ("MPK", true, true, true, "user-space PKRU update, per-pkey domains"),
+        ("mprotect", false, true, true, "TLB shootdown per switch"),
+        ("MPX", true, false, true, "bound checks bypassable speculatively"),
+        ("ASLR", true, false, true, "layout leaks via side channels"),
+        ("IMIX", true, true, false, "single protected region only"),
+        ("SEIMI", true, true, false, "single SMAP-backed region"),
+        ("SFI", true, false, true, "masking misses un-instrumented code"),
+    ];
+    let tick = |b: bool| if b { "yes" } else { "no" };
+    for (name, fast, secure, lp, why) in rows {
+        println!("{name:<12} {:>24} {:>8} {:>28}   ({why})", tick(fast), tick(secure), tick(lp));
+    }
+}
+
+/// Prints Table II: the new source operands SpecMPK adds per instruction
+/// type (§V-B3).
+pub fn print_table2() {
+    println!("Table II: additional source operands in SpecMPK");
+    println!("{:<12} {}", "instruction", "new source operands");
+    println!("{:<12} {}", "Load", "ROB_pkru, ARF_pkru, AccessDisableCounter");
+    println!(
+        "{:<12} {}",
+        "Store", "ROB_pkru, ARF_pkru, AccessDisableCounter, WriteDisableCounter"
+    );
+    println!("{:<12} {}", "WRPKRU", "ROB_pkru (orders WRPKRUs among themselves)");
+}
+
+/// Prints Table III: the simulated configuration.
+pub fn print_table3() {
+    let c = SimConfig::default();
+    println!("Table III: simulation configuration");
+    println!("  ISA                          custom RISC (x86-compatible WRPKRU semantics)");
+    println!("  issue/decode/commit width    {}", c.width);
+    println!(
+        "  AL/LQ/SQ/IQ/PRF              {}/{}/{}/{}/{}",
+        c.active_list_size, c.load_queue_size, c.store_queue_size, c.issue_queue_size, c.prf_size
+    );
+    println!("  ROB_pkru                     {}", c.specmpk.rob_pkru_size);
+    println!(
+        "  BTB / RAS / direction        {} entries / {} entries / gshare 2^{}",
+        c.predictor.btb_entries, c.predictor.ras_entries, c.predictor.gshare_bits
+    );
+    let h = c.mem.hierarchy;
+    println!(
+        "  L1I                          {} KiB, {}-way, {}-cycle",
+        h.l1i.size_bytes / 1024,
+        h.l1i.ways,
+        h.l1i.latency
+    );
+    println!(
+        "  L1D                          {} KiB, {}-way, {}-cycle",
+        h.l1d.size_bytes / 1024,
+        h.l1d.ways,
+        h.l1d.latency
+    );
+    println!(
+        "  L2                           {} KiB, {}-way, {}-cycle",
+        h.l2.size_bytes / 1024,
+        h.l2.ways,
+        h.l2.latency
+    );
+    println!(
+        "  L3                           {} MiB, {}-way, {}-cycle",
+        h.l3.size_bytes / (1024 * 1024),
+        h.l3.ways,
+        h.l3.latency
+    );
+    println!("  DRAM                         +{} cycles past L3", h.dram_extra_latency);
+    println!(
+        "  DTLB                         {} entries, {}-way, {}-cycle walk",
+        c.mem.tlb.entries, c.mem.tlb.ways, c.mem.tlb.walk_latency
+    );
+}
+
+/// Prints the §VIII hardware-overhead analysis.
+pub fn print_hw_overhead() {
+    println!("Section VIII: hardware overhead (analytic model)");
+    println!("(paper: 93 B of sequential state, ~0.19% of the 48 KiB L1D)");
+    println!(
+        "{:>8} {:>10} {:>9} {:>10} {:>8} {:>9} {:>10}",
+        "ROB_pkru", "rob bits", "arf bits", "ctr bits", "sq bits", "bytes", "% of L1D"
+    );
+    for size in [2usize, 4, 8, 16] {
+        let cost = hardware_cost(SpecMpkConfig { rob_pkru_size: size, store_queue_size: 72 });
+        println!(
+            "{size:>8} {:>10} {:>9} {:>10} {:>8} {:>9} {:>9.3}%",
+            cost.rob_pkru_bits,
+            cost.arf_pkru_bits,
+            cost.counter_bits,
+            cost.sq_bits,
+            cost.headline_bytes(),
+            cost.fraction_of_cache(48 * 1024) * 100.0
+        );
+    }
+}
+
+/// Extra detail printed with Fig. 3/9: the per-cause rename-stall profile
+/// of one workload under the serialized policy (used by the ablation
+/// benches too).
+#[must_use]
+pub fn rename_stall_profile(program: &Program, max_instructions: u64) -> Vec<(String, u64)> {
+    let stats = run_policy(program, WrpkruPolicy::Serialized, max_instructions);
+    RenameStall::all()
+        .iter()
+        .map(|&c| (format!("{c:?}"), stats.rename_stall_cycles(c)))
+        .collect()
+}
+
+/// Builds one suite workload's protected binary by (partial) name.
+///
+/// # Panics
+///
+/// Panics if no workload name contains `needle`.
+#[must_use]
+pub fn workload_by_name(needle: &str) -> Workload {
+    standard_suite()
+        .into_iter()
+        .find(|w| w.name().contains(needle))
+        .unwrap_or_else(|| panic!("no workload matching {needle}"))
+}
+
+/// Convenience: the protection pass matching a workload's scheme.
+#[must_use]
+pub fn protected_program(w: &Workload) -> Program {
+    w.build(match w.scheme {
+        specmpk_workloads::Scheme::ShadowStack => Protection::ShadowStack,
+        specmpk_workloads::Scheme::Cpi => Protection::Cpi,
+    })
+}

@@ -1,0 +1,334 @@
+//! A small two-pass assembler with label resolution.
+
+use std::fmt;
+
+use crate::{AluOp, BranchCond, Instr, MemWidth, Operand, Reg, INSTR_BYTES};
+
+/// An opaque forward-referenceable code label.
+///
+/// Created by [`Assembler::fresh_label`], positioned by [`Assembler::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Ready(Instr),
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, label: Label },
+    Jump { label: Label },
+    Jal { rd: Reg, label: Label },
+}
+
+/// Builds a sequence of instructions, resolving labels to absolute
+/// addresses in a final pass.
+///
+/// All emit methods append one instruction and return `&mut self` only
+/// implicitly via `&mut` receiver chaining being unnecessary — call them as
+/// statements. Addresses are `base + 8 * index`.
+///
+/// # Examples
+///
+/// ```
+/// use specmpk_isa::{Assembler, Reg};
+///
+/// let mut asm = Assembler::new(0x4000);
+/// let skip = asm.fresh_label();
+/// asm.jump(skip);
+/// asm.halt();                       // skipped
+/// asm.bind(skip)?;
+/// asm.nop();
+/// let text = asm.assemble()?;
+/// assert_eq!(text.len(), 3);
+/// # Ok::<(), specmpk_isa::AsmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    base: u64,
+    items: Vec<Pending>,
+    labels: Vec<Option<u64>>,
+}
+
+impl Assembler {
+    /// Creates an assembler whose first instruction will live at `base`.
+    #[must_use]
+    pub fn new(base: u64) -> Self {
+        Assembler { base, items: Vec::new(), labels: Vec::new() }
+    }
+
+    /// The base address of the text being assembled.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The address the *next* emitted instruction will occupy.
+    #[must_use]
+    pub fn here(&self) -> u64 {
+        self.base + self.items.len() as u64 * INSTR_BYTES
+    }
+
+    /// Allocates a new, unbound label.
+    pub fn fresh_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateBind`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(AsmError::DuplicateBind(label));
+        }
+        *slot = Some(self.base + self.items.len() as u64 * INSTR_BYTES);
+        Ok(())
+    }
+
+    /// The address a bound label resolved to, if bound yet.
+    #[must_use]
+    pub fn address_of(&self, label: Label) -> Option<u64> {
+        self.labels[label.0]
+    }
+
+    /// Emits an already-resolved instruction verbatim.
+    pub fn raw(&mut self, instr: Instr) {
+        self.items.push(Pending::Ready(instr));
+    }
+
+    /// Emits `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.raw(Instr::Li { rd, imm });
+    }
+
+    /// Emits an ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, src2: Operand) {
+        self.raw(Instr::Alu { op, rd, rs1, src2 });
+    }
+
+    /// Emits `add rd, rs1, imm` — the ubiquitous address/pointer bump.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.alu(AluOp::Add, rd, rs1, Operand::Imm(imm));
+    }
+
+    /// Emits a load.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i32, width: MemWidth) {
+        self.raw(Instr::Load { rd, base, offset, width });
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i32, width: MemWidth) {
+        self.raw(Instr::Store { rs, base, offset, width });
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) {
+        self.items.push(Pending::Branch { cond, rs1, rs2, label });
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) {
+        self.items.push(Pending::Jump { label });
+    }
+
+    /// Emits `jal rd, label`.
+    pub fn jal(&mut self, rd: Reg, label: Label) {
+        self.items.push(Pending::Jal { rd, label });
+    }
+
+    /// Emits a call: `jal ra, label`.
+    pub fn call(&mut self, label: Label) {
+        self.jal(Reg::RA, label);
+    }
+
+    /// Emits a call to an absolute address (for cross-module calls).
+    pub fn call_abs(&mut self, target: u64) {
+        self.raw(Instr::Jal { rd: Reg::RA, target });
+    }
+
+    /// Emits a return: `jalr zero, ra`.
+    pub fn ret(&mut self) {
+        self.raw(Instr::Jalr { rd: Reg::ZERO, rs: Reg::RA });
+    }
+
+    /// Emits an indirect jump through `rs`.
+    pub fn jalr(&mut self, rd: Reg, rs: Reg) {
+        self.raw(Instr::Jalr { rd, rs });
+    }
+
+    /// Emits `wrpkru` (PKRU := EAX).
+    pub fn wrpkru(&mut self) {
+        self.raw(Instr::Wrpkru);
+    }
+
+    /// Emits the canonical permission-update pair the paper's compilers
+    /// generate: `li eax, pkru_bits; wrpkru`.
+    ///
+    /// Using a load-immediate for EAX keeps the written value independent of
+    /// speculation, the compiler discipline §IX-B assumes.
+    pub fn set_pkru(&mut self, pkru_bits: u32) {
+        self.li(Reg::EAX, i64::from(pkru_bits));
+        self.wrpkru();
+    }
+
+    /// Emits `rdpkru` (EAX := PKRU).
+    pub fn rdpkru(&mut self) {
+        self.raw(Instr::Rdpkru);
+    }
+
+    /// Emits `clflush offset(base)`.
+    pub fn clflush(&mut self, base: Reg, offset: i32) {
+        self.raw(Instr::Clflush { base, offset });
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) {
+        self.raw(Instr::Nop);
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.raw(Instr::Halt);
+    }
+
+    /// Resolves all labels and returns the final instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn assemble(&self) -> Result<Vec<Instr>, AsmError> {
+        let resolve = |label: Label| self.labels[label.0].ok_or(AsmError::UnboundLabel(label));
+        self.items
+            .iter()
+            .map(|item| match *item {
+                Pending::Ready(i) => Ok(i),
+                Pending::Branch { cond, rs1, rs2, label } => Ok(Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target: resolve(label)?,
+                }),
+                Pending::Jump { label } => Ok(Instr::Jump { target: resolve(label)? }),
+                Pending::Jal { rd, label } => Ok(Instr::Jal { rd, target: resolve(label)? }),
+            })
+            .collect()
+    }
+}
+
+/// Errors reported by the assembler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    DuplicateBind(Label),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {} was never bound", l.0),
+            AsmError::DuplicateBind(l) => write!(f, "label {} bound twice", l.0),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_references_resolve() {
+        let mut asm = Assembler::new(0x100);
+        let top = asm.fresh_label();
+        let out = asm.fresh_label();
+        asm.bind(top).unwrap(); // addr 0x100
+        asm.nop(); // 0x100
+        asm.branch(BranchCond::Eq, Reg::T0, Reg::T1, out); // 0x108
+        asm.jump(top); // 0x110
+        asm.bind(out).unwrap(); // 0x118
+        asm.halt();
+        let text = asm.assemble().unwrap();
+        assert_eq!(
+            text[1],
+            Instr::Branch { cond: BranchCond::Eq, rs1: Reg::T0, rs2: Reg::T1, target: 0x118 }
+        );
+        assert_eq!(text[2], Instr::Jump { target: 0x100 });
+    }
+
+    #[test]
+    fn here_tracks_addresses() {
+        let mut asm = Assembler::new(0x2000);
+        assert_eq!(asm.here(), 0x2000);
+        asm.nop();
+        asm.nop();
+        assert_eq!(asm.here(), 0x2010);
+        assert_eq!(asm.len(), 2);
+        assert!(!asm.is_empty());
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Assembler::new(0);
+        let l = asm.fresh_label();
+        asm.jump(l);
+        assert_eq!(asm.assemble(), Err(AsmError::UnboundLabel(l)));
+    }
+
+    #[test]
+    fn duplicate_bind_is_an_error() {
+        let mut asm = Assembler::new(0);
+        let l = asm.fresh_label();
+        asm.bind(l).unwrap();
+        assert_eq!(asm.bind(l), Err(AsmError::DuplicateBind(l)));
+    }
+
+    #[test]
+    fn call_and_ret_shapes() {
+        let mut asm = Assembler::new(0);
+        let f = asm.fresh_label();
+        asm.call(f);
+        asm.halt();
+        asm.bind(f).unwrap();
+        asm.ret();
+        let text = asm.assemble().unwrap();
+        assert!(text[0].is_call());
+        assert!(text[2].is_return());
+        assert_eq!(text[0], Instr::Jal { rd: Reg::RA, target: 0x10 });
+    }
+
+    #[test]
+    fn set_pkru_emits_load_immediate_then_wrpkru() {
+        let mut asm = Assembler::new(0);
+        asm.set_pkru(0x5555_5554);
+        let text = asm.assemble().unwrap();
+        assert_eq!(text[0], Instr::Li { rd: Reg::EAX, imm: 0x5555_5554 });
+        assert_eq!(text[1], Instr::Wrpkru);
+    }
+
+    #[test]
+    fn address_of_reports_binding() {
+        let mut asm = Assembler::new(0x800);
+        let l = asm.fresh_label();
+        assert_eq!(asm.address_of(l), None);
+        asm.nop();
+        asm.bind(l).unwrap();
+        assert_eq!(asm.address_of(l), Some(0x808));
+    }
+}

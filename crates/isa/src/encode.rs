@@ -1,0 +1,353 @@
+//! Fixed-width binary encoding.
+//!
+//! Every instruction encodes to one little-endian `u64` word:
+//!
+//! ```text
+//! bits 0..8    opcode
+//! bits 8..32   register / sub-opcode fields (layout per opcode)
+//! bits 32..64  32-bit immediate (ALU-imm, load/store/clflush offsets)
+//! ```
+//!
+//! Jump/branch targets are absolute addresses packed into 43-bit fields, so
+//! program text and data must live below `2^43` — far beyond anything the
+//! simulator maps. `Li` immediates are sign-extended from 48 bits.
+
+use std::fmt;
+
+use crate::{AluOp, BranchCond, Instr, MemWidth, Operand, Reg};
+
+const OP_NOP: u64 = 0;
+const OP_HALT: u64 = 1;
+const OP_WRPKRU: u64 = 2;
+const OP_RDPKRU: u64 = 3;
+const OP_LI: u64 = 4;
+const OP_ALU_REG: u64 = 5;
+const OP_ALU_IMM: u64 = 6;
+const OP_LOAD: u64 = 7;
+const OP_STORE: u64 = 8;
+const OP_BRANCH: u64 = 9;
+const OP_JUMP: u64 = 10;
+const OP_JAL: u64 = 11;
+const OP_JALR: u64 = 12;
+const OP_CLFLUSH: u64 = 13;
+
+const TARGET_BITS: u32 = 43;
+/// Largest encodable absolute control-flow target.
+const MAX_TARGET: u64 = (1 << TARGET_BITS) - 1;
+
+fn alu_code(op: AluOp) -> u64 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Sll => 5,
+        AluOp::Srl => 6,
+        AluOp::Sra => 7,
+        AluOp::Mul => 8,
+        AluOp::Slt => 9,
+        AluOp::Sltu => 10,
+    }
+}
+
+fn alu_from_code(code: u64) -> Option<AluOp> {
+    AluOp::all().into_iter().find(|&op| alu_code(op) == code)
+}
+
+fn cond_code(c: BranchCond) -> u64 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn cond_from_code(code: u64) -> Option<BranchCond> {
+    BranchCond::all().into_iter().find(|&c| cond_code(c) == code)
+}
+
+fn width_code(w: MemWidth) -> u64 {
+    match w {
+        MemWidth::B => 0,
+        MemWidth::H => 1,
+        MemWidth::W => 2,
+        MemWidth::D => 3,
+    }
+}
+
+fn width_from_code(code: u64) -> MemWidth {
+    match code & 3 {
+        0 => MemWidth::B,
+        1 => MemWidth::H,
+        2 => MemWidth::W,
+        _ => MemWidth::D,
+    }
+}
+
+fn reg_field(r: Reg) -> u64 {
+    r.index() as u64
+}
+
+fn reg_from_field(bits: u64) -> Option<Reg> {
+    Reg::new((bits & 0x1F) as u8)
+}
+
+fn imm32_field(imm: i32) -> u64 {
+    u64::from(imm as u32) << 32
+}
+
+fn imm32_from_word(word: u64) -> i32 {
+    (word >> 32) as u32 as i32
+}
+
+/// Encodes an instruction to its 64-bit binary form.
+///
+/// # Panics
+///
+/// Panics if a control-flow target exceeds the 43-bit encodable range or a
+/// `Li` immediate does not fit in 48 bits. The [`Assembler`](crate::Assembler)
+/// validates both before emitting, so programs built through it never panic
+/// here.
+#[must_use]
+pub fn encode(instr: &Instr) -> u64 {
+    match *instr {
+        Instr::Nop => OP_NOP,
+        Instr::Halt => OP_HALT,
+        Instr::Wrpkru => OP_WRPKRU,
+        Instr::Rdpkru => OP_RDPKRU,
+        Instr::Li { rd, imm } => {
+            assert!(
+                imm >= -(1 << 47) && imm < (1 << 47),
+                "li immediate {imm} does not fit in 48 bits"
+            );
+            OP_LI | (reg_field(rd) << 8) | (((imm as u64) & 0xFFFF_FFFF_FFFF) << 16)
+        }
+        Instr::Alu { op, rd, rs1, src2: Operand::Reg(rs2) } => {
+            OP_ALU_REG
+                | (alu_code(op) << 8)
+                | (reg_field(rd) << 12)
+                | (reg_field(rs1) << 17)
+                | (reg_field(rs2) << 22)
+        }
+        Instr::Alu { op, rd, rs1, src2: Operand::Imm(imm) } => {
+            OP_ALU_IMM
+                | (alu_code(op) << 8)
+                | (reg_field(rd) << 12)
+                | (reg_field(rs1) << 17)
+                | imm32_field(imm)
+        }
+        Instr::Load { rd, base, offset, width } => {
+            OP_LOAD
+                | (width_code(width) << 8)
+                | (reg_field(rd) << 10)
+                | (reg_field(base) << 15)
+                | imm32_field(offset)
+        }
+        Instr::Store { rs, base, offset, width } => {
+            OP_STORE
+                | (width_code(width) << 8)
+                | (reg_field(rs) << 10)
+                | (reg_field(base) << 15)
+                | imm32_field(offset)
+        }
+        Instr::Branch { cond, rs1, rs2, target } => {
+            assert!(target <= MAX_TARGET, "branch target {target:#x} exceeds 43 bits");
+            OP_BRANCH
+                | (cond_code(cond) << 8)
+                | (reg_field(rs1) << 11)
+                | (reg_field(rs2) << 16)
+                | (target << 21)
+        }
+        Instr::Jump { target } => {
+            assert!(target <= MAX_TARGET, "jump target {target:#x} exceeds 43 bits");
+            OP_JUMP | (target << 8)
+        }
+        Instr::Jal { rd, target } => {
+            assert!(target <= MAX_TARGET, "jal target {target:#x} exceeds 43 bits");
+            OP_JAL | (reg_field(rd) << 8) | (target << 16)
+        }
+        Instr::Jalr { rd, rs } => {
+            OP_JALR | (reg_field(rd) << 8) | (reg_field(rs) << 13)
+        }
+        Instr::Clflush { base, offset } => {
+            OP_CLFLUSH | (reg_field(base) << 8) | imm32_field(offset)
+        }
+    }
+}
+
+/// Decodes a 64-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unknown opcodes or sub-opcodes. Register
+/// fields are 5 bits wide and therefore always valid.
+pub fn decode(word: u64) -> Result<Instr, DecodeError> {
+    let op = word & 0xFF;
+    let reg_at = |shift: u32| reg_from_field(word >> shift).expect("5-bit field");
+    match op {
+        OP_NOP => Ok(Instr::Nop),
+        OP_HALT => Ok(Instr::Halt),
+        OP_WRPKRU => Ok(Instr::Wrpkru),
+        OP_RDPKRU => Ok(Instr::Rdpkru),
+        OP_LI => {
+            let raw = (word >> 16) & 0xFFFF_FFFF_FFFF;
+            // Sign-extend from 48 bits.
+            let imm = ((raw << 16) as i64) >> 16;
+            Ok(Instr::Li { rd: reg_at(8), imm })
+        }
+        OP_ALU_REG => {
+            let code = (word >> 8) & 0xF;
+            let alu = alu_from_code(code).ok_or(DecodeError::BadSubOpcode { word, code })?;
+            Ok(Instr::Alu {
+                op: alu,
+                rd: reg_at(12),
+                rs1: reg_at(17),
+                src2: Operand::Reg(reg_at(22)),
+            })
+        }
+        OP_ALU_IMM => {
+            let code = (word >> 8) & 0xF;
+            let alu = alu_from_code(code).ok_or(DecodeError::BadSubOpcode { word, code })?;
+            Ok(Instr::Alu {
+                op: alu,
+                rd: reg_at(12),
+                rs1: reg_at(17),
+                src2: Operand::Imm(imm32_from_word(word)),
+            })
+        }
+        OP_LOAD => Ok(Instr::Load {
+            rd: reg_at(10),
+            base: reg_at(15),
+            offset: imm32_from_word(word),
+            width: width_from_code(word >> 8),
+        }),
+        OP_STORE => Ok(Instr::Store {
+            rs: reg_at(10),
+            base: reg_at(15),
+            offset: imm32_from_word(word),
+            width: width_from_code(word >> 8),
+        }),
+        OP_BRANCH => {
+            let code = (word >> 8) & 0x7;
+            let cond = cond_from_code(code).ok_or(DecodeError::BadSubOpcode { word, code })?;
+            Ok(Instr::Branch {
+                cond,
+                rs1: reg_at(11),
+                rs2: reg_at(16),
+                target: word >> 21,
+            })
+        }
+        OP_JUMP => Ok(Instr::Jump { target: (word >> 8) & MAX_TARGET }),
+        OP_JAL => Ok(Instr::Jal { rd: reg_at(8), target: (word >> 16) & MAX_TARGET }),
+        OP_JALR => Ok(Instr::Jalr { rd: reg_at(8), rs: reg_at(13) }),
+        OP_CLFLUSH => Ok(Instr::Clflush { base: reg_at(8), offset: imm32_from_word(word) }),
+        _ => Err(DecodeError::BadOpcode { word, opcode: op }),
+    }
+}
+
+/// Error decoding an instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte is not assigned.
+    BadOpcode {
+        /// The full offending word.
+        word: u64,
+        /// The opcode field.
+        opcode: u64,
+    },
+    /// The sub-opcode (ALU op or branch condition) is not assigned.
+    BadSubOpcode {
+        /// The full offending word.
+        word: u64,
+        /// The sub-opcode field.
+        code: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode { word, opcode } => {
+                write!(f, "unknown opcode {opcode} in word {word:#018x}")
+            }
+            DecodeError::BadSubOpcode { word, code } => {
+                write!(f, "unknown sub-opcode {code} in word {word:#018x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Instr) {
+        let word = encode(&i);
+        assert_eq!(decode(word), Ok(i), "word {word:#018x}");
+    }
+
+    #[test]
+    fn round_trip_simple_opcodes() {
+        for i in [Instr::Nop, Instr::Halt, Instr::Wrpkru, Instr::Rdpkru] {
+            round_trip(i);
+        }
+    }
+
+    #[test]
+    fn round_trip_li_extremes() {
+        for imm in [0i64, 1, -1, (1 << 47) - 1, -(1 << 47), 0x1234_5678_ABCD] {
+            round_trip(Instr::Li { rd: Reg::T2, imm });
+        }
+    }
+
+    #[test]
+    fn round_trip_all_alu_ops_both_forms() {
+        for op in AluOp::all() {
+            round_trip(Instr::Alu { op, rd: Reg::T0, rs1: Reg::A0, src2: Operand::Reg(Reg::S3) });
+            round_trip(Instr::Alu { op, rd: Reg::T0, rs1: Reg::A0, src2: Operand::Imm(-12345) });
+        }
+    }
+
+    #[test]
+    fn round_trip_memory_ops() {
+        for width in [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D] {
+            round_trip(Instr::Load { rd: Reg::T1, base: Reg::SP, offset: i32::MIN, width });
+            round_trip(Instr::Store { rs: Reg::T1, base: Reg::SP, offset: i32::MAX, width });
+        }
+        round_trip(Instr::Clflush { base: Reg::A1, offset: 4096 });
+    }
+
+    #[test]
+    fn round_trip_control_flow() {
+        for cond in BranchCond::all() {
+            round_trip(Instr::Branch { cond, rs1: Reg::T0, rs2: Reg::T1, target: 0x7_FFFF_FFFF_F8 });
+        }
+        round_trip(Instr::Jump { target: 0x1000 });
+        round_trip(Instr::Jal { rd: Reg::RA, target: 0x2000 });
+        round_trip(Instr::Jalr { rd: Reg::ZERO, rs: Reg::RA });
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        assert!(matches!(decode(0xFF), Err(DecodeError::BadOpcode { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_subopcode() {
+        // ALU-reg with sub-opcode 15.
+        let word = OP_ALU_REG | (15 << 8);
+        assert!(matches!(decode(word), Err(DecodeError::BadSubOpcode { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 43 bits")]
+    fn encode_panics_on_oversized_target() {
+        let _ = encode(&Instr::Jump { target: 1 << 43 });
+    }
+}

@@ -1,0 +1,66 @@
+//! Instruction set for the SpecMPK simulator.
+//!
+//! The paper evaluates x86-64; shipping a full x86 decoder is neither
+//! feasible nor necessary, because the phenomenon under study — the pipeline
+//! treatment of the `WRPKRU` permission-update instruction — is independent
+//! of decode complexity (see `DESIGN.md` §2). This crate therefore defines a
+//! compact, RISC-style load/store ISA that keeps the *MPK-relevant*
+//! instructions bit-compatible with x86 semantics:
+//!
+//! * [`Instr::Wrpkru`] copies the architectural `EAX` register
+//!   ([`Reg::EAX`]) into PKRU — the implicit-operand form the paper's §II-A3
+//!   analyses;
+//! * [`Instr::Rdpkru`] copies PKRU into `EAX`;
+//! * [`Instr::Clflush`] evicts a line from the entire cache hierarchy,
+//!   enabling flush+reload attack studies;
+//! * loads and stores implicitly source PKRU for the permission check.
+//!
+//! Instructions are fixed-width ([`INSTR_BYTES`] = 8 bytes) with a binary
+//! encoding ([`encode`]/[`decode`]) and a label-resolving [`Assembler`].
+//! A [`Program`] bundles assembled text with pkey-colored data segments.
+//!
+//! # Examples
+//!
+//! Assemble a loop that sums an array:
+//!
+//! ```
+//! use specmpk_isa::{Assembler, Instr, Reg, AluOp, BranchCond, MemWidth, Operand};
+//!
+//! let mut asm = Assembler::new(0x1000);
+//! let loop_top = asm.fresh_label();
+//! asm.li(Reg::T0, 0);            // sum
+//! asm.li(Reg::T1, 0x8000);       // cursor
+//! asm.li(Reg::T2, 0x8000 + 64);  // end
+//! asm.bind(loop_top)?;
+//! asm.load(Reg::T3, Reg::T1, 0, MemWidth::D);
+//! asm.alu(AluOp::Add, Reg::T0, Reg::T0, Operand::Reg(Reg::T3));
+//! asm.alu(AluOp::Add, Reg::T1, Reg::T1, Operand::Imm(8));
+//! asm.branch(BranchCond::Lt, Reg::T1, Reg::T2, loop_top);
+//! asm.halt();
+//! let text = asm.assemble()?;
+//! assert_eq!(text.len(), 8);
+//! # Ok::<(), specmpk_isa::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod encode;
+mod instr;
+mod parse;
+mod program;
+mod reg;
+
+pub use asm::{Assembler, AsmError, Label};
+pub use encode::{decode, encode, DecodeError};
+pub use instr::{AluOp, BranchCond, Instr, InstrClass, MemWidth, Operand};
+pub use parse::{parse_program, ParseError};
+pub use program::{DataSegment, Program, SegmentPerms};
+pub use reg::{Reg, NUM_REGS};
+
+/// Size of every instruction in the address space, in bytes.
+///
+/// A fixed 8-byte encoding keeps PC arithmetic trivial (`pc + 8` is the
+/// fall-through) while leaving room for 32-bit immediates.
+pub const INSTR_BYTES: u64 = 8;

@@ -1,0 +1,157 @@
+//! Logical (architectural) registers.
+
+use std::fmt;
+
+/// Number of logical general-purpose registers.
+pub const NUM_REGS: usize = 32;
+
+/// A logical general-purpose register, `r0`–`r31`.
+///
+/// Conventions (enforced only by the code generator, not the hardware):
+///
+/// | register | alias  | role |
+/// |----------|--------|------|
+/// | `r0`     | `ZERO` | hardwired zero (writes are discarded) |
+/// | `r1`     | `EAX`  | implicit source of `WRPKRU`, destination of `RDPKRU` |
+/// | `r2`     | `SP`   | stack pointer |
+/// | `r3`     | `FP`   | frame pointer |
+/// | `r4`     | `RA`   | return address (link register) |
+/// | `r5`–`r9`| `A0`–`A4` | argument registers |
+/// | `r10`–`r14` | `T0`–`T4` | caller-saved temporaries |
+/// | `r15`    | `SSP`  | shadow-stack pointer (the paper's R15, §VI-B1) |
+/// | `r16`–`r31` | `S0`–`S15` | callee-saved / general |
+///
+/// # Examples
+///
+/// ```
+/// use specmpk_isa::Reg;
+/// assert_eq!(Reg::EAX.index(), 1);
+/// assert_eq!(Reg::new(15), Some(Reg::SSP));
+/// assert_eq!(Reg::new(32), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Implicit operand of `WRPKRU`/`RDPKRU` (x86's `EAX`).
+    pub const EAX: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(3);
+    /// Return-address (link) register.
+    pub const RA: Reg = Reg(4);
+    /// First argument register.
+    pub const A0: Reg = Reg(5);
+    /// Second argument register.
+    pub const A1: Reg = Reg(6);
+    /// Third argument register.
+    pub const A2: Reg = Reg(7);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(8);
+    /// Fifth argument register.
+    pub const A4: Reg = Reg(9);
+    /// Temporary register 0.
+    pub const T0: Reg = Reg(10);
+    /// Temporary register 1.
+    pub const T1: Reg = Reg(11);
+    /// Temporary register 2.
+    pub const T2: Reg = Reg(12);
+    /// Temporary register 3.
+    pub const T3: Reg = Reg(13);
+    /// Temporary register 4.
+    pub const T4: Reg = Reg(14);
+    /// Shadow-stack pointer (the paper dedicates x86 R15 to this role).
+    pub const SSP: Reg = Reg(15);
+    /// First callee-saved register.
+    pub const S0: Reg = Reg(16);
+    /// Second callee-saved register.
+    pub const S1: Reg = Reg(17);
+    /// Third callee-saved register.
+    pub const S2: Reg = Reg(18);
+    /// Fourth callee-saved register.
+    pub const S3: Reg = Reg(19);
+    /// Fifth callee-saved register.
+    pub const S4: Reg = Reg(20);
+
+    /// Creates a register from its index, or `None` if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Option<Reg> {
+        (usize::from(index) < NUM_REGS).then_some(Reg(index))
+    }
+
+    /// The register's index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Reg::ZERO
+    }
+
+    /// Iterates over all 32 logical registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::ZERO => f.write_str("zero"),
+            Reg::EAX => f.write_str("eax"),
+            Reg::SP => f.write_str("sp"),
+            Reg::FP => f.write_str("fp"),
+            Reg::RA => f.write_str("ra"),
+            Reg::SSP => f.write_str("ssp"),
+            Reg(i) if (5..=9).contains(&i) => write!(f, "a{}", i - 5),
+            Reg(i) if (10..=14).contains(&i) => write!(f, "t{}", i - 10),
+            Reg(i) => write!(f, "s{}", i - 16),
+        }
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_have_documented_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::EAX.index(), 1);
+        assert_eq!(Reg::SP.index(), 2);
+        assert_eq!(Reg::RA.index(), 4);
+        assert_eq!(Reg::SSP.index(), 15);
+    }
+
+    #[test]
+    fn new_bounds() {
+        assert_eq!(Reg::new(31).map(Reg::index), Some(31));
+        assert_eq!(Reg::new(32), None);
+    }
+
+    #[test]
+    fn display_uses_conventional_names() {
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::T3.to_string(), "t3");
+        assert_eq!(Reg::S0.to_string(), "s0");
+        assert_eq!(Reg::new(31).unwrap().to_string(), "s15");
+        assert_eq!(Reg::SSP.to_string(), "ssp");
+    }
+
+    #[test]
+    fn all_covers_thirty_two() {
+        assert_eq!(Reg::all().count(), 32);
+    }
+}

@@ -1,0 +1,290 @@
+//! A single set-associative, true-LRU cache level.
+
+use crate::LINE_BYTES;
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Round-trip hit latency in cycles (Table III reports round-trip).
+    pub latency: u64,
+    /// Name for diagnostics.
+    pub name: &'static str,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of `ways * 64 B`.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        let lines = self.size_bytes / LINE_BYTES;
+        assert!(
+            lines % self.ways as u64 == 0 && lines > 0,
+            "{}: {} lines not divisible into {} ways",
+            self.name,
+            lines,
+            self.ways
+        );
+        (lines / self.ways as u64) as usize
+    }
+}
+
+/// Hit/miss/eviction counters for one level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Lines evicted by fills.
+    pub evictions: u64,
+    /// Lines invalidated by `clflush`.
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`, or 1.0 when there were no accesses.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    lru: u64,
+}
+
+/// One physically indexed cache level.
+///
+/// Tags are full line addresses; data is not stored (the functional value
+/// lives in [`SparseMemory`](crate::SparseMemory)) — only presence and
+/// replacement state, which is all the timing and side-channel models need.
+///
+/// # Examples
+///
+/// ```
+/// use specmpk_mem::{Cache, CacheConfig};
+///
+/// let mut l1 = Cache::new(CacheConfig {
+///     size_bytes: 48 * 1024, ways: 12, latency: 5, name: "L1D",
+/// });
+/// assert!(!l1.access(0x1000));       // cold miss
+/// l1.fill(0x1000);
+/// assert!(l1.access(0x1000));        // now hits
+/// assert!(l1.access(0x1004));        // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        let sets = (0..num_sets)
+            .map(|_| vec![Line { tag: 0, valid: false, lru: 0 }; config.ways])
+            .collect();
+        Cache { config, sets, clock: 0, stats: CacheStats::default() }
+    }
+
+    /// This level's configuration.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn line_addr(addr: u64) -> u64 {
+        addr / LINE_BYTES
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Checks residency without updating LRU or statistics.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = Self::line_addr(addr);
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|l| l.valid && l.tag == line)
+    }
+
+    /// Performs an access: returns `true` on hit (promoting the line to
+    /// MRU), `false` on miss. Misses do **not** allocate; call
+    /// [`Cache::fill`] once the fill decision is made.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let line = Self::line_addr(addr);
+        let idx = self.set_index(line);
+        if let Some(l) = self.sets[idx].iter_mut().find(|l| l.valid && l.tag == line) {
+            l.lru = clock;
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Installs the line containing `addr`, evicting LRU if necessary.
+    pub fn fill(&mut self, addr: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        let line = Self::line_addr(addr);
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == line) {
+            l.lru = clock;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("ways > 0");
+        if victim.valid {
+            self.stats.evictions += 1;
+        }
+        *victim = Line { tag: line, valid: true, lru: clock };
+    }
+
+    /// Invalidates the line containing `addr`, if resident (`clflush`).
+    pub fn flush_line(&mut self, addr: u64) {
+        let line = Self::line_addr(addr);
+        let idx = self.set_index(line);
+        for l in &mut self.sets[idx] {
+            if l.valid && l.tag == line {
+                l.valid = false;
+                self.stats.flushes += 1;
+            }
+        }
+    }
+
+    /// Invalidates the entire cache.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            for l in set {
+                l.valid = false;
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of valid lines.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 lines, 2 ways, 2 sets.
+        Cache::new(CacheConfig { size_bytes: 4 * 64, ways: 2, latency: 5, name: "toy" })
+    }
+
+    #[test]
+    fn geometry_from_table_iii() {
+        let l1d = CacheConfig { size_bytes: 48 * 1024, ways: 12, latency: 5, name: "L1D" };
+        assert_eq!(l1d.num_sets(), 64);
+        let l3 = CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 16, latency: 40, name: "L3" };
+        assert_eq!(l3.num_sets(), 2048);
+    }
+
+    #[test]
+    fn same_line_hits_after_fill() {
+        let mut c = small();
+        assert!(!c.access(0x100));
+        c.fill(0x100);
+        assert!(c.access(0x100));
+        assert!(c.access(0x13F)); // same 64B line
+        assert!(!c.access(0x140)); // next line
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut c = small();
+        c.fill(0x0);
+        let before = c.stats();
+        assert!(c.probe(0x0));
+        assert!(!c.probe(0x40));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn lru_within_a_set() {
+        let mut c = small(); // 2 sets; lines 0,2,4 map to set 0
+        c.fill(0 * 64);
+        c.fill(2 * 64);
+        assert!(c.access(0 * 64)); // line 0 MRU, line 2 LRU
+        c.fill(4 * 64); // evicts line 2
+        assert!(c.probe(0 * 64));
+        assert!(!c.probe(2 * 64));
+        assert!(c.probe(4 * 64));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clflush_removes_exactly_one_line() {
+        let mut c = small();
+        c.fill(0x000);
+        c.fill(0x040);
+        c.flush_line(0x000);
+        assert!(!c.probe(0x000));
+        assert!(c.probe(0x040));
+        assert_eq!(c.stats().flushes, 1);
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut c = small();
+        c.fill(0x0);
+        c.fill(0x40);
+        c.flush_all();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn hit_rate_accounts() {
+        let mut c = small();
+        c.fill(0x0);
+        assert!(c.access(0x0));
+        assert!(!c.access(0x40));
+        let s = c.stats();
+        assert_eq!(s.accesses(), 2);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Sparse functional backing store.
+
+use std::collections::HashMap;
+
+use crate::{page_offset, vpn, PAGE_BYTES};
+
+/// A sparse, byte-addressable 64-bit memory.
+///
+/// Pages materialize (zero-filled) on first touch, so programs can use
+/// widely separated regions (text at 4 KiB, heap at 1 MiB, a victim array at
+/// 1 GiB) without cost. This is the *functional* store; all timing lives in
+/// the cache hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use specmpk_mem::SparseMemory;
+///
+/// let mut m = SparseMemory::new();
+/// m.write_uint(0xFFFF_0000, 4, 0xABCD);
+/// assert_eq!(m.read_uint(0xFFFF_0000, 4), 0xABCD);
+/// assert_eq!(m.read_uint(0x0, 8), 0); // untouched memory reads zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        SparseMemory { pages: HashMap::new() }
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice())
+    }
+
+    /// Reads one byte (zero if the page was never written).
+    #[must_use]
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        self.pages
+            .get(&vpn(addr))
+            .map_or(0, |p| p[page_offset(addr) as usize])
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u64, value: u8) {
+        self.page_mut(vpn(addr))[page_offset(addr) as usize] = value;
+    }
+
+    /// Reads a little-endian unsigned integer of `width` bytes (1, 2, 4, 8).
+    ///
+    /// Accesses may straddle page boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 8.
+    #[must_use]
+    pub fn read_uint(&self, addr: u64, width: u64) -> u64 {
+        assert!((1..=8).contains(&width), "width {width} out of range");
+        let mut v = 0u64;
+        for i in 0..width {
+            v |= u64::from(self.read_byte(addr + i)) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes a little-endian unsigned integer of `width` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 8.
+    pub fn write_uint(&mut self, addr: u64, width: u64, value: u64) {
+        assert!((1..=8).contains(&width), "width {width} out of range");
+        for i in 0..width {
+            self.write_byte(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies `bytes` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(addr + i as u64, b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    #[must_use]
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_byte(addr + i)).collect()
+    }
+
+    /// Number of pages that have been materialized.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_uint(0x1234, 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut m = SparseMemory::new();
+        m.write_uint(0x100, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_byte(0x100), 0x88);
+        assert_eq!(m.read_byte(0x107), 0x11);
+        assert_eq!(m.read_uint(0x100, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_uint(0x100, 4), 0x5566_7788);
+        assert_eq!(m.read_uint(0x104, 2), 0x3344);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SparseMemory::new();
+        let addr = PAGE_BYTES - 4; // straddles the first page boundary
+        m.write_uint(addr, 8, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.read_uint(addr, 8), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn byte_slices_round_trip() {
+        let mut m = SparseMemory::new();
+        m.write_bytes(0x42, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_bytes(0x42, 5), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_read_panics() {
+        let _ = SparseMemory::new().read_uint(0, 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! The memory-system façade driven by the out-of-order core.
+
+use specmpk_isa::{encode, Program, SegmentPerms};
+use specmpk_mpk::{AccessKind, Pkey};
+
+use crate::cache::CacheStats;
+use crate::hierarchy::{AccessOutcome, CacheHierarchy, HierarchyConfig};
+use crate::memory::SparseMemory;
+use crate::page_table::{PageFault, PageTable, PageTableEntry};
+use crate::tlb::{Tlb, TlbConfig, TlbEntry, TlbStats};
+use crate::vpn;
+
+/// Memory-system configuration (caches + TLB), defaulting to Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemConfig {
+    /// Cache hierarchy geometry and latencies.
+    pub hierarchy: HierarchyConfig,
+    /// Data-TLB geometry and walk latency.
+    pub tlb: TlbConfig,
+}
+
+/// The outcome of a successful address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The page's protection key (selected from the PTE, paper Fig. 1).
+    pub pkey: Pkey,
+    /// The full cached page-table entry.
+    pub pte: PageTableEntry,
+    /// Whether the DTLB had the translation.
+    pub tlb_hit: bool,
+    /// Cycles charged: 0 on a TLB hit, the walk latency on a miss.
+    pub latency: u64,
+}
+
+/// Aggregated statistics across the memory system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 instruction cache.
+    pub l1i: CacheStats,
+    /// L1 data cache.
+    pub l1d: CacheStats,
+    /// Unified L2.
+    pub l2: CacheStats,
+    /// Unified L3.
+    pub l3: CacheStats,
+    /// Data TLB.
+    pub dtlb: TlbStats,
+}
+
+/// Functional memory + page table + DTLB + cache hierarchy.
+///
+/// The out-of-order core drives this in fine-grained steps so the SpecMPK
+/// policy can interpose between them:
+///
+/// 1. [`MemorySystem::translate`] — DTLB probe/walk, returning the pkey
+///    (with `update_tlb = false` when the policy defers TLB state changes,
+///    §V-C5);
+/// 2. the PKRU check — performed by the policy crate, *not* here;
+/// 3. [`MemorySystem::data_timing`] — the cache access that determines
+///    latency (and leaves the microarchitectural footprint attackers probe);
+/// 4. [`MemorySystem::read`] / [`MemorySystem::write`] — functional effect
+///    (writes only happen at retirement; wrong-path stores never call
+///    `write`).
+///
+/// Instruction-side fetches use a separate L1I port and, for simplicity, no
+/// ITLB (an ITLB adds fetch jitter orthogonal to every experiment in the
+/// paper — documented in `DESIGN.md`).
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemConfig,
+    memory: SparseMemory,
+    page_table: PageTable,
+    dtlb: Tlb,
+    caches: CacheHierarchy,
+}
+
+impl MemorySystem {
+    /// Creates an empty memory system.
+    #[must_use]
+    pub fn new(config: MemConfig) -> Self {
+        MemorySystem {
+            config,
+            memory: SparseMemory::new(),
+            page_table: PageTable::new(),
+            dtlb: Tlb::new(config.tlb),
+            caches: CacheHierarchy::new(config.hierarchy),
+        }
+    }
+
+    /// The system's configuration.
+    #[must_use]
+    pub fn config(&self) -> MemConfig {
+        self.config
+    }
+
+    /// Maps `[base, base + size)` with `perms` and colors it `pkey`.
+    pub fn map_region(&mut self, base: u64, size: u64, pkey: Pkey, perms: SegmentPerms) {
+        self.page_table.map_range(base, size, perms, false);
+        self.page_table
+            .pkey_mprotect(base, size, pkey)
+            .expect("range was just mapped");
+    }
+
+    /// Loads a [`Program`]: maps and stores the encoded text (read/execute,
+    /// pkey 0) and every data segment with its declared color and
+    /// permissions.
+    pub fn load_program(&mut self, program: &Program) {
+        let text_bytes = program.len() as u64 * specmpk_isa::INSTR_BYTES;
+        self.page_table.map_range(
+            program.text_base(),
+            text_bytes,
+            SegmentPerms::R,
+            true,
+        );
+        for (i, instr) in program.text().iter().enumerate() {
+            let addr = program.text_base() + i as u64 * specmpk_isa::INSTR_BYTES;
+            self.memory.write_uint(addr, 8, encode(instr));
+        }
+        for seg in program.segments() {
+            self.page_table.map_range(seg.base, seg.size, seg.perms, false);
+            self.page_table
+                .pkey_mprotect(seg.base, seg.size, seg.pkey)
+                .expect("segment was just mapped");
+            self.memory.write_bytes(seg.base, &seg.init);
+        }
+    }
+
+    /// Recolors `[base, base + size)` — the `pkey_mprotect(2)` syscall.
+    ///
+    /// Invalidates affected DTLB entries so stale pkeys are never served
+    /// (the kernel does the same without a full shootdown; MPK's advantage
+    /// is avoiding shootdowns on *permission* changes, which go through
+    /// PKRU, not the page table).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PageFault`] if any page in the range is unmapped.
+    pub fn pkey_mprotect(&mut self, base: u64, size: u64, pkey: Pkey) -> Result<(), PageFault> {
+        self.page_table.pkey_mprotect(base, size, pkey)?;
+        let first = vpn(base);
+        let last = vpn(base + size.saturating_sub(1));
+        for page in first..=last {
+            self.dtlb.invalidate(page);
+        }
+        Ok(())
+    }
+
+    /// Translates a data address, returning the pkey and charged latency.
+    ///
+    /// With `update_tlb = false` the DTLB's replacement state and contents
+    /// are untouched (no fill on miss, no LRU promotion on hit) — the
+    /// deferred-update mode SpecMPK requires for instructions that fail the
+    /// PKRU check (§V-C5). Statistics are only recorded in updating mode.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the page is unmapped or its page-table permissions deny
+    /// `kind`. The PKRU check is *not* performed here.
+    pub fn translate(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        update_tlb: bool,
+    ) -> Result<Translation, PageFault> {
+        let page = vpn(addr);
+        let (pte, tlb_hit) = match self.dtlb.probe(page) {
+            Some(entry) => {
+                if update_tlb {
+                    self.dtlb.access(page);
+                }
+                (entry.pte, true)
+            }
+            None => {
+                let pte = self.page_table.entry(addr)?;
+                if update_tlb {
+                    self.dtlb.access(page); // records the miss
+                    self.dtlb.fill(TlbEntry { vpn: page, pte });
+                }
+                (pte, false)
+            }
+        };
+        if !pte.allows(kind) {
+            return Err(PageFault::PermissionDenied { addr, kind });
+        }
+        Ok(Translation {
+            pkey: pte.pkey,
+            pte,
+            tlb_hit,
+            latency: if tlb_hit { 0 } else { self.config.tlb.walk_latency },
+        })
+    }
+
+    /// Whether the DTLB currently holds the translation for `addr`
+    /// (side-effect free).
+    #[must_use]
+    pub fn tlb_resident(&self, addr: u64) -> bool {
+        self.dtlb.probe(vpn(addr)).is_some()
+    }
+
+    /// Performs the cache-timing part of a data access (perturbs cache
+    /// state — this is the microarchitectural footprint).
+    pub fn data_timing(&mut self, addr: u64) -> AccessOutcome {
+        self.caches.access_data(addr)
+    }
+
+    /// Performs the cache-timing part of an instruction fetch.
+    pub fn inst_timing(&mut self, addr: u64) -> AccessOutcome {
+        self.caches.access_inst(addr)
+    }
+
+    /// The latency a data access *would* see, without perturbing state.
+    #[must_use]
+    pub fn probe_data_latency(&self, addr: u64) -> u64 {
+        self.caches.probe_data_latency(addr).0
+    }
+
+    /// Functional read of `width` bytes (no timing, no permission check).
+    #[must_use]
+    pub fn read(&self, addr: u64, width: u64) -> u64 {
+        self.memory.read_uint(addr, width)
+    }
+
+    /// Functional write of `width` bytes (no timing, no permission check).
+    ///
+    /// Only called at store retirement; wrong-path stores never reach this.
+    pub fn write(&mut self, addr: u64, width: u64, value: u64) {
+        self.memory.write_uint(addr, width, value);
+    }
+
+    /// Copies raw bytes into memory (test and loader use).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        self.memory.write_bytes(addr, bytes);
+    }
+
+    /// Evicts the line containing `addr` from all cache levels (`clflush`).
+    pub fn flush_line(&mut self, addr: u64) {
+        self.caches.flush_line(addr);
+    }
+
+    /// Empties all caches and the DTLB (cold restart between experiment
+    /// phases; memory contents and the page table are preserved).
+    pub fn flush_microarch_state(&mut self) {
+        self.caches.flush_all();
+        self.dtlb.flush();
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        let (l1i, l1d, l2, l3) = self.caches.stats();
+        MemStats { l1i, l1d, l2, l3, dtlb: self.dtlb.stats() }
+    }
+
+    /// Direct access to the page table (for inspection in tests).
+    #[must_use]
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+}
+
+impl Default for MemorySystem {
+    fn default() -> Self {
+        Self::new(MemConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specmpk_isa::{Assembler, DataSegment, Instr};
+
+    fn sys() -> MemorySystem {
+        MemorySystem::default()
+    }
+
+    #[test]
+    fn map_region_colors_pages() {
+        let mut m = sys();
+        let k = Pkey::new(4).unwrap();
+        m.map_region(0x8000, 4096, k, SegmentPerms::RW);
+        let t = m.translate(0x8123, AccessKind::Read, true).unwrap();
+        assert_eq!(t.pkey, k);
+    }
+
+    #[test]
+    fn translate_charges_walk_only_on_miss() {
+        let mut m = sys();
+        m.map_region(0x8000, 4096, Pkey::DEFAULT, SegmentPerms::RW);
+        let first = m.translate(0x8000, AccessKind::Read, true).unwrap();
+        assert!(!first.tlb_hit);
+        assert_eq!(first.latency, m.config().tlb.walk_latency);
+        let second = m.translate(0x8000, AccessKind::Read, true).unwrap();
+        assert!(second.tlb_hit);
+        assert_eq!(second.latency, 0);
+    }
+
+    #[test]
+    fn non_updating_translate_leaves_tlb_cold() {
+        let mut m = sys();
+        m.map_region(0x8000, 4096, Pkey::DEFAULT, SegmentPerms::RW);
+        let t = m.translate(0x8000, AccessKind::Read, false).unwrap();
+        assert!(!t.tlb_hit);
+        assert!(!m.tlb_resident(0x8000));
+        // Stats untouched in deferred mode.
+        assert_eq!(m.stats().dtlb.misses, 0);
+    }
+
+    #[test]
+    fn page_perms_enforced_independent_of_pkru() {
+        let mut m = sys();
+        m.map_region(0x8000, 4096, Pkey::DEFAULT, SegmentPerms::R);
+        assert!(m.translate(0x8000, AccessKind::Read, true).is_ok());
+        assert_eq!(
+            m.translate(0x8000, AccessKind::Write, true),
+            Err(PageFault::PermissionDenied { addr: 0x8000, kind: AccessKind::Write })
+        );
+    }
+
+    #[test]
+    fn unmapped_translation_faults() {
+        let mut m = sys();
+        assert_eq!(
+            m.translate(0x9000, AccessKind::Read, true),
+            Err(PageFault::NotMapped { addr: 0x9000 })
+        );
+    }
+
+    #[test]
+    fn load_program_places_text_and_segments() {
+        let mut asm = Assembler::new(0x1000);
+        asm.nop();
+        asm.halt();
+        let mut prog = Program::new(asm.base(), asm.assemble().unwrap());
+        prog.add_segment(DataSegment::with_bytes(
+            "table",
+            0x20000,
+            vec![0xAA, 0xBB],
+            Pkey::new(2).unwrap(),
+        ));
+        let mut m = sys();
+        m.load_program(&prog);
+        // Text words are in memory.
+        assert_eq!(m.read(0x1000, 8), encode(&Instr::Nop));
+        assert_eq!(m.read(0x1008, 8), encode(&Instr::Halt));
+        // Data is placed and colored.
+        assert_eq!(m.read(0x20000, 1), 0xAA);
+        let t = m.translate(0x20000, AccessKind::Read, true).unwrap();
+        assert_eq!(t.pkey, Pkey::new(2).unwrap());
+        // Text is not writable.
+        assert!(m.translate(0x1000, AccessKind::Write, true).is_err());
+    }
+
+    #[test]
+    fn pkey_mprotect_invalidates_stale_tlb_entries() {
+        let mut m = sys();
+        m.map_region(0x8000, 4096, Pkey::DEFAULT, SegmentPerms::RW);
+        m.translate(0x8000, AccessKind::Read, true).unwrap(); // fill TLB
+        assert!(m.tlb_resident(0x8000));
+        m.pkey_mprotect(0x8000, 4096, Pkey::new(7).unwrap()).unwrap();
+        assert!(!m.tlb_resident(0x8000));
+        let t = m.translate(0x8000, AccessKind::Read, true).unwrap();
+        assert_eq!(t.pkey, Pkey::new(7).unwrap());
+    }
+
+    #[test]
+    fn clflush_then_reload_latency_gap() {
+        let mut m = sys();
+        m.map_region(0x40000, 4096, Pkey::DEFAULT, SegmentPerms::RW);
+        m.data_timing(0x40000);
+        let warm = m.data_timing(0x40000).latency;
+        m.flush_line(0x40000);
+        let cold = m.data_timing(0x40000).latency;
+        assert!(cold > warm, "cold {cold} should exceed warm {warm}");
+    }
+
+    #[test]
+    fn functional_rw_round_trip() {
+        let mut m = sys();
+        m.write(0x123, 4, 0xCAFE);
+        assert_eq!(m.read(0x123, 4), 0xCAFE);
+    }
+}

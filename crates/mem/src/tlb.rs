@@ -1,0 +1,293 @@
+//! Set-associative TLB with side-channel-aware probe/update separation.
+
+use specmpk_mpk::Pkey;
+
+use crate::page_table::PageTableEntry;
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total number of entries.
+    pub entries: usize,
+    /// Associativity (entries per set).
+    pub ways: usize,
+    /// Page-walk latency charged on a miss, in cycles.
+    pub walk_latency: u64,
+}
+
+impl Default for TlbConfig {
+    /// 1024-entry, 8-way TLB with a 20-cycle walk. This models the
+    /// *combined* L1 DTLB + STLB reach of the Skylake-class cores Table III
+    /// describes as a single level (the simulator has one TLB); per-level
+    /// DTLB/STLB latency differences are second-order for every experiment
+    /// in the paper.
+    fn default() -> Self {
+        TlbConfig { entries: 1024, ways: 8, walk_latency: 20 }
+    }
+}
+
+/// A cached translation: the page's permissions and pkey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page number.
+    pub vpn: u64,
+    /// The cached page-table entry (includes the pkey field).
+    pub pte: PageTableEntry,
+}
+
+impl TlbEntry {
+    /// The protection key of the cached page.
+    #[must_use]
+    pub fn pkey(&self) -> Pkey {
+        self.pte.pkey
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    entry: Option<TlbEntry>,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by fills.
+    pub evictions: u64,
+    /// Whole-TLB flushes.
+    pub flushes: u64,
+}
+
+/// A set-associative, true-LRU TLB.
+///
+/// The interface deliberately splits **observation** from **state update**:
+///
+/// * [`Tlb::probe`] checks residency without touching LRU — what a
+///   speculative instruction may do freely;
+/// * [`Tlb::touch`] promotes an entry to MRU — the microarchitectural side
+///   effect SpecMPK defers until the *PKRU Load Check* succeeds (§V-C5);
+/// * [`Tlb::fill`] installs a walked translation (also deferred for
+///   instructions failing the check).
+///
+/// # Examples
+///
+/// ```
+/// use specmpk_mem::{Tlb, TlbConfig, TlbEntry, PageTableEntry};
+/// use specmpk_mpk::Pkey;
+///
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// let pte = PageTableEntry { read: true, write: true, exec: false, pkey: Pkey::DEFAULT };
+/// assert!(tlb.probe(7).is_none());
+/// tlb.fill(TlbEntry { vpn: 7, pte });
+/// assert!(tlb.probe(7).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`.
+    #[must_use]
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.ways > 0 && config.entries > 0, "degenerate TLB geometry");
+        assert_eq!(config.entries % config.ways, 0, "entries must be a multiple of ways");
+        let num_sets = config.entries / config.ways;
+        let sets = (0..num_sets)
+            .map(|_| (0..config.ways).map(|_| Way { entry: None, lru: 0 }).collect())
+            .collect();
+        Tlb { config, sets, clock: 0, stats: TlbStats::default() }
+    }
+
+    /// The TLB's geometry.
+    #[must_use]
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    fn set_index(&self, vpn: u64) -> usize {
+        (vpn % self.sets.len() as u64) as usize
+    }
+
+    /// Checks residency *without* updating replacement state or counters.
+    #[must_use]
+    pub fn probe(&self, vpn: u64) -> Option<TlbEntry> {
+        let set = &self.sets[self.set_index(vpn)];
+        set.iter()
+            .filter_map(|w| w.entry)
+            .find(|e| e.vpn == vpn)
+    }
+
+    /// Looks up `vpn`, recording a hit or a miss in the statistics. On a
+    /// hit the entry is promoted to MRU; on a miss nothing is installed
+    /// (call [`Tlb::fill`] after walking).
+    pub fn access(&mut self, vpn: u64) -> Option<TlbEntry> {
+        let hit = self.probe(vpn);
+        if hit.is_some() {
+            self.stats.hits += 1;
+            self.touch(vpn);
+        } else {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Promotes `vpn` to most-recently-used, if resident.
+    pub fn touch(&mut self, vpn: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(vpn);
+        if let Some(way) = self.sets[idx]
+            .iter_mut()
+            .find(|w| w.entry.is_some_and(|e| e.vpn == vpn))
+        {
+            way.lru = clock;
+        }
+    }
+
+    /// Installs a translation, evicting the LRU way of its set if needed.
+    pub fn fill(&mut self, entry: TlbEntry) {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(entry.vpn);
+        let set = &mut self.sets[idx];
+        // Re-fill of a resident page just refreshes it.
+        if let Some(way) = set.iter_mut().find(|w| w.entry.is_some_and(|e| e.vpn == entry.vpn)) {
+            way.entry = Some(entry);
+            way.lru = clock;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.entry.is_none() { 0 } else { w.lru + 1 })
+            .expect("ways > 0");
+        if victim.entry.is_some() {
+            self.stats.evictions += 1;
+        }
+        victim.entry = Some(entry);
+        victim.lru = clock;
+    }
+
+    /// Invalidates the translation for `vpn`, if resident.
+    pub fn invalidate(&mut self, vpn: u64) {
+        let idx = self.set_index(vpn);
+        for way in &mut self.sets[idx] {
+            if way.entry.is_some_and(|e| e.vpn == vpn) {
+                way.entry = None;
+            }
+        }
+    }
+
+    /// Flushes the whole TLB (e.g. on address-space change).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set {
+                way.entry = None;
+                way.lru = 0;
+            }
+        }
+        self.stats.flushes += 1;
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Number of currently valid entries.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.entry.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specmpk_mpk::Pkey;
+
+    fn pte(pkey: u8) -> PageTableEntry {
+        PageTableEntry { read: true, write: true, exec: false, pkey: Pkey::new(pkey).unwrap() }
+    }
+
+    fn entry(vpn: u64, pkey: u8) -> TlbEntry {
+        TlbEntry { vpn, pte: pte(pkey) }
+    }
+
+    #[test]
+    fn probe_does_not_change_state() {
+        let mut tlb = Tlb::new(TlbConfig { entries: 4, ways: 2, walk_latency: 10 });
+        tlb.fill(entry(0, 1));
+        let before = tlb.stats();
+        for _ in 0..10 {
+            assert!(tlb.probe(0).is_some());
+            assert!(tlb.probe(2).is_none());
+        }
+        assert_eq!(tlb.stats(), before);
+    }
+
+    #[test]
+    fn access_counts_hits_and_misses() {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        assert!(tlb.access(5).is_none());
+        tlb.fill(entry(5, 0));
+        assert!(tlb.access(5).is_some());
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2 ways, 1 set: vpns 0 and 2 conflict... use entries=2, ways=2 (one set).
+        let mut tlb = Tlb::new(TlbConfig { entries: 2, ways: 2, walk_latency: 10 });
+        tlb.fill(entry(10, 0));
+        tlb.fill(entry(20, 0));
+        tlb.touch(10); // 20 becomes LRU
+        tlb.fill(entry(30, 0)); // evicts 20
+        assert!(tlb.probe(10).is_some());
+        assert!(tlb.probe(20).is_none());
+        assert!(tlb.probe(30).is_some());
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        tlb.fill(entry(1, 1));
+        tlb.fill(entry(2, 2));
+        tlb.invalidate(1);
+        assert!(tlb.probe(1).is_none());
+        assert!(tlb.probe(2).is_some());
+        tlb.flush();
+        assert_eq!(tlb.resident(), 0);
+        assert_eq!(tlb.stats().flushes, 1);
+    }
+
+    #[test]
+    fn refill_updates_pte_in_place() {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        tlb.fill(entry(9, 1));
+        tlb.fill(entry(9, 7)); // recolored page re-walked
+        assert_eq!(tlb.probe(9).unwrap().pkey(), Pkey::new(7).unwrap());
+        assert_eq!(tlb.resident(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_panics() {
+        let _ = Tlb::new(TlbConfig { entries: 5, ways: 2, walk_latency: 1 });
+    }
+}

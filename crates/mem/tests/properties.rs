@@ -1,0 +1,99 @@
+//! Property-based tests for caches, TLB and sparse memory.
+
+use proptest::prelude::*;
+use specmpk_mem::{Cache, CacheConfig, MemConfig, MemorySystem, SparseMemory, Tlb, TlbConfig};
+use specmpk_mpk::{AccessKind, Pkey};
+
+proptest! {
+    /// Memory round-trips arbitrary values at arbitrary widths.
+    #[test]
+    fn memory_round_trip(addr in 0u64..1u64 << 40, value in any::<u64>(), width in 1u64..=8) {
+        let mut m = SparseMemory::new();
+        m.write_uint(addr, width, value);
+        let mask = if width == 8 { u64::MAX } else { (1 << (8 * width)) - 1 };
+        prop_assert_eq!(m.read_uint(addr, width), value & mask);
+    }
+
+    /// Disjoint writes never interfere.
+    #[test]
+    fn disjoint_writes_independent(a in 0u64..1 << 30, delta in 8u64..1 << 20, v1 in any::<u64>(), v2 in any::<u64>()) {
+        let b = a + delta;
+        let mut m = SparseMemory::new();
+        m.write_uint(a, 8, v1);
+        m.write_uint(b, 8, v2);
+        prop_assert_eq!(m.read_uint(a, 8), v1);
+        prop_assert_eq!(m.read_uint(b, 8), v2);
+    }
+
+    /// Cache invariant: a fill makes the line resident; an access to a
+    /// resident line always hits; resident_lines never exceeds capacity.
+    #[test]
+    fn cache_fill_then_hit(addrs in prop::collection::vec(0u64..1 << 20, 1..200)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 2048, ways: 4, latency: 5, name: "toy" });
+        let capacity = 2048 / 64;
+        for &a in &addrs {
+            c.fill(a);
+            prop_assert!(c.probe(a));
+            prop_assert!(c.access(a));
+            prop_assert!(c.resident_lines() <= capacity);
+        }
+    }
+
+    /// Cache probe is pure: any sequence of probes leaves stats unchanged.
+    #[test]
+    fn cache_probe_pure(addrs in prop::collection::vec(0u64..1 << 16, 1..100)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, latency: 5, name: "toy" });
+        for &a in &addrs {
+            c.fill(a);
+        }
+        let before = c.stats();
+        for &a in &addrs {
+            let _ = c.probe(a);
+        }
+        prop_assert_eq!(c.stats(), before);
+    }
+
+    /// After clflush, the line is non-resident at that address.
+    #[test]
+    fn clflush_removes_line(addrs in prop::collection::vec(0u64..1 << 16, 1..50), victim_idx in 0usize..50) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 4096, ways: 8, latency: 5, name: "toy" });
+        for &a in &addrs {
+            c.fill(a);
+        }
+        let victim = addrs[victim_idx % addrs.len()];
+        c.flush_line(victim);
+        prop_assert!(!c.probe(victim));
+    }
+
+    /// TLB: most recent fill in a set is always resident (LRU never evicts MRU).
+    #[test]
+    fn tlb_mru_survives(vpns in prop::collection::vec(0u64..256, 1..100)) {
+        let mut tlb = Tlb::new(TlbConfig { entries: 16, ways: 4, walk_latency: 20 });
+        for &v in &vpns {
+            tlb.fill(specmpk_mem::TlbEntry {
+                vpn: v,
+                pte: specmpk_mem::PageTableEntry {
+                    read: true, write: true, exec: false, pkey: Pkey::DEFAULT,
+                },
+            });
+            prop_assert!(tlb.probe(v).is_some());
+        }
+        prop_assert!(tlb.resident() <= 16);
+    }
+
+    /// MemorySystem: translation pkey always matches the page table's color,
+    /// whether the TLB hits or misses.
+    #[test]
+    fn translation_pkey_consistent(
+        pkey_idx in 0u8..16,
+        offsets in prop::collection::vec(0u64..4096, 1..50),
+    ) {
+        let mut m = MemorySystem::new(MemConfig::default());
+        let k = Pkey::new(pkey_idx).unwrap();
+        m.map_region(0x10000, 4096, k, specmpk_isa::SegmentPerms::RW);
+        for &off in &offsets {
+            let t = m.translate(0x10000 + off, AccessKind::Read, true).unwrap();
+            prop_assert_eq!(t.pkey, k);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Protection faults raised by the MPK permission check.
+
+use std::fmt;
+
+use crate::{AccessKind, Pkey, PkeyPermission};
+
+/// A pkey protection fault: an access of `kind` hit a page whose pkey's
+/// current PKRU permission forbids it.
+///
+/// On real hardware this surfaces as a page fault with the PK error-code bit
+/// set; in the simulator it flows through the precise-exception path of the
+/// out-of-order core (faults are only *raised* when the offending instruction
+/// becomes non-speculative, paper §V-C4).
+///
+/// ```
+/// use specmpk_mpk::{AccessKind, Pkey, Pkru};
+///
+/// let pkru = Pkru::LINUX_DEFAULT;
+/// let fault = pkru.check(Pkey::new(1)?, AccessKind::Write).unwrap_err();
+/// assert_eq!(fault.pkey(), Pkey::new(1)?);
+/// assert_eq!(fault.access(), AccessKind::Write);
+/// # Ok::<(), specmpk_mpk::InvalidPkeyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtectionFault {
+    pkey: Pkey,
+    access: AccessKind,
+    permission: PkeyPermission,
+}
+
+impl ProtectionFault {
+    /// Creates a fault record for an `access` to a page colored `pkey` while
+    /// that key's effective permission was `permission`.
+    #[must_use]
+    pub fn new(pkey: Pkey, access: AccessKind, permission: PkeyPermission) -> Self {
+        ProtectionFault { pkey, access, permission }
+    }
+
+    /// The protection key of the faulting page.
+    #[must_use]
+    pub fn pkey(&self) -> Pkey {
+        self.pkey
+    }
+
+    /// The kind of access that faulted.
+    #[must_use]
+    pub fn access(&self) -> AccessKind {
+        self.access
+    }
+
+    /// The permission in force when the fault was detected.
+    #[must_use]
+    pub fn permission(&self) -> PkeyPermission {
+        self.permission
+    }
+}
+
+impl fmt::Display for ProtectionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pkey protection fault: {} access to {} page denied ({} permission)",
+            self.access, self.pkey, self.permission
+        )
+    }
+}
+
+impl std::error::Error for ProtectionFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_carries_full_context() {
+        let k = Pkey::new(11).unwrap();
+        let f = ProtectionFault::new(k, AccessKind::Write, PkeyPermission::ReadOnly);
+        assert_eq!(f.pkey(), k);
+        assert_eq!(f.access(), AccessKind::Write);
+        assert_eq!(f.permission(), PkeyPermission::ReadOnly);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let f = ProtectionFault::new(
+            Pkey::new(2).unwrap(),
+            AccessKind::Read,
+            PkeyPermission::NoAccess,
+        );
+        let s = f.to_string();
+        assert!(s.contains("pkey2"), "{s}");
+        assert!(s.contains("read"), "{s}");
+        assert!(s.contains("no-access"), "{s}");
+    }
+
+    #[test]
+    fn error_trait_is_usable() {
+        fn takes_err(_e: &(dyn std::error::Error + Send + Sync)) {}
+        let f = ProtectionFault::new(
+            Pkey::DEFAULT,
+            AccessKind::Read,
+            PkeyPermission::NoAccess,
+        );
+        takes_err(&f);
+    }
+}

@@ -1,0 +1,48 @@
+//! Architectural model of Intel Memory Protection Keys (MPK).
+//!
+//! This crate models the *architecturally visible* part of MPK exactly as the
+//! Intel SDM (and the SpecMPK paper, §II-A) describe it:
+//!
+//! * every page is tagged with a 4-bit **protection key** ([`Pkey`], 16 keys);
+//! * a 32-bit per-CPU user-writable register, **PKRU** ([`Pkru`]), holds one
+//!   *Access-Disable* (AD) and one *Write-Disable* (WD) bit per key;
+//! * each memory access checks the `{AD, WD}` pair selected by the accessed
+//!   page's pkey, and the most restrictive of the page-table permission and
+//!   the PKRU permission wins ([`Pkru::check`]);
+//! * `WRPKRU` copies `EAX` into PKRU, `RDPKRU` copies PKRU into `EAX`
+//!   (modelled in `specmpk-isa`; the value semantics live here).
+//!
+//! The crate is deliberately free of any simulator dependency so it can be
+//! reused by the ISA, the memory system, the out-of-order core and the
+//! SpecMPK policy engine alike.
+//!
+//! # Examples
+//!
+//! ```
+//! use specmpk_mpk::{AccessKind, Pkey, Pkru};
+//!
+//! // Protect pkey 1 as read-only, pkey 2 as no-access.
+//! let pkru = Pkru::ALL_ACCESS
+//!     .with_write_disabled(Pkey::new(1)?, true)
+//!     .with_access_disabled(Pkey::new(2)?, true);
+//!
+//! assert!(pkru.check(Pkey::new(1)?, AccessKind::Read).is_ok());
+//! assert!(pkru.check(Pkey::new(1)?, AccessKind::Write).is_err());
+//! assert!(pkru.check(Pkey::new(2)?, AccessKind::Read).is_err());
+//! # Ok::<(), specmpk_mpk::InvalidPkeyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domain;
+mod fault;
+mod pkey;
+mod pkru;
+mod virt;
+
+pub use domain::{DomainAllocError, DomainManager};
+pub use fault::ProtectionFault;
+pub use pkey::{InvalidPkeyError, Pkey, NUM_PKEYS};
+pub use pkru::{AccessKind, PkeyPermission, Pkru};
+pub use virt::{Recolor, VirtStats, VirtualDomain, VirtualDomainTable};

@@ -1,0 +1,347 @@
+//! Virtual protection domains beyond the 16 hardware pkeys.
+//!
+//! The paper's §III-B and §X-A discuss the pkey-scarcity problem: servers
+//! isolating hundreds of clients need far more than 15 allocatable keys,
+//! and software such as libmpk \[40\] and VDom \[64\] *virtualizes* domains —
+//! mapping many virtual keys onto the few physical ones, evicting (and
+//! recoloring the pages of) a victim key when none is free. ERIM \[51\]
+//! measures ~4.2% overhead from exactly this remap traffic.
+//!
+//! [`VirtualDomainTable`] reproduces that mechanism as a reusable layer:
+//! domain *activation* either hits (the domain already holds a physical
+//! key) or faults (an LRU victim is unmapped, its pages recolored to the
+//! default key, and the new domain's pages recolored to the freed key).
+//! The cost of a miss is exactly the number of pages recolored — the
+//! quantity the `domain_virtualization` experiment sweeps against domain
+//! count.
+
+use std::fmt;
+
+use crate::{DomainManager, Pkey, NUM_PKEYS};
+
+/// Identifier of a virtual protection domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualDomain(u32);
+
+impl VirtualDomain {
+    /// The domain's index.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VirtualDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vdom{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DomainState {
+    /// Physical key currently backing this domain, if mapped.
+    mapped: Option<Pkey>,
+    /// Pages belonging to this domain (what eviction must recolor).
+    pages: u64,
+    /// LRU stamp of the last activation.
+    last_used: u64,
+}
+
+/// Counters describing virtualization traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtStats {
+    /// Activations that found the domain already mapped.
+    pub hits: u64,
+    /// Activations that needed a free physical key (no eviction).
+    pub cold_maps: u64,
+    /// Activations that evicted a victim domain.
+    pub evictions: u64,
+    /// Total pages recolored by evictions and (re)mappings — each is one
+    /// `pkey_mprotect` page update plus a TLB invalidation.
+    pub pages_recolored: u64,
+}
+
+/// An action the caller must apply to its memory system.
+///
+/// The table is deliberately decoupled from
+/// [`MemorySystem`](../../specmpk_mem/struct.MemorySystem.html): it returns
+/// the recolor operations, and the caller performs them (in a simulator,
+/// via `pkey_mprotect`; on real hardware, via the syscall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recolor {
+    /// Recolor the victim domain's pages to [`Pkey::DEFAULT`].
+    Unmap {
+        /// The evicted domain.
+        domain: VirtualDomain,
+        /// Its page count.
+        pages: u64,
+        /// The key it held.
+        from: Pkey,
+    },
+    /// Recolor the activated domain's pages to its new key.
+    Map {
+        /// The activated domain.
+        domain: VirtualDomain,
+        /// Its page count.
+        pages: u64,
+        /// The key it now holds.
+        to: Pkey,
+    },
+}
+
+/// libmpk-style virtual-domain table.
+///
+/// # Examples
+///
+/// ```
+/// use specmpk_mpk::{VirtualDomainTable, Pkey};
+///
+/// let mut table = VirtualDomainTable::new();
+/// // 30 domains of 4 pages each — double the hardware supply.
+/// let domains: Vec<_> = (0..30).map(|_| table.create(4)).collect();
+/// for d in &domains {
+///     let (_key, _actions) = table.activate(*d);
+/// }
+/// assert!(table.stats().evictions > 0, "oversubscription must evict");
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtualDomainTable {
+    domains: Vec<DomainState>,
+    /// Physical key → owning virtual domain.
+    owners: [Option<VirtualDomain>; NUM_PKEYS],
+    physical: DomainManager,
+    clock: u64,
+    stats: VirtStats,
+}
+
+impl VirtualDomainTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualDomainTable {
+            domains: Vec::new(),
+            owners: [None; NUM_PKEYS],
+            physical: DomainManager::new(),
+            clock: 0,
+            stats: VirtStats::default(),
+        }
+    }
+
+    /// Registers a new virtual domain owning `pages` pages.
+    pub fn create(&mut self, pages: u64) -> VirtualDomain {
+        let id = VirtualDomain(self.domains.len() as u32);
+        self.domains.push(DomainState { mapped: None, pages, last_used: 0 });
+        id
+    }
+
+    /// Number of registered virtual domains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether no domains are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// The physical key currently backing `domain`, if mapped.
+    #[must_use]
+    pub fn mapping(&self, domain: VirtualDomain) -> Option<Pkey> {
+        self.domains[domain.index() as usize].mapped
+    }
+
+    /// Activates `domain`, mapping it to a physical key (evicting the
+    /// least-recently-used mapped domain if the supply is exhausted).
+    ///
+    /// Returns the physical key plus the recolor actions the caller must
+    /// apply — empty on a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` was not created by this table.
+    pub fn activate(&mut self, domain: VirtualDomain) -> (Pkey, Vec<Recolor>) {
+        self.clock += 1;
+        let idx = domain.index() as usize;
+        assert!(idx < self.domains.len(), "unknown {domain}");
+        if let Some(key) = self.domains[idx].mapped {
+            self.domains[idx].last_used = self.clock;
+            self.stats.hits += 1;
+            return (key, Vec::new());
+        }
+        let mut actions = Vec::new();
+        let key = match self.physical.allocate() {
+            Ok(key) => {
+                self.stats.cold_maps += 1;
+                key
+            }
+            Err(_) => {
+                // Evict the LRU mapped domain.
+                let victim = self
+                    .domains
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.mapped.is_some())
+                    .min_by_key(|(_, d)| d.last_used)
+                    .map(|(i, _)| VirtualDomain(i as u32))
+                    .expect("exhausted supply implies a mapped domain");
+                let vidx = victim.index() as usize;
+                let key = self.domains[vidx].mapped.take().expect("victim is mapped");
+                self.owners[key.index()] = None;
+                let victim_pages = self.domains[vidx].pages;
+                self.stats.evictions += 1;
+                self.stats.pages_recolored += victim_pages;
+                actions.push(Recolor::Unmap { domain: victim, pages: victim_pages, from: key });
+                key
+            }
+        };
+        self.domains[idx].mapped = Some(key);
+        self.domains[idx].last_used = self.clock;
+        self.owners[key.index()] = Some(domain);
+        let pages = self.domains[idx].pages;
+        self.stats.pages_recolored += pages;
+        actions.push(Recolor::Map { domain, pages, to: key });
+        (key, actions)
+    }
+
+    /// Explicitly releases a domain's physical key (e.g. a client
+    /// disconnects), making it free for others without an eviction.
+    ///
+    /// Returns the unmap action, or `None` if the domain was not mapped.
+    pub fn release(&mut self, domain: VirtualDomain) -> Option<Recolor> {
+        let idx = domain.index() as usize;
+        let key = self.domains[idx].mapped.take()?;
+        self.owners[key.index()] = None;
+        self.physical.free(key).expect("mapped key is allocated");
+        let pages = self.domains[idx].pages;
+        self.stats.pages_recolored += pages;
+        Some(Recolor::Unmap { domain, pages, from: key })
+    }
+
+    /// Traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> VirtStats {
+        self.stats
+    }
+
+    /// Number of domains currently holding a physical key.
+    #[must_use]
+    pub fn mapped_count(&self) -> usize {
+        self.domains.iter().filter(|d| d.mapped.is_some()).count()
+    }
+}
+
+impl Default for VirtualDomainTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn up_to_fifteen_domains_never_evict() {
+        let mut t = VirtualDomainTable::new();
+        let domains: Vec<_> = (0..15).map(|_| t.create(8)).collect();
+        for _ in 0..5 {
+            for &d in &domains {
+                let (_, actions) = t.activate(d);
+                // Only the first round maps; later rounds all hit.
+                assert!(actions.len() <= 1);
+            }
+        }
+        let s = t.stats();
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.cold_maps, 15);
+        assert_eq!(s.hits, 15 * 4);
+    }
+
+    #[test]
+    fn sixteenth_domain_evicts_lru() {
+        let mut t = VirtualDomainTable::new();
+        let domains: Vec<_> = (0..16).map(|i| t.create(i as u64 + 1)).collect();
+        for &d in &domains[..15] {
+            t.activate(d);
+        }
+        // Activating #15 must evict #0 (least recently used, 1 page).
+        let (_, actions) = t.activate(domains[15]);
+        assert_eq!(actions.len(), 2);
+        match actions[0] {
+            Recolor::Unmap { domain, pages, .. } => {
+                assert_eq!(domain, domains[0]);
+                assert_eq!(pages, 1);
+            }
+            ref other => panic!("expected unmap, got {other:?}"),
+        }
+        assert_eq!(t.mapping(domains[0]), None);
+        assert!(t.mapping(domains[15]).is_some());
+    }
+
+    #[test]
+    fn round_robin_oversubscription_thrashes() {
+        let mut t = VirtualDomainTable::new();
+        let domains: Vec<_> = (0..30).map(|_| t.create(4)).collect();
+        for _ in 0..3 {
+            for &d in &domains {
+                t.activate(d);
+            }
+        }
+        let s = t.stats();
+        // 30 domains over 15 keys round-robin: every activation after the
+        // first 15 evicts (LRU worst case).
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.cold_maps, 15);
+        assert_eq!(s.evictions, 90 - 15);
+        assert_eq!(t.mapped_count(), 15);
+    }
+
+    #[test]
+    fn reuse_without_eviction_hits() {
+        let mut t = VirtualDomainTable::new();
+        let a = t.create(2);
+        let (k1, _) = t.activate(a);
+        let (k2, actions) = t.activate(a);
+        assert_eq!(k1, k2);
+        assert!(actions.is_empty());
+        assert_eq!(t.stats().hits, 1);
+    }
+
+    #[test]
+    fn release_frees_the_key_for_cold_mapping() {
+        let mut t = VirtualDomainTable::new();
+        let domains: Vec<_> = (0..15).map(|_| t.create(1)).collect();
+        for &d in &domains {
+            t.activate(d);
+        }
+        let released = t.release(domains[3]).expect("was mapped");
+        assert!(matches!(released, Recolor::Unmap { .. }));
+        let extra = t.create(1);
+        let (_, actions) = t.activate(extra);
+        assert_eq!(actions.len(), 1, "freed key avoids eviction");
+        assert_eq!(t.stats().evictions, 0);
+    }
+
+    #[test]
+    fn pages_recolored_accounts_both_sides_of_eviction() {
+        let mut t = VirtualDomainTable::new();
+        let big: Vec<_> = (0..16).map(|_| t.create(10)).collect();
+        for &d in &big {
+            t.activate(d);
+        }
+        // 16 maps (160 pages) + 1 eviction unmap (10 pages).
+        assert_eq!(t.stats().pages_recolored, 160 + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn foreign_domain_rejected() {
+        let mut t = VirtualDomainTable::new();
+        let mut other = VirtualDomainTable::new();
+        let d = other.create(1);
+        let _ = other.create(1);
+        let _ = t.activate(d); // t has no domains
+    }
+}

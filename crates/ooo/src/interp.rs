@@ -1,0 +1,379 @@
+//! Architectural reference interpreter.
+//!
+//! Executes programs in order, one instruction at a time, with the exact
+//! architectural semantics the pipeline must preserve (including MPK
+//! permission checks against the committed PKRU). Differential tests run
+//! random programs on both this interpreter and [`Core`](crate::Core) and
+//! require identical final state — the strongest correctness check the
+//! simulator has.
+
+use specmpk_isa::{Instr, Operand, Program, Reg, INSTR_BYTES, NUM_REGS};
+use specmpk_mem::{MemConfig, MemorySystem, PageFault};
+use specmpk_mpk::{AccessKind, Pkru, ProtectionFault};
+
+/// Why the interpreter stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpExit {
+    /// A `halt` instruction retired.
+    Halted,
+    /// A pkey protection fault (committed-PKRU check failed).
+    ProtectionFault(ProtectionFault),
+    /// A page fault (unmapped or page-table permission).
+    PageFault(PageFault),
+    /// The step budget ran out.
+    StepLimit,
+    /// `pc` left the text section.
+    BadPc(u64),
+}
+
+/// Final state of an interpreted run.
+#[derive(Debug)]
+pub struct InterpResult {
+    /// Architectural register values.
+    pub regs: [u64; NUM_REGS],
+    /// Final PKRU.
+    pub pkru: Pkru,
+    /// Instructions executed.
+    pub executed: u64,
+    /// Why execution stopped.
+    pub exit: InterpExit,
+    /// The final memory image (for cross-checking stores).
+    pub memory: MemorySystem,
+}
+
+impl InterpResult {
+    /// Convenience register accessor.
+    #[must_use]
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.index()]
+    }
+}
+
+/// The in-order reference machine.
+///
+/// # Examples
+///
+/// ```
+/// use specmpk_isa::{Assembler, Program, Reg};
+/// use specmpk_ooo::interp::Interp;
+/// use specmpk_mpk::Pkru;
+///
+/// let mut asm = Assembler::new(0x1000);
+/// asm.li(Reg::T0, 7);
+/// asm.halt();
+/// let program = Program::new(asm.base(), asm.assemble()?);
+/// let result = Interp::new(&program, Pkru::ALL_ACCESS).run(1_000);
+/// assert_eq!(result.reg(Reg::T0), 7);
+/// # Ok::<(), specmpk_isa::AsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    regs: [u64; NUM_REGS],
+    pkru: Pkru,
+    pc: u64,
+    memory: MemorySystem,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with the program loaded and, if the program
+    /// declares a `stack` segment, `SP` pointing 16 bytes below its end
+    /// (the same convention [`Core`](crate::Core) uses).
+    #[must_use]
+    pub fn new(program: &'p Program, initial_pkru: Pkru) -> Self {
+        let mut memory = MemorySystem::new(MemConfig::default());
+        memory.load_program(program);
+        let mut regs = [0u64; NUM_REGS];
+        if let Some(stack) = program.segment("stack") {
+            regs[Reg::SP.index()] = stack.end() - 16;
+        }
+        Interp { program, regs, pkru: initial_pkru, pc: program.entry(), memory }
+    }
+
+    fn read_reg(&self, reg: Reg) -> u64 {
+        if reg.is_zero() {
+            0
+        } else {
+            self.regs[reg.index()]
+        }
+    }
+
+    fn write_reg(&mut self, reg: Reg, value: u64) {
+        if !reg.is_zero() {
+            self.regs[reg.index()] = value;
+        }
+    }
+
+    fn operand(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.read_reg(r),
+            Operand::Imm(i) => i as i64 as u64,
+        }
+    }
+
+    fn check_mpk(&mut self, addr: u64, kind: AccessKind) -> Result<specmpk_mpk::Pkey, InterpExit> {
+        let translation = self
+            .memory
+            .translate(addr, kind, false)
+            .map_err(InterpExit::PageFault)?;
+        self.pkru
+            .check(translation.pkey, kind)
+            .map_err(InterpExit::ProtectionFault)?;
+        Ok(translation.pkey)
+    }
+
+    fn data_access(
+        &mut self,
+        base: Reg,
+        offset: i32,
+        kind: AccessKind,
+    ) -> Result<u64, InterpExit> {
+        let addr = self.read_reg(base).wrapping_add(offset as i64 as u64);
+        self.check_mpk(addr, kind)?;
+        Ok(addr)
+    }
+
+    /// Executes one instruction. `Ok(true)` means continue, `Ok(false)`
+    /// means a `halt` retired.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural exit condition for faults and bad PCs.
+    pub fn step(&mut self) -> Result<bool, InterpExit> {
+        let instr = *self
+            .program
+            .instr_at(self.pc)
+            .ok_or(InterpExit::BadPc(self.pc))?;
+        let next_pc = self.pc + INSTR_BYTES;
+        match instr {
+            Instr::Alu { op, rd, rs1, src2 } => {
+                let v = op.eval(self.read_reg(rs1), self.operand(src2));
+                self.write_reg(rd, v);
+                self.pc = next_pc;
+            }
+            Instr::Li { rd, imm } => {
+                self.write_reg(rd, imm as u64);
+                self.pc = next_pc;
+            }
+            Instr::Load { rd, base, offset, width } => {
+                let addr = self.data_access(base, offset, AccessKind::Read)?;
+                let v = width.truncate(self.memory.read(addr, width.bytes()));
+                self.write_reg(rd, v);
+                self.pc = next_pc;
+            }
+            Instr::Store { rs, base, offset, width } => {
+                let addr = self.data_access(base, offset, AccessKind::Write)?;
+                self.memory.write(addr, width.bytes(), width.truncate(self.read_reg(rs)));
+                self.pc = next_pc;
+            }
+            Instr::Branch { cond, rs1, rs2, target } => {
+                self.pc = if cond.eval(self.read_reg(rs1), self.read_reg(rs2)) {
+                    target
+                } else {
+                    next_pc
+                };
+            }
+            Instr::Jump { target } => self.pc = target,
+            Instr::Jal { rd, target } => {
+                self.write_reg(rd, next_pc);
+                self.pc = target;
+            }
+            Instr::Jalr { rd, rs } => {
+                let target = self.read_reg(rs);
+                self.write_reg(rd, next_pc);
+                self.pc = target;
+            }
+            Instr::Wrpkru => {
+                self.pkru = Pkru::from_bits(self.read_reg(Reg::EAX) as u32);
+                self.pc = next_pc;
+            }
+            Instr::Rdpkru => {
+                self.write_reg(Reg::EAX, u64::from(self.pkru.bits()));
+                self.pc = next_pc;
+            }
+            Instr::Clflush { base, offset } => {
+                // No architectural effect; the address need not even be
+                // permission-checked (flushing is not a data access).
+                let _ = (base, offset);
+                self.pc = next_pc;
+            }
+            Instr::Nop => self.pc = next_pc,
+            Instr::Halt => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Runs until `halt`, a fault, a bad PC, or `max_steps`.
+    #[must_use]
+    pub fn run(mut self, max_steps: u64) -> InterpResult {
+        let mut executed = 0;
+        let exit = loop {
+            if executed >= max_steps {
+                break InterpExit::StepLimit;
+            }
+            match self.step() {
+                Ok(true) => executed += 1,
+                Ok(false) => {
+                    executed += 1;
+                    break InterpExit::Halted;
+                }
+                Err(e) => break e,
+            }
+        };
+        InterpResult { regs: self.regs, pkru: self.pkru, executed, exit, memory: self.memory }
+    }
+
+    /// Reads an architectural register mid-run (testing).
+    #[must_use]
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.read_reg(reg)
+    }
+
+    /// The current PKRU.
+    #[must_use]
+    pub fn pkru(&self) -> Pkru {
+        self.pkru
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, SegmentPerms};
+    use specmpk_mpk::Pkey;
+
+    fn run(asm: Assembler, segments: Vec<DataSegment>) -> InterpResult {
+        let mut p = Program::new(asm.base(), asm.assemble().unwrap());
+        for s in segments {
+            p.add_segment(s);
+        }
+        Interp::new(&p, Pkru::ALL_ACCESS).run(100_000)
+    }
+
+    #[test]
+    fn loop_sums_array() {
+        let mut asm = Assembler::new(0x1000);
+        let data: Vec<u8> = (1u8..=8).flat_map(|v| u64::from(v).to_le_bytes()).collect();
+        let seg = DataSegment::with_bytes("d", 0x8000, data, Pkey::DEFAULT);
+        let top = asm.fresh_label();
+        asm.li(Reg::T0, 0);
+        asm.li(Reg::T1, 0x8000);
+        asm.li(Reg::T2, 0x8000 + 64);
+        asm.bind(top).unwrap();
+        asm.load(Reg::T3, Reg::T1, 0, MemWidth::D);
+        asm.alu(AluOp::Add, Reg::T0, Reg::T0, Operand::Reg(Reg::T3));
+        asm.addi(Reg::T1, Reg::T1, 8);
+        asm.branch(BranchCond::Lt, Reg::T1, Reg::T2, top);
+        asm.halt();
+        let r = run(asm, vec![seg]);
+        assert_eq!(r.exit, InterpExit::Halted);
+        assert_eq!(r.reg(Reg::T0), 36);
+    }
+
+    #[test]
+    fn call_and_return_via_link_register() {
+        let mut asm = Assembler::new(0x1000);
+        let f = asm.fresh_label();
+        asm.call(f);
+        asm.halt();
+        asm.bind(f).unwrap();
+        asm.li(Reg::A0, 11);
+        asm.ret();
+        let r = run(asm, vec![]);
+        assert_eq!(r.exit, InterpExit::Halted);
+        assert_eq!(r.reg(Reg::A0), 11);
+        assert_eq!(r.reg(Reg::RA), 0x1008);
+    }
+
+    #[test]
+    fn wrpkru_blocks_subsequent_access() {
+        let mut asm = Assembler::new(0x1000);
+        let key = Pkey::new(1).unwrap();
+        let seg = DataSegment::zeroed("secret", 0x8000, 4096, key);
+        asm.set_pkru(Pkru::ALL_ACCESS.with_access_disabled(key, true).bits());
+        asm.li(Reg::T0, 0x8000);
+        asm.load(Reg::T1, Reg::T0, 0, MemWidth::D);
+        asm.halt();
+        let r = run(asm, vec![seg]);
+        match r.exit {
+            InterpExit::ProtectionFault(f) => {
+                assert_eq!(f.pkey(), key);
+                assert_eq!(f.access(), AccessKind::Read);
+            }
+            other => panic!("expected protection fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrpkru_enable_then_disable_window() {
+        let mut asm = Assembler::new(0x1000);
+        let key = Pkey::new(2).unwrap();
+        let seg = DataSegment::zeroed("safe", 0x8000, 4096, key);
+        let locked = Pkru::ALL_ACCESS.with_write_disabled(key, true);
+        // Open window, store, close window, then read (reads stay legal).
+        asm.set_pkru(Pkru::ALL_ACCESS.bits());
+        asm.li(Reg::T0, 0x8000);
+        asm.li(Reg::T1, 77);
+        asm.store(Reg::T1, Reg::T0, 0, MemWidth::D);
+        asm.set_pkru(locked.bits());
+        asm.load(Reg::T2, Reg::T0, 0, MemWidth::D);
+        asm.halt();
+        let r = run(asm, vec![seg]);
+        assert_eq!(r.exit, InterpExit::Halted);
+        assert_eq!(r.reg(Reg::T2), 77);
+        assert_eq!(r.pkru, locked);
+    }
+
+    #[test]
+    fn rdpkru_reads_current_value() {
+        let mut asm = Assembler::new(0x1000);
+        asm.set_pkru(0x0000_00F0);
+        asm.rdpkru();
+        asm.halt();
+        let r = run(asm, vec![]);
+        assert_eq!(r.reg(Reg::EAX), 0xF0);
+    }
+
+    #[test]
+    fn page_table_write_protection_faults() {
+        let mut asm = Assembler::new(0x1000);
+        let mut seg = DataSegment::zeroed("ro", 0x8000, 4096, Pkey::DEFAULT);
+        seg.perms = SegmentPerms::R;
+        asm.li(Reg::T0, 0x8000);
+        asm.store(Reg::T0, Reg::T0, 0, MemWidth::D);
+        asm.halt();
+        let r = run(asm, vec![seg]);
+        assert!(matches!(r.exit, InterpExit::PageFault(PageFault::PermissionDenied { .. })));
+    }
+
+    #[test]
+    fn runaway_program_hits_step_limit() {
+        let mut asm = Assembler::new(0x1000);
+        let top = asm.fresh_label();
+        asm.bind(top).unwrap();
+        asm.jump(top);
+        let p = Program::new(asm.base(), asm.assemble().unwrap());
+        let r = Interp::new(&p, Pkru::ALL_ACCESS).run(100);
+        assert_eq!(r.exit, InterpExit::StepLimit);
+        assert_eq!(r.executed, 100);
+    }
+
+    #[test]
+    fn falling_off_text_reports_bad_pc() {
+        let mut asm = Assembler::new(0x1000);
+        asm.nop();
+        let p = Program::new(asm.base(), asm.assemble().unwrap());
+        let r = Interp::new(&p, Pkru::ALL_ACCESS).run(10);
+        assert_eq!(r.exit, InterpExit::BadPc(0x1008));
+    }
+
+    #[test]
+    fn stack_segment_seeds_sp() {
+        let mut asm = Assembler::new(0x1000);
+        asm.halt();
+        let mut p = Program::new(asm.base(), asm.assemble().unwrap());
+        p.add_segment(DataSegment::zeroed("stack", 0x7000_0000, 0x1000, Pkey::DEFAULT));
+        let i = Interp::new(&p, Pkru::ALL_ACCESS);
+        assert_eq!(i.reg(Reg::SP), 0x7000_1000 - 16);
+    }
+}

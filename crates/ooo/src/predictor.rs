@@ -1,0 +1,244 @@
+//! Branch prediction: gshare direction predictor, BTB, and a return-address
+//! stack.
+//!
+//! Table III specifies LTAGE + 4096-entry BTB + 32-entry RAS. We substitute
+//! gshare for LTAGE (documented in `DESIGN.md`): the experiments need a
+//! *realistic misprediction rate* to create wrong-path windows and frontend
+//! refill penalties, not LTAGE's exact storage layout.
+
+use specmpk_isa::INSTR_BYTES;
+
+/// Predictor geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// log2 of the gshare pattern-history-table size.
+    pub gshare_bits: u32,
+    /// BTB entries (direct-mapped).
+    pub btb_entries: usize,
+    /// Return-address-stack entries.
+    pub ras_entries: usize,
+}
+
+impl Default for PredictorConfig {
+    /// 64K-entry gshare, 4096-entry BTB, 32-entry RAS (Table III).
+    fn default() -> Self {
+        PredictorConfig { gshare_bits: 16, btb_entries: 4096, ras_entries: 32 }
+    }
+}
+
+/// Snapshot of speculative predictor state, restored on squash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictorCheckpoint {
+    ghist: u64,
+    ras: Vec<u64>,
+    ras_top: usize,
+}
+
+/// The front-end predictor bundle.
+///
+/// Speculative state (global history, RAS) is updated at fetch and
+/// checkpointed per branch; learned state (PHT counters, BTB targets) is
+/// updated at execute/retire.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    config: PredictorConfig,
+    /// 2-bit saturating counters.
+    pht: Vec<u8>,
+    /// Speculative global history.
+    ghist: u64,
+    /// BTB: (tag, target) per entry.
+    btb: Vec<Option<(u64, u64)>>,
+    /// Circular return-address stack.
+    ras: Vec<u64>,
+    ras_top: usize,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with weakly-taken counters (loop back-edges, the
+    /// dominant branch population, start out predicted correctly).
+    #[must_use]
+    pub fn new(config: PredictorConfig) -> Self {
+        BranchPredictor {
+            config,
+            pht: vec![2; 1 << config.gshare_bits],
+            ghist: 0,
+            btb: vec![None; config.btb_entries],
+            ras: vec![0; config.ras_entries],
+            ras_top: 0,
+        }
+    }
+
+    fn pht_index(&self, pc: u64) -> usize {
+        let mask = (1u64 << self.config.gshare_bits) - 1;
+        (((pc / INSTR_BYTES) ^ self.ghist) & mask) as usize
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`,
+    /// speculatively updates the global history with the prediction, and
+    /// returns `(taken, pht_index)` — the index travels with the
+    /// instruction so training at retirement uses the fetch-time index.
+    pub fn predict_cond(&mut self, pc: u64) -> (bool, usize) {
+        let idx = self.pht_index(pc);
+        let taken = self.pht[idx] >= 2;
+        self.ghist = (self.ghist << 1) | u64::from(taken);
+        (taken, idx)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` and
+    /// speculatively updates the global history with the prediction.
+    pub fn predict_and_update_direction(&mut self, pc: u64) -> bool {
+        self.predict_cond(pc).0
+    }
+
+    /// Trains the PHT counter at a fetch-time `index` with the resolved
+    /// outcome.
+    pub fn train_by_index(&mut self, index: usize, taken: bool) {
+        let c = &mut self.pht[index];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Trains the direction predictor with the resolved outcome.
+    ///
+    /// The PHT index uses the *current* history; with checkpoint/restore on
+    /// squash the history at training time approximates the fetch-time
+    /// history closely enough for a simulator (gem5 does the same for its
+    /// simpler predictors).
+    pub fn train_direction(&mut self, pc: u64, taken: bool) {
+        let idx = self.pht_index(pc);
+        let c = &mut self.pht[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Looks up the predicted target of the indirect branch at `pc`.
+    #[must_use]
+    pub fn btb_lookup(&self, pc: u64) -> Option<u64> {
+        let idx = (pc / INSTR_BYTES) as usize % self.btb.len();
+        match self.btb[idx] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Installs/updates the BTB entry for `pc`.
+    pub fn btb_update(&mut self, pc: u64, target: u64) {
+        let idx = (pc / INSTR_BYTES) as usize % self.btb.len();
+        self.btb[idx] = Some((pc, target));
+    }
+
+    /// Pushes a return address at a call.
+    pub fn ras_push(&mut self, return_addr: u64) {
+        self.ras_top = (self.ras_top + 1) % self.ras.len();
+        self.ras[self.ras_top] = return_addr;
+    }
+
+    /// Pops the predicted return target at a return.
+    pub fn ras_pop(&mut self) -> u64 {
+        let target = self.ras[self.ras_top];
+        self.ras_top = (self.ras_top + self.ras.len() - 1) % self.ras.len();
+        target
+    }
+
+    /// Corrects the most recent speculative history bit after a direction
+    /// misprediction: the restored checkpoint contains the *predicted*
+    /// direction; replace it with the resolved one.
+    pub fn set_last_history_bit(&mut self, taken: bool) {
+        self.ghist = (self.ghist & !1) | u64::from(taken);
+    }
+
+    /// Captures speculative state (history + RAS) for a branch checkpoint.
+    #[must_use]
+    pub fn checkpoint(&self) -> PredictorCheckpoint {
+        PredictorCheckpoint { ghist: self.ghist, ras: self.ras.clone(), ras_top: self.ras_top }
+    }
+
+    /// Restores speculative state on a squash.
+    pub fn restore(&mut self, cp: &PredictorCheckpoint) {
+        self.ghist = cp.ghist;
+        self.ras.clone_from(&cp.ras);
+        self.ras_top = cp.ras_top;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> BranchPredictor {
+        BranchPredictor::new(PredictorConfig::default())
+    }
+
+    #[test]
+    fn gshare_learns_an_always_taken_branch() {
+        let mut p = predictor();
+        let pc = 0x1000;
+        // Train repeatedly taken.
+        for _ in 0..8 {
+            let _ = p.predict_and_update_direction(pc);
+            p.train_direction(pc, true);
+        }
+        assert!(p.predict_and_update_direction(pc));
+    }
+
+    #[test]
+    fn gshare_learns_not_taken() {
+        let mut p = predictor();
+        let pc = 0x2000;
+        for _ in 0..8 {
+            let _ = p.predict_and_update_direction(pc);
+            p.train_direction(pc, false);
+        }
+        assert!(!p.predict_and_update_direction(pc));
+    }
+
+    #[test]
+    fn btb_round_trip_and_aliasing_tag_check() {
+        let mut p = predictor();
+        assert_eq!(p.btb_lookup(0x100), None);
+        p.btb_update(0x100, 0x9000);
+        assert_eq!(p.btb_lookup(0x100), Some(0x9000));
+        // An aliasing pc (same index, different tag) must not hit.
+        let alias = 0x100 + 4096 * INSTR_BYTES;
+        assert_eq!(p.btb_lookup(alias), None);
+    }
+
+    #[test]
+    fn ras_lifo_behaviour() {
+        let mut p = predictor();
+        p.ras_push(0xA);
+        p.ras_push(0xB);
+        assert_eq!(p.ras_pop(), 0xB);
+        assert_eq!(p.ras_pop(), 0xA);
+    }
+
+    #[test]
+    fn checkpoint_restores_ras_and_history() {
+        let mut p = predictor();
+        p.ras_push(0x1);
+        let cp = p.checkpoint();
+        p.ras_push(0x2);
+        p.ras_push(0x3);
+        let _ = p.predict_and_update_direction(0x4000);
+        p.restore(&cp);
+        assert_eq!(p.ras_pop(), 0x1);
+    }
+
+    #[test]
+    fn ras_wraps_without_panicking() {
+        let mut p = BranchPredictor::new(PredictorConfig {
+            ras_entries: 4,
+            ..PredictorConfig::default()
+        });
+        for i in 0..10 {
+            p.ras_push(i);
+        }
+        assert_eq!(p.ras_pop(), 9);
+    }
+}

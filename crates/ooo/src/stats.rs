@@ -1,0 +1,206 @@
+//! Simulation statistics.
+
+use specmpk_core::PkruEngineStats;
+use specmpk_mem::MemStats;
+
+/// Why the rename stage could not process an instruction this cycle.
+///
+/// Fig. 3's right axis reports the `WrpkruSerialize` share; Fig. 11's
+/// sensitivity comes from `RobPkruFull`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RenameStall {
+    /// Nothing ready from the front end (fetch bubble / I-cache miss /
+    /// post-squash refill).
+    FrontendEmpty,
+    /// Active List full.
+    ActiveListFull,
+    /// Issue queue full.
+    IssueQueueFull,
+    /// Load queue full.
+    LoadQueueFull,
+    /// Store queue full.
+    StoreQueueFull,
+    /// Free list empty (out of physical registers).
+    PrfFull,
+    /// Serialized-WRPKRU barrier: draining before, or blocking after, a
+    /// WRPKRU (the overhead SpecMPK removes).
+    WrpkruSerialize,
+    /// `ROB_pkru` full (SpecMPK's only new stall).
+    RobPkruFull,
+    /// RDPKRU waiting for in-flight WRPKRUs to drain (§V-C6).
+    RdpkruSerialize,
+}
+
+impl RenameStall {
+    /// All stall causes, for reporting.
+    #[must_use]
+    pub fn all() -> [RenameStall; 9] {
+        [
+            RenameStall::FrontendEmpty,
+            RenameStall::ActiveListFull,
+            RenameStall::IssueQueueFull,
+            RenameStall::LoadQueueFull,
+            RenameStall::StoreQueueFull,
+            RenameStall::PrfFull,
+            RenameStall::WrpkruSerialize,
+            RenameStall::RobPkruFull,
+            RenameStall::RdpkruSerialize,
+        ]
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RenameStall::FrontendEmpty => 0,
+            RenameStall::ActiveListFull => 1,
+            RenameStall::IssueQueueFull => 2,
+            RenameStall::LoadQueueFull => 3,
+            RenameStall::StoreQueueFull => 4,
+            RenameStall::PrfFull => 5,
+            RenameStall::WrpkruSerialize => 6,
+            RenameStall::RobPkruFull => 7,
+            RenameStall::RdpkruSerialize => 8,
+        }
+    }
+}
+
+/// Counters accumulated over a simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Architecturally retired instructions.
+    pub retired: u64,
+    /// Retired WRPKRU instructions.
+    pub retired_wrpkru: u64,
+    /// Retired loads / stores.
+    pub retired_loads: u64,
+    /// Retired stores.
+    pub retired_stores: u64,
+    /// Conditional branches retired.
+    pub retired_branches: u64,
+    /// Mispredictions detected (control-flow squashes).
+    pub mispredicts: u64,
+    /// Instructions squashed (fetched+renamed but never retired).
+    pub squashed: u64,
+    /// Loads that failed the PKRU Load Check and replayed at the head.
+    pub load_replays: u64,
+    /// Loads stalled to the head because of a no-forward store match.
+    pub forward_blocked_loads: u64,
+    /// Loads stalled to the head by the conservative TLB-miss rule (§V-C5).
+    pub tlb_miss_stalls: u64,
+    /// Successful store-to-load forwards.
+    pub forwards: u64,
+    /// Protection faults raised at retirement.
+    pub protection_faults: u64,
+    /// Page faults raised at retirement.
+    pub page_faults: u64,
+    /// Cycles in which rename processed zero instructions, by cause
+    /// (indexed per [`RenameStall`]).
+    rename_stall_cycles: [u64; 9],
+    /// Per-cycle rename-slot stalls by cause (slot granularity).
+    rename_slot_stalls: [u64; 9],
+    /// PKRU engine counters (WRPKRU renames, check failures, ...).
+    pub pkru: PkruEngineStats,
+    /// Memory-system counters.
+    pub mem: MemStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// WRPKRU instructions per kilo-instruction (Fig. 10's metric).
+    #[must_use]
+    pub fn wrpkru_per_kilo_instr(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            1000.0 * self.retired_wrpkru as f64 / self.retired as f64
+        }
+    }
+
+    /// Branch misprediction rate per kilo-instruction.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            1000.0 * self.mispredicts as f64 / self.retired as f64
+        }
+    }
+
+    /// Records a cycle in which rename processed nothing, attributed to
+    /// `cause`.
+    pub fn note_rename_stall_cycle(&mut self, cause: RenameStall) {
+        self.rename_stall_cycles[cause.index()] += 1;
+    }
+
+    /// Records one unused rename slot attributed to `cause`.
+    pub fn note_rename_slot_stall(&mut self, cause: RenameStall) {
+        self.rename_slot_stalls[cause.index()] += 1;
+    }
+
+    /// Cycles fully stalled at rename for `cause`.
+    #[must_use]
+    pub fn rename_stall_cycles(&self, cause: RenameStall) -> u64 {
+        self.rename_stall_cycles[cause.index()]
+    }
+
+    /// Unused rename slots attributed to `cause`.
+    #[must_use]
+    pub fn rename_slot_stalls(&self, cause: RenameStall) -> u64 {
+        self.rename_slot_stalls[cause.index()]
+    }
+
+    /// Fraction of all cycles fully stalled at rename by the WRPKRU
+    /// serialization barrier — the paper's Fig. 3 right axis.
+    #[must_use]
+    pub fn wrpkru_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rename_stall_cycles(RenameStall::WrpkruSerialize) as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = SimStats { cycles: 1000, retired: 2500, retired_wrpkru: 50, ..Default::default() };
+        s.mispredicts = 25;
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.wrpkru_per_kilo_instr() - 20.0).abs() < 1e-12);
+        assert!((s.mpki() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_metrics_are_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.wrpkru_per_kilo_instr(), 0.0);
+        assert_eq!(s.wrpkru_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stall_accounting_by_cause() {
+        let mut s = SimStats { cycles: 100, ..Default::default() };
+        for _ in 0..30 {
+            s.note_rename_stall_cycle(RenameStall::WrpkruSerialize);
+        }
+        s.note_rename_stall_cycle(RenameStall::ActiveListFull);
+        assert_eq!(s.rename_stall_cycles(RenameStall::WrpkruSerialize), 30);
+        assert_eq!(s.rename_stall_cycles(RenameStall::ActiveListFull), 1);
+        assert!((s.wrpkru_stall_fraction() - 0.3).abs() < 1e-12);
+    }
+}

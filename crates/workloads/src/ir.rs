@@ -1,0 +1,347 @@
+//! The mini program IR the instrumentation passes operate on.
+
+use specmpk_isa::{AluOp, BranchCond};
+
+/// A local variable; each function may use up to [`MAX_VARS`] of them
+/// (they map to callee-scratch registers — no spilling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub u8);
+
+/// Maximum local variables per function.
+pub const MAX_VARS: usize = 6;
+
+/// An arithmetic expression over variables and constants.
+///
+/// The code generator evaluates expressions with a small temporary-register
+/// stack; depth is bounded by construction in the synthesizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant.
+    Const(i64),
+    /// A variable read.
+    Var(Var),
+    /// A binary ALU operation.
+    BinOp(AluOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Expression tree depth (1 for leaves).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::BinOp(_, a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+}
+
+/// One IR statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var := expr`.
+    Assign(Var, Expr),
+    /// `var := array[index & mask]` (the generator masks indices so every
+    /// access stays in bounds — arrays are power-of-two sized).
+    Load {
+        /// Destination variable.
+        dst: Var,
+        /// Index into [`Module::arrays`].
+        array: usize,
+        /// Byte-index expression (masked by the code generator).
+        index: Expr,
+    },
+    /// `array[index & mask] := value`.
+    Store {
+        /// Index into [`Module::arrays`].
+        array: usize,
+        /// Byte-index expression.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// A counted loop with a compile-time trip count.
+    Loop {
+        /// Trip count (≥ 1).
+        count: u32,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A data-dependent two-way branch.
+    If {
+        /// Comparison.
+        cond: BranchCond,
+        /// Left operand.
+        lhs: Var,
+        /// Right operand.
+        rhs: Var,
+        /// Taken-side statements.
+        then_body: Vec<Stmt>,
+        /// Fall-through statements.
+        else_body: Vec<Stmt>,
+    },
+    /// A direct call to another function in the module.
+    Call(usize),
+    /// An indirect call through function-pointer-table slot `slot`.
+    IndirectCall {
+        /// Slot in the function-pointer table.
+        slot: usize,
+    },
+    /// Writes the address of `func` into function-pointer-table slot
+    /// `slot` — the operation CPI protects.
+    WriteFnPtr {
+        /// Slot in the function-pointer table.
+        slot: usize,
+        /// Target function index.
+        func: usize,
+    },
+}
+
+impl Stmt {
+    /// Whether this statement (recursively) contains a loop.
+    #[must_use]
+    pub fn contains_loop(&self) -> bool {
+        match self {
+            Stmt::Loop { .. } => true,
+            Stmt::If { then_body, else_body, .. } => {
+                then_body.iter().any(Stmt::contains_loop)
+                    || else_body.iter().any(Stmt::contains_loop)
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether this statement (recursively) contains a call of any kind.
+    #[must_use]
+    pub fn contains_call(&self) -> bool {
+        match self {
+            Stmt::Call(_) | Stmt::IndirectCall { .. } => true,
+            Stmt::Loop { body, .. } => body.iter().any(Stmt::contains_call),
+            Stmt::If { then_body, else_body, .. } => {
+                then_body.iter().any(Stmt::contains_call)
+                    || else_body.iter().any(Stmt::contains_call)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A function: a statement list over up to [`MAX_VARS`] locals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name for diagnostics.
+    pub name: String,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Whether the body makes any calls (a *non-leaf* function must spill
+    /// its return address to the stack).
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        !self.body.iter().any(Stmt::contains_call)
+    }
+
+    /// Whether the body uses loops (loop-counter registers must be saved).
+    #[must_use]
+    pub fn uses_loops(&self) -> bool {
+        self.body.iter().any(Stmt::contains_loop)
+    }
+}
+
+/// A data array (power-of-two size, so indices can be masked in bounds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Name for diagnostics.
+    pub name: String,
+    /// Size in bytes (a power of two).
+    pub size: u64,
+}
+
+impl ArrayDecl {
+    /// Creates an array declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two or smaller than 8.
+    #[must_use]
+    pub fn new(name: &str, size: u64) -> Self {
+        assert!(size.is_power_of_two() && size >= 8, "array size {size} invalid");
+        ArrayDecl { name: name.to_owned(), size }
+    }
+
+    /// The index mask keeping 8-byte accesses in bounds.
+    #[must_use]
+    pub fn index_mask(&self) -> u64 {
+        self.size - 8
+    }
+}
+
+/// A whole program in IR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Functions; index 0 is the entry function.
+    pub functions: Vec<Function>,
+    /// Data arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// Function-pointer-table slots.
+    pub fn_ptr_slots: usize,
+    /// How many times the driver loop invokes the entry function.
+    pub driver_iterations: u32,
+}
+
+impl Module {
+    /// Validates structural invariants: call targets exist and are
+    /// *forward-only* (function `i` may only call `j > i`, guaranteeing
+    /// termination), array references exist, fn-ptr slots are in range,
+    /// variable indices fit the register pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violation.
+    pub fn validate(&self) {
+        assert!(!self.functions.is_empty(), "module needs an entry function");
+        for (i, f) in self.functions.iter().enumerate() {
+            self.validate_stmts(i, &f.body);
+        }
+    }
+
+    fn validate_stmts(&self, fidx: usize, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(v, e) => {
+                    assert!((v.0 as usize) < MAX_VARS, "var {v:?} out of pool");
+                    self.validate_expr(e);
+                }
+                Stmt::Load { dst, array, index } => {
+                    assert!((dst.0 as usize) < MAX_VARS);
+                    assert!(*array < self.arrays.len(), "array {array} undeclared");
+                    self.validate_expr(index);
+                }
+                Stmt::Store { array, index, value } => {
+                    assert!(*array < self.arrays.len(), "array {array} undeclared");
+                    self.validate_expr(index);
+                    self.validate_expr(value);
+                }
+                Stmt::Loop { count, body } => {
+                    assert!(*count >= 1, "loop with zero trip count");
+                    self.validate_stmts(fidx, body);
+                }
+                Stmt::If { lhs, rhs, then_body, else_body, .. } => {
+                    assert!((lhs.0 as usize) < MAX_VARS && (rhs.0 as usize) < MAX_VARS);
+                    self.validate_stmts(fidx, then_body);
+                    self.validate_stmts(fidx, else_body);
+                }
+                Stmt::Call(target) => {
+                    assert!(*target < self.functions.len(), "call target {target} missing");
+                    assert!(*target > fidx, "call from {fidx} to {target} is not forward-only");
+                }
+                Stmt::IndirectCall { slot } => {
+                    assert!(*slot < self.fn_ptr_slots, "fn-ptr slot {slot} out of range");
+                }
+                Stmt::WriteFnPtr { slot, func } => {
+                    assert!(*slot < self.fn_ptr_slots, "fn-ptr slot {slot} out of range");
+                    assert!(*func < self.functions.len(), "fn-ptr target {func} missing");
+                    assert!(*func > fidx, "fn-ptr from {fidx} to {func} is not forward-only");
+                }
+            }
+        }
+    }
+
+    fn validate_expr(&self, e: &Expr) {
+        match e {
+            Expr::Const(_) => {}
+            Expr::Var(v) => assert!((v.0 as usize) < MAX_VARS),
+            Expr::BinOp(_, a, b) => {
+                assert!(e.depth() <= 4, "expression too deep for the temp stack");
+                self.validate_expr(a);
+                self.validate_expr(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u8) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn leaf_and_loop_analysis() {
+        let f = Function {
+            name: "leaf".into(),
+            body: vec![Stmt::Assign(v(0), Expr::Const(1))],
+        };
+        assert!(f.is_leaf());
+        assert!(!f.uses_loops());
+
+        let g = Function {
+            name: "caller".into(),
+            body: vec![Stmt::Loop { count: 3, body: vec![Stmt::Call(1)] }],
+        };
+        assert!(!g.is_leaf());
+        assert!(g.uses_loops());
+    }
+
+    #[test]
+    fn array_mask_keeps_accesses_in_bounds() {
+        let a = ArrayDecl::new("a", 4096);
+        assert_eq!(a.index_mask(), 4088);
+        assert!(a.index_mask() + 8 <= a.size);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn non_power_of_two_array_rejected() {
+        let _ = ArrayDecl::new("bad", 100);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_module() {
+        let m = Module {
+            functions: vec![
+                Function { name: "main".into(), body: vec![Stmt::Call(1)] },
+                Function {
+                    name: "work".into(),
+                    body: vec![Stmt::Load { dst: v(0), array: 0, index: Expr::Const(0) }],
+                },
+            ],
+            arrays: vec![ArrayDecl::new("a", 64)],
+            fn_ptr_slots: 0,
+            driver_iterations: 10,
+        };
+        m.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "forward-only")]
+    fn validate_rejects_backward_calls() {
+        let m = Module {
+            functions: vec![
+                Function { name: "a".into(), body: vec![] },
+                Function { name: "b".into(), body: vec![Stmt::Call(0)] },
+            ],
+            arrays: vec![],
+            fn_ptr_slots: 0,
+            driver_iterations: 1,
+        };
+        m.validate();
+    }
+
+    #[test]
+    fn expr_depth_counts_nesting() {
+        let e = Expr::BinOp(
+            AluOp::Add,
+            Box::new(Expr::Var(v(0))),
+            Box::new(Expr::BinOp(
+                AluOp::Mul,
+                Box::new(Expr::Const(3)),
+                Box::new(Expr::Var(v(1))),
+            )),
+        );
+        assert_eq!(e.depth(), 3);
+    }
+}

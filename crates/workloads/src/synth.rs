@@ -1,0 +1,398 @@
+//! Seeded synthesis of IR modules from workload profiles.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use specmpk_isa::{AluOp, BranchCond};
+
+use crate::ir::{ArrayDecl, Expr, Function, Module, Stmt, Var, MAX_VARS};
+use crate::profile::WorkloadProfile;
+
+/// How many trailing functions are pure-leaf "targets" for function
+/// pointers. Indirect calls can only ever reach these, which (with
+/// forward-only direct calls) guarantees termination.
+const FN_PTR_TARGETS: usize = 2;
+
+struct Synth<'p> {
+    rng: StdRng,
+    profile: &'p WorkloadProfile,
+    num_funcs: usize,
+    num_arrays: usize,
+    fn_ptr_slots: usize,
+}
+
+/// Synthesizes a deterministic IR module from `profile`.
+///
+/// Structure: `main` (function 0) plus `num_helpers` helpers; the last
+/// `FN_PTR_TARGETS` (= 2) helpers are call-free leaves that function pointers
+/// may target. Direct calls are forward-only, loops have compile-time trip
+/// counts, and every array index is masked in bounds by the code
+/// generator — so every synthesized program terminates and never faults.
+///
+/// # Examples
+///
+/// ```
+/// use specmpk_workloads::profile::standard_profiles;
+/// use specmpk_workloads::synth::synthesize;
+///
+/// let module = synthesize(&standard_profiles()[0]);
+/// assert!(module.functions.len() > 2);
+/// ```
+#[must_use]
+pub fn synthesize(profile: &WorkloadProfile) -> Module {
+    let num_funcs = 1 + profile.num_helpers.max(FN_PTR_TARGETS);
+    let use_fn_ptrs = profile.fn_ptr_write_rate > 0.0 || profile.indirect_call_rate > 0.0;
+    let mut s = Synth {
+        rng: StdRng::seed_from_u64(profile.seed),
+        profile,
+        num_funcs,
+        num_arrays: 0,
+        fn_ptr_slots: if use_fn_ptrs { 4 } else { 0 },
+    };
+
+    // Split the working set across 1–4 power-of-two arrays.
+    let mut arrays = Vec::new();
+    let total_bytes = (profile.array_kb * 1024).next_power_of_two();
+    let pieces = match profile.array_kb {
+        0..=8 => 1,
+        9..=128 => 2,
+        _ => 4,
+    };
+    for i in 0..pieces {
+        arrays.push(ArrayDecl::new(
+            &format!("array{i}"),
+            (total_bytes / pieces as u64).max(64),
+        ));
+    }
+    s.num_arrays = arrays.len();
+
+    let functions: Vec<Function> = (0..num_funcs).map(|i| s.function(i)).collect();
+    let module = Module {
+        functions,
+        arrays,
+        fn_ptr_slots: s.fn_ptr_slots,
+        driver_iterations: profile.driver_iterations,
+    };
+    module.validate();
+    module
+}
+
+impl Synth<'_> {
+    fn var(&mut self) -> Var {
+        Var(self.rng.gen_range(0..MAX_VARS as u8))
+    }
+
+    fn array(&mut self) -> usize {
+        self.rng.gen_range(0..self.num_arrays)
+    }
+
+    /// Index of the first pure-leaf fn-ptr target function.
+    fn target_start(&self) -> usize {
+        self.num_funcs - FN_PTR_TARGETS
+    }
+
+    /// A small expression; an LCG step keeps values churning so indices
+    /// and branch operands look pseudo-random at run time.
+    fn expr(&mut self, depth: usize) -> Expr {
+        if depth >= 2 || self.rng.gen_bool(0.4) {
+            if self.rng.gen_bool(0.5) {
+                Expr::Var(self.var())
+            } else {
+                Expr::Const(self.rng.gen_range(-4096..4096))
+            }
+        } else if depth == 0 && self.rng.gen_bool(0.3) {
+            // LCG churn: v * 1103515245 + 12345.
+            Expr::BinOp(
+                AluOp::Add,
+                Box::new(Expr::BinOp(
+                    AluOp::Mul,
+                    Box::new(Expr::Var(self.var())),
+                    Box::new(Expr::Const(1_103_515_245)),
+                )),
+                Box::new(Expr::Const(12_345)),
+            )
+        } else {
+            let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Mul];
+            let op = ops[self.rng.gen_range(0..ops.len())];
+            Expr::BinOp(
+                op,
+                Box::new(self.expr(depth + 1)),
+                Box::new(self.expr(depth + 1)),
+            )
+        }
+    }
+
+    fn cond(&mut self) -> BranchCond {
+        BranchCond::all()[self.rng.gen_range(0..6)]
+    }
+
+    /// One statement. `fidx` bounds call targets (forward-only); `in_loop`
+    /// gates call emission (calls in loop bodies dominate dynamic call
+    /// density); `if_depth` caps conditional nesting so statement trees
+    /// stay finite (an unbounded recursive `If` would be a supercritical
+    /// branching process for call-dense profiles).
+    fn stmt(&mut self, fidx: usize, in_loop: bool, if_depth: usize) -> Stmt {
+        let p = self.profile;
+        let can_call = fidx + 1 < self.target_start();
+        let can_branch = if_depth < 2;
+        let weights = [
+            // Call.
+            if can_call {
+                if in_loop {
+                    p.call_rate
+                } else {
+                    p.call_rate * 0.25
+                }
+            } else {
+                0.0
+            },
+            // Indirect call.
+            if self.fn_ptr_slots > 0 { p.indirect_call_rate } else { 0.0 },
+            // Function-pointer write.
+            if self.fn_ptr_slots > 0 && fidx < self.target_start() {
+                p.fn_ptr_write_rate
+            } else {
+                0.0
+            },
+            // Data-dependent branch.
+            if can_branch { p.branch_rate } else { 0.0 },
+            // Memory.
+            p.mem_rate,
+            // Plain compute.
+            0.25,
+        ];
+        let total: f64 = weights.iter().sum();
+        let mut roll: f64 = self.rng.gen::<f64>() * total;
+        let mut choice = weights.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if roll < *w {
+                choice = i;
+                break;
+            }
+            roll -= w;
+        }
+        match choice {
+            0 => Stmt::Call(self.rng.gen_range(fidx + 1..self.num_funcs)),
+            1 => Stmt::IndirectCall { slot: self.rng.gen_range(0..self.fn_ptr_slots) },
+            2 => Stmt::WriteFnPtr {
+                slot: self.rng.gen_range(0..self.fn_ptr_slots),
+                func: self.rng.gen_range(self.target_start()..self.num_funcs),
+            },
+            3 => {
+                let then_body = vec![self.stmt(fidx, in_loop, if_depth + 1)];
+                let else_body = if self.rng.gen_bool(0.5) {
+                    vec![self.stmt(fidx, in_loop, if_depth + 1)]
+                } else {
+                    Vec::new()
+                };
+                Stmt::If {
+                    cond: self.cond(),
+                    lhs: self.var(),
+                    rhs: self.var(),
+                    then_body,
+                    else_body,
+                }
+            }
+            4 => {
+                let index = self.expr(1);
+                if self.rng.gen_bool(0.5) {
+                    Stmt::Load { dst: self.var(), array: self.array(), index }
+                } else {
+                    Stmt::Store { array: self.array(), index, value: self.expr(1) }
+                }
+            }
+            _ => Stmt::Assign(self.var(), self.expr(0)),
+        }
+    }
+
+    /// Stochastic rounding: `rate * n` with the fraction resolved by a
+    /// Bernoulli draw, so even tiny rates occasionally contribute.
+    fn quota(&mut self, rate: f64, n: usize) -> usize {
+        let exact = rate * n as f64;
+        let floor = exact.floor();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let base = floor as usize;
+        base + usize::from(self.rng.gen_bool((exact - floor).clamp(0.0, 1.0)))
+    }
+
+    fn mem_stmt(&mut self) -> Stmt {
+        let index = self.expr(1);
+        if self.rng.gen_bool(0.5) {
+            Stmt::Load { dst: self.var(), array: self.array(), index }
+        } else {
+            Stmt::Store { array: self.array(), index, value: self.expr(1) }
+        }
+    }
+
+    /// Builds a loop body by *composition*: the profile rates are quotas
+    /// over the body's statement slots (stochastically rounded), then the
+    /// deck is shuffled. This keeps each benchmark's dynamic call /
+    /// pointer-write density tightly controlled — the levers behind
+    /// Fig. 10's WRPKRU-per-kilo-instruction spread.
+    fn loop_body(&mut self, fidx: usize, n: usize) -> Vec<Stmt> {
+        let p = *self.profile;
+        let can_call = fidx + 1 < self.target_start();
+        // Helpers call (and write pointers) far more rarely than `main`:
+        // without damping, call chains through nested helper loops amplify
+        // the dynamic call density exponentially and the profile rates
+        // would lose control of Fig. 10's WRPKRU density.
+        let damp = if fidx == 0 { 1.0 } else { 0.1 };
+        let mut deck: Vec<Stmt> = Vec::new();
+        if can_call {
+            for _ in 0..self.quota(p.call_rate * damp, n) {
+                deck.push(Stmt::Call(self.rng.gen_range(fidx + 1..self.num_funcs)));
+            }
+        }
+        if self.fn_ptr_slots > 0 {
+            for _ in 0..self.quota(p.indirect_call_rate * damp, n) {
+                deck.push(Stmt::IndirectCall {
+                    slot: self.rng.gen_range(0..self.fn_ptr_slots),
+                });
+            }
+            if fidx < self.target_start() {
+                for _ in 0..self.quota(p.fn_ptr_write_rate * damp, n) {
+                    deck.push(Stmt::WriteFnPtr {
+                        slot: self.rng.gen_range(0..self.fn_ptr_slots),
+                        func: self.rng.gen_range(self.target_start()..self.num_funcs),
+                    });
+                }
+            }
+        }
+        for _ in 0..self.quota(p.branch_rate, n) {
+            let then_body = vec![self.stmt(fidx, true, 1)];
+            let else_body = if self.rng.gen_bool(0.5) {
+                vec![self.stmt(fidx, true, 1)]
+            } else {
+                Vec::new()
+            };
+            deck.push(Stmt::If {
+                cond: self.cond(),
+                lhs: self.var(),
+                rhs: self.var(),
+                then_body,
+                else_body,
+            });
+        }
+        for _ in 0..self.quota(p.mem_rate, n) {
+            let stmt = self.mem_stmt();
+            deck.push(stmt);
+        }
+        while deck.len() < n {
+            deck.push(Stmt::Assign(self.var(), self.expr(0)));
+        }
+        // Fisher–Yates shuffle for a deterministic interleaving.
+        for i in (1..deck.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            deck.swap(i, j);
+        }
+        deck
+    }
+
+    fn function(&mut self, fidx: usize) -> Function {
+        let p = self.profile;
+        let is_target = fidx >= self.target_start();
+        let (lo, hi) = p.body_stmts;
+        let n = self.rng.gen_range(lo..=hi);
+        let mut body = Vec::new();
+        if is_target {
+            // Pure-leaf targets: straight-line compute + memory only.
+            for _ in 0..n {
+                let stmt = if self.rng.gen_bool(p.mem_rate) {
+                    Stmt::Load { dst: self.var(), array: self.array(), index: self.expr(1) }
+                } else {
+                    Stmt::Assign(self.var(), self.expr(0))
+                };
+                body.push(stmt);
+            }
+        } else {
+            // Regular functions: a main loop whose body carries the call /
+            // branch / memory mix, plus some straight-line work.
+            let iters = self.rng.gen_range(p.loop_iters.0..=p.loop_iters.1);
+            let loop_body = self.loop_body(fidx, n);
+            let has_call = loop_body.iter().any(|s| matches!(s, Stmt::Call(_)));
+            let has_fpw = loop_body.iter().any(|s| matches!(s, Stmt::WriteFnPtr { .. }));
+            body.push(Stmt::Loop { count: iters, body: loop_body });
+            // Sparse profiles (mcf-like): guarantee the protected operation
+            // at least once per driver iteration, *outside* the hot loop,
+            // so tiny WRPKRU densities are reachable but never zero.
+            if fidx == 0 && p.call_rate > 0.0 && !has_call {
+                body.push(Stmt::Call(self.rng.gen_range(1..self.num_funcs)));
+            }
+            if fidx == 0 && self.fn_ptr_slots > 0 && p.fn_ptr_write_rate > 0.0 && !has_fpw {
+                body.push(Stmt::WriteFnPtr {
+                    slot: self.rng.gen_range(0..self.fn_ptr_slots),
+                    func: self.rng.gen_range(self.target_start()..self.num_funcs),
+                });
+            }
+            let tail = self.rng.gen_range(1..=3);
+            for _ in 0..tail {
+                body.push(self.stmt(fidx, false, 0));
+            }
+        }
+        Function { name: format!("f{fidx}"), body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::standard_profiles;
+    use crate::Stmt as S;
+
+    #[test]
+    fn all_standard_profiles_synthesize_valid_modules() {
+        for p in standard_profiles() {
+            let m = synthesize(&p); // validate() runs inside
+            assert!(!m.functions.is_empty(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let p = standard_profiles()[3];
+        assert_eq!(synthesize(&p), synthesize(&p));
+    }
+
+    #[test]
+    fn call_density_orders_like_the_profiles() {
+        // Static call counts should roughly follow call_rate.
+        fn count_calls(stmts: &[S]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    S::Call(_) => 1,
+                    S::Loop { body, .. } => count_calls(body),
+                    S::If { then_body, else_body, .. } => {
+                        count_calls(then_body) + count_calls(else_body)
+                    }
+                    _ => 0,
+                })
+                .sum()
+        }
+        let profiles = standard_profiles();
+        let omnetpp = profiles.iter().find(|p| p.name == "520.omnetpp_r").unwrap();
+        let mcf = profiles.iter().find(|p| p.name == "505.mcf_r").unwrap();
+        let dense: usize =
+            synthesize(omnetpp).functions.iter().map(|f| count_calls(&f.body)).sum();
+        let sparse: usize = synthesize(mcf).functions.iter().map(|f| count_calls(&f.body)).sum();
+        assert!(dense > sparse, "omnetpp {dense} vs mcf {sparse}");
+    }
+
+    #[test]
+    fn fn_ptr_machinery_only_for_cpi_profiles() {
+        for p in standard_profiles() {
+            let m = synthesize(&p);
+            let uses_ptrs = p.fn_ptr_write_rate > 0.0 || p.indirect_call_rate > 0.0;
+            assert_eq!(m.fn_ptr_slots > 0, uses_ptrs, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn target_functions_are_pure_leaves() {
+        for p in standard_profiles().into_iter().take(4) {
+            let m = synthesize(&p);
+            for f in m.functions.iter().rev().take(FN_PTR_TARGETS) {
+                assert!(f.is_leaf(), "{}: {} must be a leaf", p.name, f.name);
+            }
+        }
+    }
+}

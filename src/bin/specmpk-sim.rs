@@ -1,0 +1,190 @@
+//! `specmpk-sim` — command-line driver for the simulator.
+//!
+//! ```text
+//! specmpk-sim --list
+//! specmpk-sim --workload omnetpp --policy specmpk --instructions 500000
+//! specmpk-sim --workload povray --policy all --protection nop
+//! specmpk-sim --attack v1 --policy nonsecure
+//! specmpk-sim --workload gcc --rob-pkru 2
+//! ```
+
+use std::process::ExitCode;
+
+use specmpk::attacks::{run_attack, spectre_bti, spectre_v1, store_forward_overflow};
+use specmpk::core_model::WrpkruPolicy;
+use specmpk::ooo::{Core, SimConfig, SimStats};
+use specmpk::workloads::{standard_suite, Protection, Workload};
+
+struct Args {
+    workload: Option<String>,
+    attack: Option<String>,
+    policy: String,
+    protection: String,
+    instructions: u64,
+    rob_pkru: usize,
+    list: bool,
+}
+
+fn usage() -> &'static str {
+    "specmpk-sim — run SpecMPK workloads and attacks on the simulator
+
+USAGE:
+    specmpk-sim --list
+    specmpk-sim --workload <NAME> [--policy serialized|nonsecure|specmpk|all]
+                [--protection scheme|none|nop] [--instructions N] [--rob-pkru N]
+    specmpk-sim --attack v1|bti|overflow [--policy ...]
+
+OPTIONS:
+    --list               list the 16 suite workloads and exit
+    --workload NAME      substring of a suite workload name (e.g. 'omnetpp_r')
+    --attack KIND        run a PoC instead of a workload
+    --policy P           WRPKRU microarchitecture (default: all)
+    --protection S       'scheme' (the workload's own, default), 'none', 'nop'
+    --instructions N     retired-instruction budget (default 500000)
+    --rob-pkru N         ROB_pkru entries for SpecMPK (default 8)"
+}
+
+fn parse(mut argv: std::env::Args) -> Result<Args, String> {
+    let _ = argv.next();
+    let mut args = Args {
+        workload: None,
+        attack: None,
+        policy: "all".into(),
+        protection: "scheme".into(),
+        instructions: 500_000,
+        rob_pkru: 8,
+        list: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--list" => args.list = true,
+            "--workload" => args.workload = Some(value("--workload")?),
+            "--attack" => args.attack = Some(value("--attack")?),
+            "--policy" => args.policy = value("--policy")?,
+            "--protection" => args.protection = value("--protection")?,
+            "--instructions" => {
+                args.instructions = value("--instructions")?
+                    .parse()
+                    .map_err(|e| format!("--instructions: {e}"))?;
+            }
+            "--rob-pkru" => {
+                args.rob_pkru = value("--rob-pkru")?
+                    .parse()
+                    .map_err(|e| format!("--rob-pkru: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn policies(spec: &str) -> Result<Vec<WrpkruPolicy>, String> {
+    Ok(match spec {
+        "all" => WrpkruPolicy::all().to_vec(),
+        "serialized" => vec![WrpkruPolicy::Serialized],
+        "nonsecure" => vec![WrpkruPolicy::NonSecureSpec],
+        "specmpk" => vec![WrpkruPolicy::SpecMpk],
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+fn print_stats(policy: WrpkruPolicy, stats: &SimStats, baseline_ipc: f64) {
+    println!(
+        "{:<20} IPC {:>6.3}  ({:>+6.2}% vs first)  cycles {:>10}  WRPKRU/k {:>6.2}  \
+         MPKI {:>5.2}  replays {:>5}",
+        policy.to_string(),
+        stats.ipc(),
+        (stats.ipc() / baseline_ipc - 1.0) * 100.0,
+        stats.cycles,
+        stats.wrpkru_per_kilo_instr(),
+        stats.mpki(),
+        stats.load_replays,
+    );
+}
+
+fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
+    let program = match args.protection.as_str() {
+        "scheme" => workload.build_protected(),
+        "none" => workload.build_unprotected(),
+        "nop" => workload.build_nop_wrpkru(),
+        other => return Err(format!("unknown protection '{other}'")),
+    };
+    println!(
+        "workload {} | protection {} | budget {} instructions | ROB_pkru {}",
+        workload.name(),
+        args.protection,
+        args.instructions,
+        args.rob_pkru
+    );
+    let mut baseline = None;
+    for policy in policies(&args.policy)? {
+        let mut config = SimConfig::with_policy(policy).with_rob_pkru_size(args.rob_pkru);
+        config.max_instructions = args.instructions;
+        let mut core = Core::new(config, &program);
+        let result = core.run();
+        let base = *baseline.get_or_insert(result.stats.ipc());
+        print_stats(policy, &result.stats, base);
+    }
+    Ok(())
+}
+
+fn run_poc(args: &Args, kind: &str) -> Result<(), String> {
+    let attack = match kind {
+        "v1" => spectre_v1(101, 72),
+        "bti" => spectre_bti(101, 72),
+        "overflow" => store_forward_overflow(13),
+        other => return Err(format!("unknown attack '{other}' (v1|bti|overflow)")),
+    };
+    println!("attack {kind} | secret probe index {}", attack.secret_index());
+    for policy in policies(&args.policy)? {
+        let outcome = run_attack(&attack, policy);
+        println!(
+            "{:<20} leaked: {:<5}  hot: {:?}",
+            policy.to_string(),
+            outcome.leaked(attack.secret_index()),
+            outcome.hot_indices()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse(std::env::args()) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for w in standard_suite() {
+            let scheme = match w.scheme {
+                specmpk::workloads::Scheme::ShadowStack => Protection::ShadowStack,
+                specmpk::workloads::Scheme::Cpi => Protection::Cpi,
+            };
+            println!("{:<24} {:?}", w.name(), scheme);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let outcome = if let Some(kind) = &args.attack {
+        run_poc(&args, kind)
+    } else if let Some(needle) = &args.workload {
+        match standard_suite().into_iter().find(|w| w.name().contains(needle.as_str())) {
+            Some(w) => run_workload(&args, &w),
+            None => Err(format!("no workload matching '{needle}' (try --list)")),
+        }
+    } else {
+        Err(usage().to_owned())
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end differential test: full SS- and CPI-instrumented workloads
+//! (the real evaluation binaries, shortened) must produce identical
+//! architectural results on the out-of-order core — under every policy and
+//! ROB_pkru size — and on the in-order reference interpreter.
+
+use specmpk::core_model::WrpkruPolicy;
+use specmpk::isa::Reg;
+use specmpk::mpk::Pkru;
+use specmpk::ooo::interp::{Interp, InterpExit};
+use specmpk::ooo::{Core, ExitReason, SimConfig};
+use specmpk::workloads::{standard_suite, Protection, Workload};
+
+fn short(workload: &Workload, iterations: u32) -> Workload {
+    let mut profile = workload.profile;
+    profile.driver_iterations = iterations;
+    Workload::from_profile(profile)
+}
+
+fn check_workload(workload: &Workload, protection: Protection) {
+    let program = workload.build(protection);
+    let reference = Interp::new(&program, Pkru::ALL_ACCESS).run(20_000_000);
+    assert_eq!(
+        reference.exit,
+        InterpExit::Halted,
+        "{}: reference run must halt cleanly",
+        workload.name()
+    );
+    for policy in WrpkruPolicy::all() {
+        let mut core = Core::new(SimConfig::with_policy(policy), &program);
+        let result = core.run();
+        assert_eq!(result.exit, ExitReason::Halted, "{} under {policy}", workload.name());
+        for reg in Reg::all() {
+            assert_eq!(
+                result.reg(reg),
+                reference.reg(reg),
+                "{} under {policy}: register {reg} diverged",
+                workload.name()
+            );
+        }
+        assert_eq!(result.pkru(), reference.pkru, "{} under {policy}", workload.name());
+        assert_eq!(
+            result.stats.retired, reference.executed,
+            "{} under {policy}: instruction counts diverged",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn shadow_stack_workloads_match_reference() {
+    for w in standard_suite().iter().filter(|w| w.scheme == specmpk::workloads::Scheme::ShadowStack).take(3) {
+        let w = short(w, 40);
+        check_workload(&w, Protection::ShadowStack);
+    }
+}
+
+#[test]
+fn cpi_workloads_match_reference() {
+    for w in standard_suite().iter().filter(|w| w.scheme == specmpk::workloads::Scheme::Cpi).take(3) {
+        let w = short(w, 40);
+        check_workload(&w, Protection::Cpi);
+    }
+}
+
+#[test]
+fn unprotected_and_nop_variants_match_each_other() {
+    // The NOP-WRPKRU variant (Fig. 4 methodology) must compute exactly what
+    // the protected variant computes — it only loses the permission updates.
+    let w = short(&standard_suite()[1], 30);
+    let protected = w.build_protected();
+    let nop = w.build_nop_wrpkru();
+    let a = Interp::new(&protected, Pkru::ALL_ACCESS).run(10_000_000);
+    let b = Interp::new(&nop, Pkru::ALL_ACCESS).run(10_000_000);
+    assert_eq!(a.exit, InterpExit::Halted);
+    assert_eq!(b.exit, InterpExit::Halted);
+    // Same data results (PKRU differs by construction: NOP never updates it).
+    for reg in [Reg::S0, Reg::S1, Reg::S2, Reg::A0, Reg::A1, Reg::A2] {
+        assert_eq!(a.reg(reg), b.reg(reg), "{reg}");
+    }
+}
+
+#[test]
+fn rob_pkru_sizes_do_not_change_results() {
+    let w = short(&standard_suite()[0], 40);
+    let program = w.build_protected();
+    let reference = Interp::new(&program, Pkru::ALL_ACCESS).run(20_000_000);
+    for size in [1usize, 2, 4, 8] {
+        let config = SimConfig::with_policy(WrpkruPolicy::SpecMpk).with_rob_pkru_size(size);
+        let mut core = Core::new(config, &program);
+        let result = core.run();
+        assert_eq!(result.exit, ExitReason::Halted, "size {size}");
+        for reg in Reg::all() {
+            assert_eq!(result.reg(reg), reference.reg(reg), "size {size}, register {reg}");
+        }
+    }
+}
+
+#[test]
+fn read_modify_write_style_matches_reference_too() {
+    use specmpk::workloads::PkruUpdateStyle;
+    let w = short(&standard_suite()[0], 30);
+    let program = w.build_with_style(
+        Protection::ShadowStack,
+        PkruUpdateStyle::ReadModifyWrite,
+    );
+    let reference = Interp::new(&program, Pkru::ALL_ACCESS).run(20_000_000);
+    assert_eq!(reference.exit, InterpExit::Halted);
+    for policy in WrpkruPolicy::all() {
+        let mut core = Core::new(SimConfig::with_policy(policy), &program);
+        let result = core.run();
+        assert_eq!(result.exit, ExitReason::Halted, "{policy}");
+        for reg in Reg::all() {
+            assert_eq!(result.reg(reg), reference.reg(reg), "{policy}: {reg}");
+        }
+        assert_eq!(result.pkru(), reference.pkru, "{policy}");
+    }
+    // And the two styles agree with each other architecturally.
+    let li = w.build_with_style(Protection::ShadowStack, PkruUpdateStyle::LoadImmediate);
+    let li_ref = Interp::new(&li, Pkru::ALL_ACCESS).run(20_000_000);
+    for reg in [Reg::S0, Reg::S1, Reg::S2, Reg::A0, Reg::A1, Reg::A2] {
+        assert_eq!(li_ref.reg(reg), reference.reg(reg), "{reg}");
+    }
+    assert_eq!(li_ref.pkru, reference.pkru);
+}
