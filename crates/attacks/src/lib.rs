@@ -47,9 +47,7 @@
 #![warn(missing_docs)]
 
 use specmpk_core::WrpkruPolicy;
-use specmpk_isa::{
-    AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg,
-};
+use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg};
 use specmpk_mpk::{Pkey, Pkru};
 use specmpk_ooo::{Core, ExitReason, SimConfig};
 
@@ -192,12 +190,7 @@ fn emit_flush_probe(asm: &mut Assembler) {
 fn emit_branchless_arg(asm: &mut Assembler) {
     // T3 := (i < rounds) ? 1 : 0 ; A0 := ATTACK - (ATTACK-TRAIN)*T3.
     asm.alu(AluOp::Sltu, Reg::T3, Reg::S0, Operand::Reg(Reg::S1));
-    asm.alu(
-        AluOp::Mul,
-        Reg::T3,
-        Reg::T3,
-        Operand::Imm((ATTACK_POS - TRAIN_POS) as i32),
-    );
+    asm.alu(AluOp::Mul, Reg::T3, Reg::T3, Operand::Imm((ATTACK_POS - TRAIN_POS) as i32));
     asm.li(Reg::A0, ATTACK_POS as i64);
     asm.alu(AluOp::Sub, Reg::A0, Reg::A0, Operand::Reg(Reg::T3));
 }
@@ -374,7 +367,10 @@ pub fn spectre_bti(secret_value: u8, train_value: u8) -> AttackProgram {
     // older same-line stores, and the 256-slot flush gives the flush ample
     // time to land before the victim's pointer load).
     asm.alu(AluOp::Sltu, Reg::T3, Reg::S0, Operand::Reg(Reg::S1));
-    asm.li(Reg::T4, i64::try_from(gadget_addr).expect("small") - i64::try_from(benign_addr).expect("small"));
+    asm.li(
+        Reg::T4,
+        i64::try_from(gadget_addr).expect("small") - i64::try_from(benign_addr).expect("small"),
+    );
     asm.alu(AluOp::Mul, Reg::T3, Reg::T3, Operand::Reg(Reg::T4));
     asm.li(Reg::T4, benign_addr as i64);
     asm.alu(AluOp::Add, Reg::T4, Reg::T4, Operand::Reg(Reg::T3));
@@ -409,8 +405,7 @@ pub fn spectre_bti(secret_value: u8, train_value: u8) -> AttackProgram {
 /// NonSecure leaks `poison * ATTACK_POS`.
 #[must_use]
 pub fn store_forward_overflow(poison: u8) -> AttackProgram {
-    let write_locked =
-        Pkru::ALL_ACCESS.with_write_disabled(Pkey::new(5).expect("static"), true);
+    let write_locked = Pkru::ALL_ACCESS.with_write_disabled(Pkey::new(5).expect("static"), true);
     let mut asm = Assembler::new(0x1000);
     let victim = asm.fresh_label();
     let start = asm.fresh_label();

@@ -17,7 +17,10 @@ fn serialized_stall_anatomy(c: &mut Criterion) {
     for cause in RenameStall::all() {
         let cycles = stats.rename_stall_cycles(cause);
         if cycles > 0 {
-            eprintln!("  {cause:?}: {cycles} ({:.1}%)", cycles as f64 / stats.cycles as f64 * 100.0);
+            eprintln!(
+                "  {cause:?}: {cycles} ({:.1}%)",
+                cycles as f64 / stats.cycles as f64 * 100.0
+            );
         }
     }
     c.bench_function("ablation_serialized_anatomy", |b| {
@@ -30,8 +33,8 @@ fn rob_pkru_full_stalls(c: &mut Criterion) {
     let program = dense_workload().build_protected();
     let mut group = c.benchmark_group("ablation_rob_full_stalls");
     for size in [1usize, 2, 4, 8] {
-        let mut config = specmpk_ooo::SimConfig::with_policy(WrpkruPolicy::SpecMpk)
-            .with_rob_pkru_size(size);
+        let mut config =
+            specmpk_ooo::SimConfig::with_policy(WrpkruPolicy::SpecMpk).with_rob_pkru_size(size);
         config.max_instructions = specmpk_bench::BENCH_INSTR;
         let stats = {
             let mut core = specmpk_ooo::Core::new(config, &program);

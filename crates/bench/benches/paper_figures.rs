@@ -56,9 +56,7 @@ fn fig9(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("fig9");
     for policy in WrpkruPolicy::all() {
-        group.bench_function(policy.to_string(), |b| {
-            b.iter(|| simulate(&program, policy).cycles)
-        });
+        group.bench_function(policy.to_string(), |b| b.iter(|| simulate(&program, policy).cycles));
     }
     group.finish();
 }

@@ -1,0 +1,38 @@
+//! Guard bench for the tracing subsystem's zero-cost claim.
+//!
+//! Three variants simulate the same WRPKRU-dense workload:
+//!
+//! * **`seed_untraced`** — `Core::new`, the seed's code path (which is
+//!   itself `Core::with_sink(.., NullSink)` after the refactor);
+//! * **`null_sink`** — `Core::with_sink(.., NullSink)` spelled explicitly,
+//!   so a regression in the generic path shows up even if `new` changes;
+//! * **`pipe_tracer`** — full per-instruction Konata recording, as an
+//!   upper bound on what enabling tracing costs.
+//!
+//! Acceptance criterion: `null_sink` within 2% of `seed_untraced`.
+//! `NullSink::enabled()` is a constant `false`, so every event-construction
+//! site folds away and the two should be statistically indistinguishable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specmpk_bench::{dense_workload, simulate_n, simulate_with_sink, BENCH_INSTR};
+use specmpk_core::WrpkruPolicy;
+use specmpk_trace::{NullSink, PipeTracer};
+
+fn trace_overhead(c: &mut Criterion) {
+    let program = dense_workload().build_protected();
+    let policy = WrpkruPolicy::SpecMpk;
+    let mut group = c.benchmark_group("trace_overhead");
+    group.bench_function("seed_untraced", |b| {
+        b.iter(|| simulate_n(&program, policy, BENCH_INSTR).cycles)
+    });
+    group.bench_function("null_sink", |b| {
+        b.iter(|| simulate_with_sink(&program, policy, BENCH_INSTR, NullSink).cycles)
+    });
+    group.bench_function("pipe_tracer", |b| {
+        b.iter(|| simulate_with_sink(&program, policy, BENCH_INSTR, PipeTracer::default()).cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trace_overhead);
+criterion_main!(benches);

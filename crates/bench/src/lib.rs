@@ -19,6 +19,7 @@
 use specmpk_core::WrpkruPolicy;
 use specmpk_isa::Program;
 use specmpk_ooo::{Core, SimConfig, SimStats};
+use specmpk_trace::TraceSink;
 use specmpk_workloads::{standard_suite, Workload};
 
 /// Instruction budget for bench-sized simulations.
@@ -39,6 +40,23 @@ pub fn simulate_n(program: &Program, policy: WrpkruPolicy, n: u64) -> SimStats {
     core.run().stats
 }
 
+/// Simulates `program` under `policy` with an explicit trace sink.
+///
+/// Used by the `trace_overhead` bench to compare the seed's untraced
+/// path against `NullSink`- and `PipeTracer`-instrumented cores.
+#[must_use]
+pub fn simulate_with_sink<S: TraceSink>(
+    program: &Program,
+    policy: WrpkruPolicy,
+    n: u64,
+    sink: S,
+) -> SimStats {
+    let mut config = SimConfig::with_policy(policy);
+    config.max_instructions = n;
+    let mut core = Core::with_sink(config, program, sink);
+    core.run().stats
+}
+
 /// A small, WRPKRU-dense workload (the suite's omnetpp-SS) for benches.
 #[must_use]
 pub fn dense_workload() -> Workload {
@@ -48,8 +66,5 @@ pub fn dense_workload() -> Workload {
 /// A WRPKRU-sparse workload (the suite's mcf-SS) for contrast benches.
 #[must_use]
 pub fn sparse_workload() -> Workload {
-    standard_suite()
-        .into_iter()
-        .find(|w| w.profile.name == "505.mcf_r")
-        .expect("mcf present")
+    standard_suite().into_iter().find(|w| w.profile.name == "505.mcf_r").expect("mcf present")
 }

@@ -33,14 +33,14 @@ impl DisablingCounters {
     pub fn increment(&mut self, ad_bitmap: u16, wd_bitmap: u16) {
         for k in 0..NUM_PKEYS {
             if ad_bitmap & (1 << k) != 0 {
-                self.access_disable[k] = self.access_disable[k]
-                    .checked_add(1)
-                    .expect("AccessDisableCounter overflow: more WRPKRUs in flight than ROB_pkru allows");
+                self.access_disable[k] = self.access_disable[k].checked_add(1).expect(
+                    "AccessDisableCounter overflow: more WRPKRUs in flight than ROB_pkru allows",
+                );
             }
             if wd_bitmap & (1 << k) != 0 {
-                self.write_disable[k] = self.write_disable[k]
-                    .checked_add(1)
-                    .expect("WriteDisableCounter overflow: more WRPKRUs in flight than ROB_pkru allows");
+                self.write_disable[k] = self.write_disable[k].checked_add(1).expect(
+                    "WriteDisableCounter overflow: more WRPKRUs in flight than ROB_pkru allows",
+                );
             }
         }
     }
@@ -55,14 +55,12 @@ impl DisablingCounters {
     pub fn decrement(&mut self, ad_bitmap: u16, wd_bitmap: u16) {
         for k in 0..NUM_PKEYS {
             if ad_bitmap & (1 << k) != 0 {
-                self.access_disable[k] = self.access_disable[k]
-                    .checked_sub(1)
-                    .expect("AccessDisableCounter underflow");
+                self.access_disable[k] =
+                    self.access_disable[k].checked_sub(1).expect("AccessDisableCounter underflow");
             }
             if wd_bitmap & (1 << k) != 0 {
-                self.write_disable[k] = self.write_disable[k]
-                    .checked_sub(1)
-                    .expect("WriteDisableCounter underflow");
+                self.write_disable[k] =
+                    self.write_disable[k].checked_sub(1).expect("WriteDisableCounter underflow");
             }
         }
     }
@@ -82,8 +80,7 @@ impl DisablingCounters {
     /// Whether every counter is zero (no disabling updates in flight).
     #[must_use]
     pub fn all_zero(&self) -> bool {
-        self.access_disable.iter().all(|&c| c == 0)
-            && self.write_disable.iter().all(|&c| c == 0)
+        self.access_disable.iter().all(|&c| c == 0) && self.write_disable.iter().all(|&c| c == 0)
     }
 }
 

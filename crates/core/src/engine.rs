@@ -47,6 +47,20 @@ pub struct PkruEngineStats {
     pub rob_full_stall_cycles: u64,
 }
 
+impl PkruEngineStats {
+    /// Structured form for experiment artifacts.
+    #[must_use]
+    pub fn to_json(&self) -> specmpk_trace::Json {
+        specmpk_trace::Json::object()
+            .with("wrpkru_renamed", self.wrpkru_renamed)
+            .with("wrpkru_retired", self.wrpkru_retired)
+            .with("wrpkru_squashed", self.wrpkru_squashed)
+            .with("load_check_failures", self.load_check_failures)
+            .with("store_check_failures", self.store_check_failures)
+            .with("rob_full_stall_cycles", self.rob_full_stall_cycles)
+    }
+}
+
 /// The per-core PKRU rename/check apparatus: `ROB_pkru`, `ARF_pkru`,
 /// `RMT_pkru` and the Disabling Counters, specialized by [`WrpkruPolicy`].
 ///
@@ -223,8 +237,8 @@ impl PkruEngine {
         match self.policy {
             WrpkruPolicy::Serialized | WrpkruPolicy::NonSecureSpec => true,
             WrpkruPolicy::SpecMpk => {
-                let pass = self.counters.access_disable(pkey) == 0
-                    && !self.arf.access_disabled(pkey);
+                let pass =
+                    self.counters.access_disable(pkey) == 0 && !self.arf.access_disabled(pkey);
                 if !pass {
                     self.stats.load_check_failures += 1;
                 }
@@ -574,9 +588,7 @@ mod tests {
         let t = e.rename_wrpkru().unwrap();
         e.execute_wrpkru(
             t,
-            Pkru::ALL_ACCESS
-                .with_access_disabled(k(1), true)
-                .with_write_disabled(k(2), true),
+            Pkru::ALL_ACCESS.with_access_disabled(k(1), true).with_write_disabled(k(2), true),
         );
         assert!(!e.load_check(k(1)));
         assert!(!e.store_check(k(2)));

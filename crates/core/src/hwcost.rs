@@ -114,8 +114,7 @@ mod tests {
         let costs: Vec<u64> = sizes
             .iter()
             .map(|&s| {
-                hardware_cost(SpecMpkConfig { rob_pkru_size: s, store_queue_size: 72 })
-                    .total_bits()
+                hardware_cost(SpecMpkConfig { rob_pkru_size: s, store_queue_size: 72 }).total_bits()
             })
             .collect();
         assert!(costs.windows(2).all(|w| w[0] < w[1]), "{costs:?}");

@@ -13,6 +13,14 @@ use specmpk_mpk::Pkru;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PkruTag(pub(crate) u64);
 
+impl PkruTag {
+    /// The underlying sequence number, for trace/observability output.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct RobPkruEntry {
     pub(crate) tag: PkruTag,

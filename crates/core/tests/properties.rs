@@ -2,6 +2,9 @@
 //! naive model of the in-flight window, across arbitrary operation
 //! sequences.
 
+// Gated so the workspace still builds/tests with --no-default-features.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use specmpk_core::{PkruEngine, PkruTag, SpecMpkConfig, WrpkruPolicy};
 use specmpk_mpk::{Pkey, Pkru};
@@ -42,18 +45,16 @@ struct Model {
 impl Model {
     fn window_access_disabled(&self, key: Pkey) -> bool {
         self.committed.access_disabled(key)
-            || self
-                .inflight
-                .iter()
-                .any(|(_, v)| v.is_some_and(|p| p.access_disabled(key)))
+            || self.inflight.iter().any(|(_, v)| v.is_some_and(|p| p.access_disabled(key)))
     }
 
     fn window_write_disabled_any(&self, key: Pkey) -> bool {
         self.committed.access_disabled(key)
             || self.committed.write_disabled(key)
-            || self.inflight.iter().any(|(_, v)| {
-                v.is_some_and(|p| p.access_disabled(key) || p.write_disabled(key))
-            })
+            || self
+                .inflight
+                .iter()
+                .any(|(_, v)| v.is_some_and(|p| p.access_disabled(key) || p.write_disabled(key)))
     }
 }
 
@@ -66,8 +67,8 @@ proptest! {
     fn checks_agree_with_naive_window_model(ops in arb_ops()) {
         let mut engine = PkruEngine::new(WrpkruPolicy::SpecMpk, SpecMpkConfig::default());
         let mut model = Model::default();
-        let mut checkpoints: Vec<(specmpk_core::PkruCheckpoint, Vec<(PkruTag, Option<Pkru>)>)> =
-            Vec::new();
+        type Checkpoint = (specmpk_core::PkruCheckpoint, Vec<(PkruTag, Option<Pkru>)>);
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
 
         for op in ops {
             match op {

@@ -1,0 +1,242 @@
+//! Offline drop-in subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmarking API.
+//!
+//! The build container cannot reach crates.io, so this local crate provides
+//! the slice of criterion that the workspace's benches use: [`Criterion`]
+//! with the `sample_size` / `measurement_time` / `warm_up_time` builders,
+//! `bench_function`, `benchmark_group`, [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up for the
+//! configured time to estimate a batch size, then takes `sample_size`
+//! wall-clock samples and reports the median per-iteration time. There are
+//! no plots, no saved baselines, and no statistical regression analysis —
+//! the benches in this repo are used for relative comparisons within one
+//! run, which the median supports fine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver (subset of criterion's builder API).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up (batch-size calibration) time.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self, &mut f);
+        self
+    }
+
+    /// Opens a named group; per-group overrides apply until `finish()`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: self.clone(), _parent: self }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement time for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark under this group's name prefix.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, &self.config, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to time.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// Median per-iteration time of the last `iter` call, in ns.
+    median_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`: calibrates a batch size during warm-up, then takes
+    /// the configured number of samples and records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up doubles as calibration: count iterations until the
+        // warm-up budget elapses to estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let sample_budget_ns =
+            self.config.measurement_time.as_nanos() as f64 / self.config.sample_size as f64;
+        let batch = ((sample_budget_ns / per_iter_ns) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, config: &Criterion, f: &mut F) {
+    let mut bencher = Bencher { config, median_ns: f64::NAN };
+    f(&mut bencher);
+    println!("{:<40} time: [{}]", id, format_ns(bencher.median_ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "not measured".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, with or without a custom config:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! { name = benches; config = custom(); targets = bench_a }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main()` running the named groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_override_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.bench_function(format!("{}_case", 1), |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(12.5), "12.50 ns");
+        assert_eq!(format_ns(1_500.0), "1.500 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.500 ms");
+    }
+}

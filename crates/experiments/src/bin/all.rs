@@ -1,27 +1,45 @@
 //! Regenerates every table and figure in one run (the source of
-//! `EXPERIMENTS.md`).
+//! `EXPERIMENTS.md`), writing one JSON artifact per experiment alongside
+//! the printed tables.
 use specmpk_experiments as exp;
+use specmpk_experiments::artifact;
 
 fn main() {
     let budget = exp::instr_budget();
     println!("=== SpecMPK reproduction: all experiments (budget {budget} instr/run) ===\n");
     exp::print_table1();
+    artifact::write("table1", exp::table1_json());
     println!();
     exp::print_table2();
+    artifact::write("table2", exp::table2_json());
     println!();
     exp::print_table3();
+    artifact::write("table3", exp::table3_json());
     println!();
-    exp::print_fig3(&exp::fig3_data(budget));
+    let fig3 = exp::fig3_data(budget);
+    exp::print_fig3(&fig3);
+    artifact::write("fig3", artifact::rows(&fig3, exp::Fig3Row::to_json));
     println!();
-    exp::print_fig4(&exp::fig4_data(400));
+    let fig4 = exp::fig4_data(400);
+    exp::print_fig4(&fig4);
+    artifact::write("fig4", artifact::rows(&fig4, exp::Fig4Row::to_json));
     println!();
-    exp::print_fig9(&exp::fig9_data(budget));
+    let fig9 = exp::fig9_data(budget);
+    exp::print_fig9(&fig9);
+    artifact::write("fig9", artifact::rows(&fig9, exp::Fig9Row::to_json));
     println!();
-    exp::print_fig10(&exp::fig10_data(budget));
+    let fig10 = exp::fig10_data(budget);
+    exp::print_fig10(&fig10);
+    artifact::write("fig10", artifact::rows(&fig10, exp::Fig10Row::to_json));
     println!();
-    exp::print_fig11(&exp::fig11_data(budget));
+    let fig11 = exp::fig11_data(budget);
+    exp::print_fig11(&fig11);
+    artifact::write("fig11", artifact::rows(&fig11, exp::Fig11Row::to_json));
     println!();
-    exp::print_fig13(&exp::fig13_data());
+    let fig13 = exp::fig13_data();
+    exp::print_fig13(&fig13);
+    artifact::write("fig13", artifact::rows(&fig13, exp::Fig13Series::to_json));
     println!();
     exp::print_hw_overhead();
+    artifact::write("hw_overhead", exp::hw_overhead_json());
 }

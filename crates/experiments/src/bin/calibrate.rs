@@ -4,7 +4,9 @@
 //! baked into `specmpk_workloads::profile::standard_profiles`.
 
 use specmpk_core::WrpkruPolicy;
+use specmpk_experiments::artifact;
 use specmpk_ooo::{Core, SimConfig};
+use specmpk_trace::Json;
 use specmpk_workloads::{standard_profiles, Scheme, Workload, WorkloadProfile};
 
 /// Fig. 10-style target WRPKRU / kilo-instruction per benchmark.
@@ -42,13 +44,13 @@ fn measure(profile: WorkloadProfile) -> f64 {
 
 fn main() {
     let grid: Vec<f64> = vec![
-        0.002, 0.004, 0.008, 0.015, 0.025, 0.04, 0.06, 0.09, 0.13, 0.18, 0.25, 0.35, 0.5, 0.7,
-        0.9,
+        0.002, 0.004, 0.008, 0.015, 0.025, 0.04, 0.06, 0.09, 0.13, 0.18, 0.25, 0.35, 0.5, 0.7, 0.9,
     ];
     println!(
         "{:<20} {:>8} {:>9} {:>6} {:>9}",
         "benchmark", "target", "best rate", "seed", "density"
     );
+    let mut results = Vec::new();
     for base in standard_profiles() {
         let goal = target(base.name, base.scheme);
         let mut best = (f64::INFINITY, 0.0, 0u64, 0.0);
@@ -76,5 +78,15 @@ fn main() {
             best.2,
             best.3
         );
+        results.push(
+            Json::object()
+                .with("benchmark", base.name)
+                .with("scheme", base.scheme.label())
+                .with("target_density", goal)
+                .with("best_rate", best.1)
+                .with("seed", best.2)
+                .with("density", best.3),
+        );
     }
+    artifact::write("calibrate", Json::Arr(results));
 }

@@ -11,9 +11,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use specmpk_experiments::artifact;
 use specmpk_isa::SegmentPerms;
 use specmpk_mem::{MemConfig, MemorySystem};
 use specmpk_mpk::{Pkey, Recolor, VirtualDomain, VirtualDomainTable};
+use specmpk_trace::Json;
 
 const PAGES_PER_DOMAIN: u64 = 4;
 const SWITCHES: usize = 10_000;
@@ -84,22 +86,29 @@ fn run_pattern(count: usize, skewed: bool) -> (f64, f64) {
 
 fn main() {
     println!("Domain virtualization (libmpk-style) — recolor traffic per domain switch");
-    println!("({SWITCHES} switches, {PAGES_PER_DOMAIN}-page domains, 15 allocatable hardware pkeys)");
     println!(
-        "{:>8} {:>24} {:>24}",
-        "domains", "round-robin", "skewed 90/10"
+        "({SWITCHES} switches, {PAGES_PER_DOMAIN}-page domains, 15 allocatable hardware pkeys)"
     );
+    println!("{:>8} {:>24} {:>24}", "domains", "round-robin", "skewed 90/10");
     println!(
         "{:>8} {:>12} {:>11} {:>12} {:>11}",
         "", "pages/switch", "evict rate", "pages/switch", "evict rate"
     );
+    let mut results = Vec::new();
     for count in [4usize, 8, 15, 16, 20, 24, 32, 64] {
         let (rr_pages, rr_evict) = run_pattern(count, false);
         let (sk_pages, sk_evict) = run_pattern(count, true);
-        println!(
-            "{count:>8} {rr_pages:>12.2} {rr_evict:>11.3} {sk_pages:>12.2} {sk_evict:>11.3}"
+        println!("{count:>8} {rr_pages:>12.2} {rr_evict:>11.3} {sk_pages:>12.2} {sk_evict:>11.3}");
+        results.push(
+            Json::object()
+                .with("domains", count)
+                .with("round_robin_pages_per_switch", rr_pages)
+                .with("round_robin_evict_rate", rr_evict)
+                .with("skewed_pages_per_switch", sk_pages)
+                .with("skewed_evict_rate", sk_evict),
         );
     }
+    artifact::write("domain_virtualization", Json::Arr(results));
     println!();
     println!("≤15 domains: zero steady-state traffic (every key fits).");
     println!(">15 domains, round-robin: LRU thrashes — every switch recolors");

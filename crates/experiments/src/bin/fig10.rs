@@ -1,5 +1,7 @@
 //! Regenerates Figure 10 (WRPKRU per kilo-instruction).
-use specmpk_experiments::{fig10_data, instr_budget, print_fig10};
+use specmpk_experiments::{artifact, fig10_data, instr_budget, print_fig10, Fig10Row};
 fn main() {
-    print_fig10(&fig10_data(instr_budget()));
+    let rows = fig10_data(instr_budget());
+    print_fig10(&rows);
+    artifact::write("fig10", artifact::rows(&rows, Fig10Row::to_json));
 }

@@ -1,5 +1,7 @@
 //! Regenerates Figure 11 (ROB_pkru size sensitivity).
-use specmpk_experiments::{fig11_data, instr_budget, print_fig11};
+use specmpk_experiments::{artifact, fig11_data, instr_budget, print_fig11, Fig11Row};
 fn main() {
-    print_fig11(&fig11_data(instr_budget()));
+    let rows = fig11_data(instr_budget());
+    print_fig11(&rows);
+    artifact::write("fig11", artifact::rows(&rows, Fig11Row::to_json));
 }

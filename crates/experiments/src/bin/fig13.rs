@@ -1,5 +1,7 @@
 //! Regenerates Figure 13 (flush+reload latencies: NonSecure vs SpecMPK).
-use specmpk_experiments::{fig13_data, print_fig13};
+use specmpk_experiments::{artifact, fig13_data, print_fig13, Fig13Series};
 fn main() {
-    print_fig13(&fig13_data());
+    let series = fig13_data();
+    print_fig13(&series);
+    artifact::write("fig13", artifact::rows(&series, Fig13Series::to_json));
 }

@@ -1,5 +1,7 @@
 //! Regenerates Figure 3 (speculative-WRPKRU speedup + rename stalls).
-use specmpk_experiments::{fig3_data, instr_budget, print_fig3};
+use specmpk_experiments::{artifact, fig3_data, instr_budget, print_fig3, Fig3Row};
 fn main() {
-    print_fig3(&fig3_data(instr_budget()));
+    let rows = fig3_data(instr_budget());
+    print_fig3(&rows);
+    artifact::write("fig3", artifact::rows(&rows, Fig3Row::to_json));
 }

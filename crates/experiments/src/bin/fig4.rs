@@ -1,5 +1,7 @@
 //! Regenerates Figure 4 (overhead breakdown vs insecure baseline).
-use specmpk_experiments::{fig4_data, print_fig4};
+use specmpk_experiments::{artifact, fig4_data, print_fig4, Fig4Row};
 fn main() {
-    print_fig4(&fig4_data(400));
+    let rows = fig4_data(400);
+    print_fig4(&rows);
+    artifact::write("fig4", artifact::rows(&rows, Fig4Row::to_json));
 }

@@ -1,5 +1,7 @@
 //! Regenerates Figure 9 (normalized IPC of the three WRPKRU designs).
-use specmpk_experiments::{fig9_data, instr_budget, print_fig9};
+use specmpk_experiments::{artifact, fig9_data, instr_budget, print_fig9, Fig9Row};
 fn main() {
-    print_fig9(&fig9_data(instr_budget()));
+    let rows = fig9_data(instr_budget());
+    print_fig9(&rows);
+    artifact::write("fig9", artifact::rows(&rows, Fig9Row::to_json));
 }

@@ -1,4 +1,6 @@
 //! Regenerates the Section VIII hardware-overhead analysis.
+use specmpk_experiments::{artifact, hw_overhead_json, print_hw_overhead};
 fn main() {
-    specmpk_experiments::print_hw_overhead();
+    print_hw_overhead();
+    artifact::write("hw_overhead", hw_overhead_json());
 }

@@ -9,20 +9,20 @@
 //! with load-immediates. This experiment quantifies the difference.
 
 use specmpk_core::WrpkruPolicy;
-use specmpk_experiments::run_policy;
+use specmpk_experiments::{artifact, run_policy};
+use specmpk_trace::Json;
 use specmpk_workloads::{standard_suite, PkruUpdateStyle};
 
 fn main() {
-    let budget: u64 = std::env::var("SPECMPK_INSTR_BUDGET")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(300_000);
+    let budget: u64 =
+        std::env::var("SPECMPK_INSTR_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(300_000);
     println!("RDPKRU study (§V-C6): load-immediate vs glibc read-modify-write updates");
     println!("(budget {budget} instructions per run)\n");
     println!(
         "{:<24} {:<12} {:>10} {:>10} {:>12}",
         "workload", "policy", "li IPC", "rmw IPC", "rmw cost"
     );
+    let mut results = Vec::new();
     for w in standard_suite().iter().take(4) {
         let scheme = w.scheme.protection();
         let li = w.build_with_style(scheme, PkruUpdateStyle::LoadImmediate);
@@ -38,8 +38,17 @@ fn main() {
                 b,
                 (1.0 - b / a) * 100.0
             );
+            results.push(
+                Json::object()
+                    .with("workload", w.name())
+                    .with("policy", policy.to_string())
+                    .with("load_immediate_ipc", a)
+                    .with("read_modify_write_ipc", b)
+                    .with("rmw_cost", 1.0 - b / a),
+            );
         }
     }
+    artifact::write("rdpkru_study", Json::Arr(results));
     println!();
     println!("Reading the results: under SpecMPK the RDPKRU in every RMW update");
     println!("serializes against in-flight WRPKRUs, giving up part of the benefit");

@@ -1,4 +1,6 @@
 //! Regenerates Table I (properties of isolation techniques).
+use specmpk_experiments::{artifact, print_table1, table1_json};
 fn main() {
-    specmpk_experiments::print_table1();
+    print_table1();
+    artifact::write("table1", table1_json());
 }

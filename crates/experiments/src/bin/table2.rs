@@ -1,4 +1,6 @@
 //! Regenerates Table II (additional source operands in SpecMPK).
+use specmpk_experiments::{artifact, print_table2, table2_json};
 fn main() {
-    specmpk_experiments::print_table2();
+    print_table2();
+    artifact::write("table2", table2_json());
 }

@@ -1,4 +1,6 @@
 //! Regenerates Table III (simulation configuration).
+use specmpk_experiments::{artifact, print_table3, table3_json};
 fn main() {
-    specmpk_experiments::print_table3();
+    print_table3();
+    artifact::write("table3", table3_json());
 }

@@ -21,9 +21,50 @@
 use specmpk_core::{hardware_cost, SpecMpkConfig, WrpkruPolicy};
 use specmpk_isa::Program;
 use specmpk_ooo::{Core, RenameStall, SimConfig, SimStats};
+use specmpk_trace::Json;
 use specmpk_workloads::{standard_suite, Protection, Workload};
 
 pub use specmpk_attacks as attacks;
+
+// ----------------------------------------------------------- artifacts
+
+/// JSON artifact output for experiment binaries.
+///
+/// Every `figN`/`tableN` binary writes its structured rows here in
+/// addition to the printed table, so plotting scripts and regression
+/// checks can consume results without scraping stdout.
+pub mod artifact {
+    use specmpk_trace::Json;
+    use std::path::PathBuf;
+
+    /// The artifact directory: `$SPECMPK_OUTPUT_DIR`, or
+    /// `experiments_output/` under the current directory.
+    #[must_use]
+    pub fn output_dir() -> PathBuf {
+        std::env::var_os("SPECMPK_OUTPUT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("experiments_output"))
+    }
+
+    /// Writes `data` to `<output_dir>/<name>.json`, creating the
+    /// directory if needed. A write failure is reported on stderr but
+    /// does not abort the experiment — the printed table still stands.
+    pub fn write(name: &str, data: Json) {
+        let dir = output_dir();
+        let path = dir.join(format!("{name}.json"));
+        let outcome =
+            std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, data.dump()));
+        match outcome {
+            Ok(()) => eprintln!("[artifact] wrote {}", path.display()),
+            Err(e) => eprintln!("[artifact] could not write {}: {e}", path.display()),
+        }
+    }
+
+    /// Maps `rows` through `f` into a JSON array.
+    pub fn rows<T>(rows: &[T], f: impl Fn(&T) -> Json) -> Json {
+        Json::Arr(rows.iter().map(f).collect())
+    }
+}
 
 /// Default per-run retired-instruction budget for IPC experiments.
 ///
@@ -32,10 +73,7 @@ pub use specmpk_attacks as attacks;
 /// per run, which is past warm-up for these footprints).
 #[must_use]
 pub fn instr_budget() -> u64 {
-    std::env::var("SPECMPK_INSTR_BUDGET")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000_000)
+    std::env::var("SPECMPK_INSTR_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000_000)
 }
 
 /// Runs `program` under `policy` for at most `max_instructions`.
@@ -86,6 +124,17 @@ pub struct Fig3Row {
     pub speedup: f64,
     /// Fraction of cycles fully stalled at rename by WRPKRU serialization.
     pub rename_stall_fraction: f64,
+}
+
+impl Fig3Row {
+    /// Structured form for the experiment artifact.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("name", self.name.as_str())
+            .with("speedup", self.speedup)
+            .with("rename_stall_fraction", self.rename_stall_fraction)
+    }
 }
 
 /// Computes Fig. 3 for the standard suite.
@@ -142,6 +191,17 @@ pub struct Fig4Row {
     pub serialization_overhead: f64,
 }
 
+impl Fig4Row {
+    /// Structured form for the experiment artifact.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("name", self.name.as_str())
+            .with("compiler_overhead", self.compiler_overhead)
+            .with("serialization_overhead", self.serialization_overhead)
+    }
+}
+
 /// Computes Fig. 4. Runs each variant *to completion* on a shortened
 /// driver so cycle counts compare equal work (the three binaries execute
 /// different instruction streams). Per-iteration cost varies ~100× across
@@ -156,11 +216,9 @@ pub fn fig4_data(target_kilo_instructions: u32) -> Vec<Fig4Row> {
             let mut profile = w.profile;
             profile.driver_iterations = 8;
             let probe = Workload::from_profile(profile);
-            let per_iter = run_policy(&probe.build_unprotected(), WrpkruPolicy::Serialized, 0)
-                .retired
-                / 8;
-            profile.driver_iterations =
-                (target / per_iter.max(1)).clamp(20, 2000) as u32;
+            let per_iter =
+                run_policy(&probe.build_unprotected(), WrpkruPolicy::Serialized, 0).retired / 8;
+            profile.driver_iterations = (target / per_iter.max(1)).clamp(20, 2000) as u32;
             let w = Workload::from_profile(profile);
             let insecure = w.build_unprotected();
             let nop = w.build_nop_wrpkru();
@@ -217,6 +275,19 @@ pub struct Fig9Row {
     pub nonsecure: f64,
     /// WRPKRU per kilo-instruction (Fig. 10).
     pub wrpkru_per_kinstr: f64,
+}
+
+impl Fig9Row {
+    /// Structured form for the experiment artifact.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("name", self.name.as_str())
+            .with("serialized_ipc", self.serialized_ipc)
+            .with("specmpk", self.specmpk)
+            .with("nonsecure", self.nonsecure)
+            .with("wrpkru_per_kinstr", self.wrpkru_per_kinstr)
+    }
 }
 
 /// Computes Fig. 9 (normalized IPC of all three microarchitectures) and
@@ -281,6 +352,16 @@ pub struct Fig10Row {
     pub wrpkru_per_kinstr: f64,
 }
 
+impl Fig10Row {
+    /// Structured form for the experiment artifact.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("name", self.name.as_str())
+            .with("wrpkru_per_kinstr", self.wrpkru_per_kinstr)
+    }
+}
+
 /// Computes Fig. 10: dynamic WRPKRU density of each workload.
 #[must_use]
 pub fn fig10_data(max_instructions: u64) -> Vec<Fig10Row> {
@@ -322,6 +403,19 @@ pub struct Fig11Row {
     pub nonsecure: f64,
 }
 
+impl Fig11Row {
+    /// Structured form for the experiment artifact.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("name", self.name.as_str())
+            .with("size2", self.size2)
+            .with("size4", self.size4)
+            .with("size8", self.size8)
+            .with("nonsecure", self.nonsecure)
+    }
+}
+
 /// Computes Fig. 11: SpecMPK IPC for `ROB_pkru` ∈ {2, 4, 8}, normalized to
 /// the serialized baseline, with NonSecure as the ceiling.
 #[must_use]
@@ -331,9 +425,8 @@ pub fn fig11_data(max_instructions: u64) -> Vec<Fig11Row> {
         .map(|w| {
             let p = w.build_protected();
             let ser = run_policy(&p, WrpkruPolicy::Serialized, max_instructions).ipc();
-            let at = |n| {
-                run_policy_with_rob(&p, WrpkruPolicy::SpecMpk, n, max_instructions).ipc() / ser
-            };
+            let at =
+                |n| run_policy_with_rob(&p, WrpkruPolicy::SpecMpk, n, max_instructions).ipc() / ser;
             let nonsecure =
                 run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions).ipc() / ser;
             Fig11Row { name: w.name(), size2: at(2), size4: at(4), size8: at(8), nonsecure }
@@ -368,6 +461,17 @@ pub struct Fig13Series {
     pub latencies: Vec<u64>,
     /// Indices classified as cache hits.
     pub hot: Vec<usize>,
+}
+
+impl Fig13Series {
+    /// Structured form for the experiment artifact.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("policy", self.policy.to_string())
+            .with("latencies", Json::Arr(self.latencies.iter().map(|&l| Json::from(l)).collect()))
+            .with("hot", Json::Arr(self.hot.iter().map(|&i| Json::from(i)).collect()))
+    }
 }
 
 /// Runs the Spectre-V1 flush+reload experiment (secret byte 101, training
@@ -426,17 +530,56 @@ pub fn print_table1() {
     }
 }
 
+/// Table I as a JSON artifact.
+#[must_use]
+pub fn table1_json() -> Json {
+    let rows: [(&str, bool, bool, bool, &str); 7] = [
+        ("MPK", true, true, true, "user-space PKRU update, per-pkey domains"),
+        ("mprotect", false, true, true, "TLB shootdown per switch"),
+        ("MPX", true, false, true, "bound checks bypassable speculatively"),
+        ("ASLR", true, false, true, "layout leaks via side channels"),
+        ("IMIX", true, true, false, "single protected region only"),
+        ("SEIMI", true, true, false, "single SMAP-backed region"),
+        ("SFI", true, false, true, "masking misses un-instrumented code"),
+    ];
+    Json::Arr(
+        rows.into_iter()
+            .map(|(name, fast, secure, lp, why)| {
+                Json::object()
+                    .with("method", name)
+                    .with("fast_interleaved_access", fast)
+                    .with("secure", secure)
+                    .with("least_privilege", lp)
+                    .with("note", why)
+            })
+            .collect(),
+    )
+}
+
 /// Prints Table II: the new source operands SpecMPK adds per instruction
 /// type (§V-B3).
 pub fn print_table2() {
     println!("Table II: additional source operands in SpecMPK");
-    println!("{:<12} {}", "instruction", "new source operands");
-    println!("{:<12} {}", "Load", "ROB_pkru, ARF_pkru, AccessDisableCounter");
-    println!(
-        "{:<12} {}",
-        "Store", "ROB_pkru, ARF_pkru, AccessDisableCounter, WriteDisableCounter"
-    );
-    println!("{:<12} {}", "WRPKRU", "ROB_pkru (orders WRPKRUs among themselves)");
+    println!("{:<12} new source operands", "instruction");
+    println!("{:<12} ROB_pkru, ARF_pkru, AccessDisableCounter", "Load");
+    println!("{:<12} ROB_pkru, ARF_pkru, AccessDisableCounter, WriteDisableCounter", "Store");
+    println!("{:<12} ROB_pkru (orders WRPKRUs among themselves)", "WRPKRU");
+}
+
+/// Table II as a JSON artifact.
+#[must_use]
+pub fn table2_json() -> Json {
+    let row = |instr: &str, operands: &[&str]| {
+        Json::object().with("instruction", instr).with(
+            "new_source_operands",
+            Json::Arr(operands.iter().map(|&o| Json::from(o)).collect()),
+        )
+    };
+    Json::Arr(vec![
+        row("Load", &["ROB_pkru", "ARF_pkru", "AccessDisableCounter"]),
+        row("Store", &["ROB_pkru", "ARF_pkru", "AccessDisableCounter", "WriteDisableCounter"]),
+        row("WRPKRU", &["ROB_pkru"]),
+    ])
 }
 
 /// Prints Table III: the simulated configuration.
@@ -486,6 +629,46 @@ pub fn print_table3() {
     );
 }
 
+/// Table III (the simulated configuration) as a JSON artifact.
+#[must_use]
+pub fn table3_json() -> Json {
+    let c = SimConfig::default();
+    let h = c.mem.hierarchy;
+    let cache = |l: specmpk_mem::CacheConfig| {
+        Json::object()
+            .with("size_bytes", l.size_bytes)
+            .with("ways", l.ways)
+            .with("latency", l.latency)
+    };
+    Json::object()
+        .with("width", c.width)
+        .with("active_list", c.active_list_size)
+        .with("issue_queue", c.issue_queue_size)
+        .with("load_queue", c.load_queue_size)
+        .with("store_queue", c.store_queue_size)
+        .with("prf", c.prf_size)
+        .with("rob_pkru", c.specmpk.rob_pkru_size)
+        .with(
+            "predictor",
+            Json::object()
+                .with("btb_entries", c.predictor.btb_entries)
+                .with("ras_entries", c.predictor.ras_entries)
+                .with("gshare_bits", c.predictor.gshare_bits),
+        )
+        .with("l1i", cache(h.l1i))
+        .with("l1d", cache(h.l1d))
+        .with("l2", cache(h.l2))
+        .with("l3", cache(h.l3))
+        .with("dram_extra_latency", h.dram_extra_latency)
+        .with(
+            "dtlb",
+            Json::object()
+                .with("entries", c.mem.tlb.entries)
+                .with("ways", c.mem.tlb.ways)
+                .with("walk_latency", c.mem.tlb.walk_latency),
+        )
+}
+
 /// Prints the §VIII hardware-overhead analysis.
 pub fn print_hw_overhead() {
     println!("Section VIII: hardware overhead (analytic model)");
@@ -508,16 +691,35 @@ pub fn print_hw_overhead() {
     }
 }
 
+/// The §VIII hardware-overhead analysis as a JSON artifact.
+#[must_use]
+pub fn hw_overhead_json() -> Json {
+    Json::Arr(
+        [2usize, 4, 8, 16]
+            .into_iter()
+            .map(|size| {
+                let cost =
+                    hardware_cost(SpecMpkConfig { rob_pkru_size: size, store_queue_size: 72 });
+                Json::object()
+                    .with("rob_pkru_size", size)
+                    .with("rob_pkru_bits", cost.rob_pkru_bits)
+                    .with("arf_pkru_bits", cost.arf_pkru_bits)
+                    .with("counter_bits", cost.counter_bits)
+                    .with("sq_bits", cost.sq_bits)
+                    .with("bytes", cost.headline_bytes())
+                    .with("fraction_of_l1d", cost.fraction_of_cache(48 * 1024))
+            })
+            .collect(),
+    )
+}
+
 /// Extra detail printed with Fig. 3/9: the per-cause rename-stall profile
 /// of one workload under the serialized policy (used by the ablation
 /// benches too).
 #[must_use]
 pub fn rename_stall_profile(program: &Program, max_instructions: u64) -> Vec<(String, u64)> {
     let stats = run_policy(program, WrpkruPolicy::Serialized, max_instructions);
-    RenameStall::all()
-        .iter()
-        .map(|&c| (format!("{c:?}"), stats.rename_stall_cycles(c)))
-        .collect()
+    RenameStall::all().iter().map(|&c| (format!("{c:?}"), stats.rename_stall_cycles(c))).collect()
 }
 
 /// Builds one suite workload's protected binary by (partial) name.

@@ -216,12 +216,9 @@ impl Assembler {
             .iter()
             .map(|item| match *item {
                 Pending::Ready(i) => Ok(i),
-                Pending::Branch { cond, rs1, rs2, label } => Ok(Instr::Branch {
-                    cond,
-                    rs1,
-                    rs2,
-                    target: resolve(label)?,
-                }),
+                Pending::Branch { cond, rs1, rs2, label } => {
+                    Ok(Instr::Branch { cond, rs1, rs2, target: resolve(label)? })
+                }
                 Pending::Jump { label } => Ok(Instr::Jump { target: resolve(label)? }),
                 Pending::Jal { rd, label } => Ok(Instr::Jal { rd, target: resolve(label)? }),
             })

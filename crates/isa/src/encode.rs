@@ -121,7 +121,7 @@ pub fn encode(instr: &Instr) -> u64 {
         Instr::Rdpkru => OP_RDPKRU,
         Instr::Li { rd, imm } => {
             assert!(
-                imm >= -(1 << 47) && imm < (1 << 47),
+                (-(1i64 << 47)..(1i64 << 47)).contains(&imm),
                 "li immediate {imm} does not fit in 48 bits"
             );
             OP_LI | (reg_field(rd) << 8) | (((imm as u64) & 0xFFFF_FFFF_FFFF) << 16)
@@ -170,9 +170,7 @@ pub fn encode(instr: &Instr) -> u64 {
             assert!(target <= MAX_TARGET, "jal target {target:#x} exceeds 43 bits");
             OP_JAL | (reg_field(rd) << 8) | (target << 16)
         }
-        Instr::Jalr { rd, rs } => {
-            OP_JALR | (reg_field(rd) << 8) | (reg_field(rs) << 13)
-        }
+        Instr::Jalr { rd, rs } => OP_JALR | (reg_field(rd) << 8) | (reg_field(rs) << 13),
         Instr::Clflush { base, offset } => {
             OP_CLFLUSH | (reg_field(base) << 8) | imm32_field(offset)
         }
@@ -234,12 +232,7 @@ pub fn decode(word: u64) -> Result<Instr, DecodeError> {
         OP_BRANCH => {
             let code = (word >> 8) & 0x7;
             let cond = cond_from_code(code).ok_or(DecodeError::BadSubOpcode { word, code })?;
-            Ok(Instr::Branch {
-                cond,
-                rs1: reg_at(11),
-                rs2: reg_at(16),
-                target: word >> 21,
-            })
+            Ok(Instr::Branch { cond, rs1: reg_at(11), rs2: reg_at(16), target: word >> 21 })
         }
         OP_JUMP => Ok(Instr::Jump { target: (word >> 8) & MAX_TARGET }),
         OP_JAL => Ok(Instr::Jal { rd: reg_at(8), target: (word >> 16) & MAX_TARGET }),
@@ -326,7 +319,12 @@ mod tests {
     #[test]
     fn round_trip_control_flow() {
         for cond in BranchCond::all() {
-            round_trip(Instr::Branch { cond, rs1: Reg::T0, rs2: Reg::T1, target: 0x7_FFFF_FFFF_F8 });
+            round_trip(Instr::Branch {
+                cond,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                target: 0x07FF_FFFF_FFF8,
+            });
         }
         round_trip(Instr::Jump { target: 0x1000 });
         round_trip(Instr::Jal { rd: Reg::RA, target: 0x2000 });

@@ -371,19 +371,13 @@ impl Instr {
     /// Whether this is a call (`jal`/`jalr` linking into `RA`).
     #[must_use]
     pub fn is_call(&self) -> bool {
-        matches!(
-            self,
-            Instr::Jal { rd: Reg::RA, .. } | Instr::Jalr { rd: Reg::RA, .. }
-        )
+        matches!(self, Instr::Jal { rd: Reg::RA, .. } | Instr::Jalr { rd: Reg::RA, .. })
     }
 
     /// Whether this is a return (`jalr zero, ra`).
     #[must_use]
     pub fn is_return(&self) -> bool {
-        matches!(
-            self,
-            Instr::Jalr { rd: Reg::ZERO, rs: Reg::RA }
-        )
+        matches!(self, Instr::Jalr { rd: Reg::ZERO, rs: Reg::RA })
     }
 
     /// The destination register, if the instruction writes one.
@@ -431,10 +425,7 @@ impl Instr {
     /// flush) and therefore needs the PKRU permission check.
     #[must_use]
     pub fn is_memory(&self) -> bool {
-        matches!(
-            self,
-            Instr::Load { .. } | Instr::Store { .. } | Instr::Clflush { .. }
-        )
+        matches!(self, Instr::Load { .. } | Instr::Store { .. } | Instr::Clflush { .. })
     }
 }
 
@@ -516,10 +507,7 @@ mod tests {
         assert_eq!(Instr::Wrpkru.class(), InstrClass::Wrpkru);
         assert_eq!(Instr::Rdpkru.class(), InstrClass::Rdpkru);
         assert_eq!(Instr::Halt.class(), InstrClass::Halt);
-        assert_eq!(
-            Instr::Clflush { base: Reg::T0, offset: 0 }.class(),
-            InstrClass::Load
-        );
+        assert_eq!(Instr::Clflush { base: Reg::T0, offset: 0 }.class(), InstrClass::Load);
     }
 
     #[test]

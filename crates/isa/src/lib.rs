@@ -52,7 +52,7 @@ mod parse;
 mod program;
 mod reg;
 
-pub use asm::{Assembler, AsmError, Label};
+pub use asm::{AsmError, Assembler, Label};
 pub use encode::{decode, encode, DecodeError};
 pub use instr::{AluOp, BranchCond, Instr, InstrClass, MemWidth, Operand};
 pub use parse::{parse_program, ParseError};

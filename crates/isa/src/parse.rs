@@ -76,11 +76,8 @@ fn parse_int(line: usize, token: &str) -> Result<i64, ParseError> {
         Some(rest) => (true, rest),
         None => (false, token),
     };
-    let value = if let Some(hex) = t.strip_prefix("0x") {
-        i64::from_str_radix(hex, 16)
-    } else {
-        t.parse()
-    };
+    let value =
+        if let Some(hex) = t.strip_prefix("0x") { i64::from_str_radix(hex, 16) } else { t.parse() };
     match value {
         Ok(v) => Ok(if neg { -v } else { v }),
         Err(_) => err(line, format!("bad integer '{token}'")),

@@ -34,12 +34,7 @@ impl Default for SegmentPerms {
 
 impl fmt::Display for SegmentPerms {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}{}",
-            if self.read { "r" } else { "-" },
-            if self.write { "w" } else { "-" }
-        )
+        write!(f, "{}{}", if self.read { "r" } else { "-" }, if self.write { "w" } else { "-" })
     }
 }
 
@@ -192,7 +187,7 @@ impl Program {
     /// text section or misaligned.
     #[must_use]
     pub fn instr_at(&self, pc: u64) -> Option<&Instr> {
-        if pc < self.text_base || (pc - self.text_base) % INSTR_BYTES != 0 {
+        if pc < self.text_base || !(pc - self.text_base).is_multiple_of(INSTR_BYTES) {
             return None;
         }
         self.text.get(((pc - self.text_base) / INSTR_BYTES) as usize)

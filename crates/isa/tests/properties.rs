@@ -1,5 +1,8 @@
 //! Property-based tests: encode/decode round-trip, semantics invariants.
 
+// Gated so the workspace still builds/tests with --no-default-features.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use specmpk_isa::{decode, encode, AluOp, BranchCond, Instr, MemWidth, Operand, Reg};
 
@@ -30,8 +33,12 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         Just(Instr::Wrpkru),
         Just(Instr::Rdpkru),
         (arb_reg(), (-(1i64 << 47))..(1i64 << 47)).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, src2: Operand::Reg(rs2) }),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu {
+            op,
+            rd,
+            rs1,
+            src2: Operand::Reg(rs2)
+        }),
         (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>())
             .prop_map(|(op, rd, rs1, imm)| Instr::Alu { op, rd, rs1, src2: Operand::Imm(imm) }),
         (arb_reg(), arb_reg(), any::<i32>(), arb_width())

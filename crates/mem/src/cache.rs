@@ -25,7 +25,7 @@ impl CacheConfig {
     pub fn num_sets(&self) -> usize {
         let lines = self.size_bytes / LINE_BYTES;
         assert!(
-            lines % self.ways as u64 == 0 && lines > 0,
+            lines.is_multiple_of(self.ways as u64) && lines > 0,
             "{}: {} lines not divisible into {} ways",
             self.name,
             lines,
@@ -63,6 +63,17 @@ impl CacheStats {
         } else {
             self.hits as f64 / self.accesses() as f64
         }
+    }
+
+    /// Structured form for experiment artifacts.
+    #[must_use]
+    pub fn to_json(&self) -> specmpk_trace::Json {
+        specmpk_trace::Json::object()
+            .with("hits", self.hits)
+            .with("misses", self.misses)
+            .with("evictions", self.evictions)
+            .with("flushes", self.flushes)
+            .with("hit_rate", self.hit_rate())
     }
 }
 
@@ -129,9 +140,7 @@ impl Cache {
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
         let line = Self::line_addr(addr);
-        self.sets[self.set_index(line)]
-            .iter()
-            .any(|l| l.valid && l.tag == line)
+        self.sets[self.set_index(line)].iter().any(|l| l.valid && l.tag == line)
     }
 
     /// Performs an access: returns `true` on hit (promoting the line to
@@ -163,10 +172,8 @@ impl Cache {
             l.lru = clock;
             return;
         }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
-            .expect("ways > 0");
+        let victim =
+            set.iter_mut().min_by_key(|l| if l.valid { l.lru + 1 } else { 0 }).expect("ways > 0");
         if victim.valid {
             self.stats.evictions += 1;
         }
@@ -247,11 +254,11 @@ mod tests {
     #[test]
     fn lru_within_a_set() {
         let mut c = small(); // 2 sets; lines 0,2,4 map to set 0
-        c.fill(0 * 64);
+        c.fill(0);
         c.fill(2 * 64);
-        assert!(c.access(0 * 64)); // line 0 MRU, line 2 LRU
+        assert!(c.access(0)); // line 0 MRU, line 2 LRU
         c.fill(4 * 64); // evicts line 2
-        assert!(c.probe(0 * 64));
+        assert!(c.probe(0));
         assert!(!c.probe(2 * 64));
         assert!(c.probe(4 * 64));
         assert_eq!(c.stats().evictions, 1);

@@ -136,10 +136,7 @@ impl CacheHierarchy {
         l3.fill(addr);
         l2.fill(addr);
         l1.fill(addr);
-        AccessOutcome {
-            latency: l3.config().latency + dram_extra,
-            level: AccessLevel::Dram,
-        }
+        AccessOutcome { latency: l3.config().latency + dram_extra, level: AccessLevel::Dram }
     }
 
     /// A data-port access (load or store — stores allocate like loads in

@@ -34,17 +34,13 @@ impl SparseMemory {
     }
 
     fn page_mut(&mut self, page: u64) -> &mut [u8] {
-        self.pages
-            .entry(page)
-            .or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice())
+        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice())
     }
 
     /// Reads one byte (zero if the page was never written).
     #[must_use]
     pub fn read_byte(&self, addr: u64) -> u8 {
-        self.pages
-            .get(&vpn(addr))
-            .map_or(0, |p| p[page_offset(addr) as usize])
+        self.pages.get(&vpn(addr)).map_or(0, |p| p[page_offset(addr) as usize])
     }
 
     /// Writes one byte.

@@ -69,16 +69,11 @@ impl PageTable {
     /// overwrites its entry.
     pub fn map_range(&mut self, base: u64, size: u64, perms: SegmentPerms, exec: bool) {
         let first = vpn(base);
-        let last = vpn(base + size.saturating_sub(1).max(0));
+        let last = vpn(base + size.saturating_sub(1));
         for page in first..=last {
             self.entries.insert(
                 page,
-                PageTableEntry {
-                    read: perms.read,
-                    write: perms.write,
-                    exec,
-                    pkey: Pkey::DEFAULT,
-                },
+                PageTableEntry { read: perms.read, write: perms.write, exec, pkey: Pkey::DEFAULT },
             );
         }
         if size == 0 {
@@ -111,10 +106,7 @@ impl PageTable {
     ///
     /// Returns [`PageFault::NotMapped`] if no mapping exists.
     pub fn entry(&self, addr: u64) -> Result<PageTableEntry, PageFault> {
-        self.entries
-            .get(&vpn(addr))
-            .copied()
-            .ok_or(PageFault::NotMapped { addr })
+        self.entries.get(&vpn(addr)).copied().ok_or(PageFault::NotMapped { addr })
     }
 
     /// Number of mapped pages.

@@ -47,6 +47,20 @@ pub struct MemStats {
     pub dtlb: TlbStats,
 }
 
+impl MemStats {
+    /// Structured form for experiment artifacts: one sub-object per
+    /// cache level plus the DTLB.
+    #[must_use]
+    pub fn to_json(&self) -> specmpk_trace::Json {
+        specmpk_trace::Json::object()
+            .with("l1i", self.l1i.to_json())
+            .with("l1d", self.l1d.to_json())
+            .with("l2", self.l2.to_json())
+            .with("l3", self.l3.to_json())
+            .with("dtlb", self.dtlb.to_json())
+    }
+}
+
 /// Functional memory + page table + DTLB + cache hierarchy.
 ///
 /// The out-of-order core drives this in fine-grained steps so the SpecMPK
@@ -96,9 +110,7 @@ impl MemorySystem {
     /// Maps `[base, base + size)` with `perms` and colors it `pkey`.
     pub fn map_region(&mut self, base: u64, size: u64, pkey: Pkey, perms: SegmentPerms) {
         self.page_table.map_range(base, size, perms, false);
-        self.page_table
-            .pkey_mprotect(base, size, pkey)
-            .expect("range was just mapped");
+        self.page_table.pkey_mprotect(base, size, pkey).expect("range was just mapped");
     }
 
     /// Loads a [`Program`]: maps and stores the encoded text (read/execute,
@@ -106,12 +118,7 @@ impl MemorySystem {
     /// permissions.
     pub fn load_program(&mut self, program: &Program) {
         let text_bytes = program.len() as u64 * specmpk_isa::INSTR_BYTES;
-        self.page_table.map_range(
-            program.text_base(),
-            text_bytes,
-            SegmentPerms::R,
-            true,
-        );
+        self.page_table.map_range(program.text_base(), text_bytes, SegmentPerms::R, true);
         for (i, instr) in program.text().iter().enumerate() {
             let addr = program.text_base() + i as u64 * specmpk_isa::INSTR_BYTES;
             self.memory.write_uint(addr, 8, encode(instr));

@@ -63,6 +63,30 @@ pub struct TlbStats {
     pub flushes: u64,
 }
 
+impl TlbStats {
+    /// Hit rate in `[0, 1]`, or 1.0 when there were no lookups.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Structured form for experiment artifacts.
+    #[must_use]
+    pub fn to_json(&self) -> specmpk_trace::Json {
+        specmpk_trace::Json::object()
+            .with("hits", self.hits)
+            .with("misses", self.misses)
+            .with("evictions", self.evictions)
+            .with("flushes", self.flushes)
+            .with("hit_rate", self.hit_rate())
+    }
+}
+
 /// A set-associative, true-LRU TLB.
 ///
 /// The interface deliberately splits **observation** from **state update**:
@@ -125,9 +149,7 @@ impl Tlb {
     #[must_use]
     pub fn probe(&self, vpn: u64) -> Option<TlbEntry> {
         let set = &self.sets[self.set_index(vpn)];
-        set.iter()
-            .filter_map(|w| w.entry)
-            .find(|e| e.vpn == vpn)
+        set.iter().filter_map(|w| w.entry).find(|e| e.vpn == vpn)
     }
 
     /// Looks up `vpn`, recording a hit or a miss in the statistics. On a
@@ -149,9 +171,7 @@ impl Tlb {
         self.clock += 1;
         let clock = self.clock;
         let idx = self.set_index(vpn);
-        if let Some(way) = self.sets[idx]
-            .iter_mut()
-            .find(|w| w.entry.is_some_and(|e| e.vpn == vpn))
+        if let Some(way) = self.sets[idx].iter_mut().find(|w| w.entry.is_some_and(|e| e.vpn == vpn))
         {
             way.lru = clock;
         }

@@ -1,5 +1,8 @@
 //! Property-based tests for caches, TLB and sparse memory.
 
+// Gated so the workspace still builds/tests with --no-default-features.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use specmpk_mem::{Cache, CacheConfig, MemConfig, MemorySystem, SparseMemory, Tlb, TlbConfig};
 use specmpk_mpk::{AccessKind, Pkey};

@@ -82,11 +82,8 @@ mod tests {
 
     #[test]
     fn display_is_descriptive() {
-        let f = ProtectionFault::new(
-            Pkey::new(2).unwrap(),
-            AccessKind::Read,
-            PkeyPermission::NoAccess,
-        );
+        let f =
+            ProtectionFault::new(Pkey::new(2).unwrap(), AccessKind::Read, PkeyPermission::NoAccess);
         let s = f.to_string();
         assert!(s.contains("pkey2"), "{s}");
         assert!(s.contains("read"), "{s}");
@@ -96,11 +93,7 @@ mod tests {
     #[test]
     fn error_trait_is_usable() {
         fn takes_err(_e: &(dyn std::error::Error + Send + Sync)) {}
-        let f = ProtectionFault::new(
-            Pkey::DEFAULT,
-            AccessKind::Read,
-            PkeyPermission::NoAccess,
-        );
+        let f = ProtectionFault::new(Pkey::DEFAULT, AccessKind::Read, PkeyPermission::NoAccess);
         takes_err(&f);
     }
 }

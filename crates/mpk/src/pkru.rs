@@ -326,11 +326,8 @@ mod tests {
 
     #[test]
     fn with_permission_round_trips() {
-        for perm in [
-            PkeyPermission::ReadWrite,
-            PkeyPermission::ReadOnly,
-            PkeyPermission::NoAccess,
-        ] {
+        for perm in [PkeyPermission::ReadWrite, PkeyPermission::ReadOnly, PkeyPermission::NoAccess]
+        {
             let p = Pkru::ALL_ACCESS.with_permission(k(7), perm);
             assert_eq!(p.permission(k(7)), perm);
         }
@@ -358,9 +355,7 @@ mod tests {
 
     #[test]
     fn clearing_bits_restores_access() {
-        let p = Pkru::ALL_ACCESS
-            .with_access_disabled(k(6), true)
-            .with_access_disabled(k(6), false);
+        let p = Pkru::ALL_ACCESS.with_access_disabled(k(6), true).with_access_disabled(k(6), false);
         assert_eq!(p, Pkru::ALL_ACCESS);
     }
 

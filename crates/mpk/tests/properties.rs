@@ -1,5 +1,8 @@
 //! Property-based tests for the MPK architectural model.
 
+// Gated so the workspace still builds/tests with --no-default-features.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use specmpk_mpk::{AccessKind, Pkey, PkeyPermission, Pkru};
 

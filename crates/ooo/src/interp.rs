@@ -112,22 +112,13 @@ impl<'p> Interp<'p> {
     }
 
     fn check_mpk(&mut self, addr: u64, kind: AccessKind) -> Result<specmpk_mpk::Pkey, InterpExit> {
-        let translation = self
-            .memory
-            .translate(addr, kind, false)
-            .map_err(InterpExit::PageFault)?;
-        self.pkru
-            .check(translation.pkey, kind)
-            .map_err(InterpExit::ProtectionFault)?;
+        let translation =
+            self.memory.translate(addr, kind, false).map_err(InterpExit::PageFault)?;
+        self.pkru.check(translation.pkey, kind).map_err(InterpExit::ProtectionFault)?;
         Ok(translation.pkey)
     }
 
-    fn data_access(
-        &mut self,
-        base: Reg,
-        offset: i32,
-        kind: AccessKind,
-    ) -> Result<u64, InterpExit> {
+    fn data_access(&mut self, base: Reg, offset: i32, kind: AccessKind) -> Result<u64, InterpExit> {
         let addr = self.read_reg(base).wrapping_add(offset as i64 as u64);
         self.check_mpk(addr, kind)?;
         Ok(addr)
@@ -140,10 +131,7 @@ impl<'p> Interp<'p> {
     ///
     /// Returns the architectural exit condition for faults and bad PCs.
     pub fn step(&mut self) -> Result<bool, InterpExit> {
-        let instr = *self
-            .program
-            .instr_at(self.pc)
-            .ok_or(InterpExit::BadPc(self.pc))?;
+        let instr = *self.program.instr_at(self.pc).ok_or(InterpExit::BadPc(self.pc))?;
         let next_pc = self.pc + INSTR_BYTES;
         match instr {
             Instr::Alu { op, rd, rs1, src2 } => {

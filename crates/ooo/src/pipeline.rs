@@ -10,11 +10,12 @@ use specmpk_core::{PkruCheckpoint, PkruEngine, PkruSource, PkruTag, WrpkruPolicy
 use specmpk_isa::{Instr, InstrClass, MemWidth, Operand, Program, Reg, INSTR_BYTES};
 use specmpk_mem::{AccessLevel, MemorySystem, PageFault};
 use specmpk_mpk::{AccessKind, Pkey, Pkru, ProtectionFault};
+use specmpk_trace::{NullSink, PkruCheckKind, TraceEvent, TraceSink};
 
 use crate::config::{FaultMode, SimConfig};
 use crate::predictor::{BranchPredictor, PredictorCheckpoint};
 use crate::prf::{PhysReg, RegFile, RenameCheckpoint};
-use crate::stats::{RenameStall, SimStats};
+use crate::stats::{IntervalSample, RenameStall, SimStats};
 
 /// Monotone dynamic-instruction sequence number (assigned at rename).
 type Seq = u64;
@@ -180,9 +181,14 @@ struct Event {
 
 /// The out-of-order core: construct with a [`Program`], then [`run`].
 ///
+/// The core is generic over a [`TraceSink`]; the default [`NullSink`]
+/// makes every instrumentation point a dead branch, so uninstrumented
+/// runs pay nothing. Use [`Core::with_sink`] to attach a recorder such as
+/// [`specmpk_trace::PipeTracer`] or [`specmpk_trace::EventLog`].
+///
 /// [`run`]: Core::run
 #[derive(Debug)]
-pub struct Core {
+pub struct Core<S: TraceSink = NullSink> {
     config: SimConfig,
     mem: MemorySystem,
     rf: RegFile,
@@ -204,6 +210,13 @@ pub struct Core {
     last_retire_cycle: u64,
     stats: SimStats,
     exit: Option<ExitReason>,
+
+    sink: S,
+    /// Interval-sampling period in cycles; 0 disables sampling.
+    sample_interval: u64,
+    sample_last_cycle: u64,
+    sample_prev_retired: u64,
+    sample_prev_stalls: [u64; 9],
 }
 
 impl Core {
@@ -217,6 +230,19 @@ impl Core {
     /// ([`SimConfig::validate`]).
     #[must_use]
     pub fn new(config: SimConfig, program: &Program) -> Self {
+        Core::with_sink(config, program, NullSink)
+    }
+}
+
+impl<S: TraceSink> Core<S> {
+    /// Like [`Core::new`], but records pipeline events into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// ([`SimConfig::validate`]).
+    #[must_use]
+    pub fn with_sink(config: SimConfig, program: &Program, sink: S) -> Self {
         config.validate();
         let mut mem = MemorySystem::new(config.mem);
         mem.load_program(program);
@@ -247,7 +273,31 @@ impl Core {
             last_retire_cycle: 0,
             stats: SimStats::default(),
             exit: None,
+            sink,
+            sample_interval: 0,
+            sample_last_cycle: 0,
+            sample_prev_retired: 0,
+            sample_prev_stalls: [0; 9],
         }
+    }
+
+    /// The attached trace sink.
+    #[must_use]
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the core, returning the sink (to render a finished trace).
+    #[must_use]
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Enables interval sampling: every `cycles` cycles an
+    /// [`IntervalSample`] with that interval's retirement and rename-stall
+    /// deltas is appended to [`SimStats::samples`]. Pass 0 to disable.
+    pub fn set_sample_interval(&mut self, cycles: u64) {
+        self.sample_interval = cycles;
     }
 
     /// The memory system (probe cache/TLB state after a run — the attack
@@ -289,6 +339,9 @@ impl Core {
         while self.exit.is_none() {
             self.step();
         }
+        if self.sample_interval > 0 && self.cycle > self.sample_last_cycle {
+            self.take_sample(); // final partial interval
+        }
         let mut regs = [0u64; specmpk_isa::NUM_REGS];
         for r in Reg::all() {
             regs[r.index()] = self.rf.committed_value(r);
@@ -326,6 +379,24 @@ impl Core {
         self.issue();
         self.rename();
         self.fetch();
+        if self.sample_interval > 0 && self.cycle - self.sample_last_cycle >= self.sample_interval {
+            self.take_sample();
+        }
+    }
+
+    /// Appends one [`IntervalSample`] covering the cycles since the last
+    /// sample, then rebases the delta baselines.
+    fn take_sample(&mut self) {
+        let mut stall_cycles = [0u64; 9];
+        for (i, cause) in RenameStall::all().into_iter().enumerate() {
+            stall_cycles[i] = self.stats.rename_stall_cycles(cause) - self.sample_prev_stalls[i];
+            self.sample_prev_stalls[i] += stall_cycles[i];
+        }
+        let retired = self.stats.retired - self.sample_prev_retired;
+        self.sample_prev_retired = self.stats.retired;
+        let len = self.cycle - self.sample_last_cycle;
+        self.sample_last_cycle = self.cycle;
+        self.stats.samples.push(IntervalSample { cycle: self.cycle, len, retired, stall_cycles });
     }
 
     // ---------------------------------------------------------- utilities
@@ -456,23 +527,19 @@ impl Core {
             let f = front.clone();
             let class = f.instr.class();
             match class {
-                InstrClass::Wrpkru => {
-                    if !self.engine.can_rename_wrpkru(self.al.len()) {
-                        block = Some(match self.config.policy {
-                            WrpkruPolicy::Serialized => RenameStall::WrpkruSerialize,
-                            _ => {
-                                self.engine.note_rob_full_stall();
-                                RenameStall::RobPkruFull
-                            }
-                        });
-                        break;
-                    }
+                InstrClass::Wrpkru if !self.engine.can_rename_wrpkru(self.al.len()) => {
+                    block = Some(match self.config.policy {
+                        WrpkruPolicy::Serialized => RenameStall::WrpkruSerialize,
+                        _ => {
+                            self.engine.note_rob_full_stall();
+                            RenameStall::RobPkruFull
+                        }
+                    });
+                    break;
                 }
-                InstrClass::Rdpkru => {
-                    if !self.engine.can_rename_rdpkru(self.al.len()) {
-                        block = Some(RenameStall::RdpkruSerialize);
-                        break;
-                    }
+                InstrClass::Rdpkru if !self.engine.can_rename_rdpkru(self.al.len()) => {
+                    block = Some(RenameStall::RdpkruSerialize);
+                    break;
                 }
                 _ => {}
             }
@@ -515,12 +582,8 @@ impl Core {
             let seq = self.next_seq;
             self.next_seq += 1;
 
-            let srcs: Vec<PhysReg> = f
-                .instr
-                .sources()
-                .into_iter()
-                .map(|r| self.rf.map_source(r))
-                .collect();
+            let srcs: Vec<PhysReg> =
+                f.instr.sources().into_iter().map(|r| self.rf.map_source(r)).collect();
             let pkru_source = match class {
                 InstrClass::Load | InstrClass::Store | InstrClass::Wrpkru | InstrClass::Rdpkru => {
                     Some(self.engine.rename_pkru_source())
@@ -539,11 +602,8 @@ impl Core {
                 resolved_taken: None,
                 resolved: false,
             });
-            let pkru_tag = (class == InstrClass::Wrpkru).then(|| {
-                self.engine
-                    .rename_wrpkru()
-                    .expect("can_rename_wrpkru checked above")
-            });
+            let pkru_tag = (class == InstrClass::Wrpkru)
+                .then(|| self.engine.rename_wrpkru().expect("can_rename_wrpkru checked above"));
             let dest = f.instr.dest().map(|r| {
                 let (new, prev) = self.rf.rename_dest(r).expect("free list checked above");
                 (r, new, prev)
@@ -568,6 +628,22 @@ impl Core {
                     deferred_check: false,
                 }),
                 _ => {}
+            }
+            if self.sink.enabled() {
+                self.sink.record(TraceEvent::Rename {
+                    seq,
+                    pc: f.pc,
+                    fetch_cycle: f.ready_cycle - self.config.frontend_depth,
+                    cycle: self.cycle,
+                    disasm: f.instr.to_string(),
+                });
+                if let Some(tag) = pkru_tag {
+                    self.sink.record(TraceEvent::RobPkruAlloc {
+                        seq,
+                        cycle: self.cycle,
+                        tag: tag.raw(),
+                    });
+                }
             }
             self.al.push_back(AlEntry {
                 seq,
@@ -641,10 +717,7 @@ impl Core {
             // Loads additionally wait until all older store addresses are
             // known (conservative memory-dependence handling).
             if matches!(entry.mem_kind, Some(MemKind::Load))
-                && self
-                    .sq
-                    .iter()
-                    .any(|s| s.seq < seq && s.addr.is_none())
+                && self.sq.iter().any(|s| s.seq < seq && s.addr.is_none())
             {
                 continue;
             }
@@ -656,8 +729,7 @@ impl Core {
                 let addr = self.rf.read(entry.srcs[0]).wrapping_add(offset as i64 as u64);
                 let line = specmpk_mem::line_base(addr);
                 if self.sq.iter().any(|s| {
-                    s.seq < seq
-                        && s.addr.map_or(true, |a| specmpk_mem::line_base(a) == line)
+                    s.seq < seq && s.addr.is_none_or(|a| specmpk_mem::line_base(a) == line)
                 }) {
                     continue;
                 }
@@ -666,6 +738,9 @@ impl Core {
                 *unit -= 1;
                 issued_total += 1;
                 issued_seqs.push(seq);
+                if self.sink.enabled() {
+                    self.sink.record(TraceEvent::Issue { seq, cycle: self.cycle });
+                }
             }
         }
         self.iq.retain(|s| !issued_seqs.contains(s));
@@ -690,11 +765,8 @@ impl Core {
                     Operand::Reg(_) => read(1),
                     Operand::Imm(imm) => imm as i64 as u64,
                 };
-                let latency = if op == specmpk_isa::AluOp::Mul {
-                    self.config.mul_latency
-                } else {
-                    1
-                };
+                let latency =
+                    if op == specmpk_isa::AluOp::Mul { self.config.mul_latency } else { 1 };
                 let e = &mut self.al[idx];
                 e.result = Some(op.eval(a, b));
                 e.state = AlState::Issued;
@@ -810,7 +882,16 @@ impl Core {
         }
         let pkey = translation.pkey;
         // 3. PKRU Load Check (§V-C2).
-        if !self.engine.load_check(pkey) {
+        let load_ok = self.engine.load_check(pkey);
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::PkruCheck {
+                seq,
+                cycle: self.cycle,
+                kind: PkruCheckKind::Load,
+                passed: load_ok,
+            });
+        }
+        if !load_ok {
             self.stats.load_replays += 1;
             let e = &mut self.al[idx];
             e.head_stall = Some(HeadStall::LoadCheckFail);
@@ -844,15 +925,13 @@ impl Core {
             .copied();
         if let Some(s) = conflict {
             let exact_cover = s.addr == Some(addr) && s.width.bytes() >= width.bytes();
-            if exact_cover && s.forward_ok && s.data.is_some() {
+            let forward_data = if exact_cover && s.forward_ok { s.data } else { None };
+            if let Some(data) = forward_data {
                 // Store-to-load forwarding.
                 self.stats.forwards += 1;
-                let t = self
-                    .mem
-                    .translate(addr, AccessKind::Read, true)
-                    .expect("probe succeeded");
+                let t = self.mem.translate(addr, AccessKind::Read, true).expect("probe succeeded");
                 let e = &mut self.al[idx];
-                e.result = Some(width.truncate(s.data.expect("checked")));
+                e.result = Some(width.truncate(data));
                 e.state = AlState::Issued;
                 self.schedule(seq, 1 + t.latency);
             } else {
@@ -867,10 +946,7 @@ impl Core {
             return true;
         }
         // 6. Memory access: TLB update, cache access, functional read.
-        let t = self
-            .mem
-            .translate(addr, AccessKind::Read, true)
-            .expect("probe succeeded");
+        let t = self.mem.translate(addr, AccessKind::Read, true).expect("probe succeeded");
         let out = self.mem.data_timing(addr);
         let value = width.truncate(self.mem.read(addr, width.bytes()));
         let e = &mut self.al[idx];
@@ -883,11 +959,7 @@ impl Core {
     fn issue_store(&mut self, idx: usize, addr: u64, width: MemWidth, data: u64) -> bool {
         let seq = self.al[idx].seq;
         let source = self.al[idx].pkru_source.expect("stores carry a PKRU source");
-        let sq_pos = self
-            .sq
-            .iter()
-            .position(|s| s.seq == seq)
-            .expect("store has an SQ slot");
+        let sq_pos = self.sq.iter().position(|s| s.seq == seq).expect("store has an SQ slot");
 
         let probe = self.mem.translate(addr, AccessKind::Write, false);
         let (forward_ok, deferred_check, fault) = match probe {
@@ -902,6 +974,14 @@ impl Core {
                         .spec_fault_check(source, pkey, AccessKind::Write)
                         .map(FaultInfo::Protection);
                     let pass = self.engine.store_check(pkey);
+                    if self.sink.enabled() {
+                        self.sink.record(TraceEvent::PkruCheck {
+                            seq,
+                            cycle: self.cycle,
+                            kind: PkruCheckKind::Store,
+                            passed: pass,
+                        });
+                    }
                     if pass {
                         // TLB state may update (PKRU Store Check succeeded).
                         let _ = self.mem.translate(addr, AccessKind::Write, true);
@@ -946,6 +1026,9 @@ impl Core {
                 self.rf.write(phys, value);
             }
             self.al[idx].state = AlState::Completed;
+            if self.sink.enabled() {
+                self.sink.record(TraceEvent::Complete { seq: ev.seq, cycle: self.cycle });
+            }
             // Branch resolution.
             if self.al[idx].instr.is_control() {
                 self.resolve_branch(ev.seq);
@@ -985,6 +1068,16 @@ impl Core {
             let victim = self.al.pop_back().expect("len > idx+1");
             if let Some((_, new, _)) = victim.dest {
                 self.rf.release(new);
+            }
+            if self.sink.enabled() {
+                if let Some(tag) = victim.pkru_tag {
+                    self.sink.record(TraceEvent::RobPkruFree {
+                        seq: victim.seq,
+                        cycle: self.cycle,
+                        tag: tag.raw(),
+                    });
+                }
+                self.sink.record(TraceEvent::Squash { seq: victim.seq, cycle: self.cycle });
             }
             self.stats.squashed += 1;
         }
@@ -1056,12 +1149,23 @@ impl Core {
             match head.instr {
                 Instr::Halt => {
                     self.stats.retired += 1;
+                    if self.sink.enabled() {
+                        self.sink.record(TraceEvent::Retire { seq, cycle: self.cycle });
+                    }
                     self.exit = Some(ExitReason::Halted);
                     return;
                 }
                 Instr::Wrpkru => {
                     self.engine.retire_wrpkru();
                     self.stats.retired_wrpkru += 1;
+                    if self.sink.enabled() {
+                        let tag = head.pkru_tag.expect("WRPKRU has a tag");
+                        self.sink.record(TraceEvent::RobPkruFree {
+                            seq,
+                            cycle: self.cycle,
+                            tag: tag.raw(),
+                        });
+                    }
                 }
                 Instr::Store { width, .. } => {
                     if !self.retire_store(&head, width) {
@@ -1078,6 +1182,9 @@ impl Core {
             }
             if matches!(head.mem_kind, Some(MemKind::Load | MemKind::Flush)) {
                 self.lq.retain(|&s| s != seq);
+            }
+            if self.sink.enabled() {
+                self.sink.record(TraceEvent::Retire { seq, cycle: self.cycle });
             }
             self.al.pop_front();
             self.stats.retired += 1;
@@ -1101,6 +1208,10 @@ impl Core {
         if sq_head.deferred_check {
             // Re-verify against the committed PKRU (§V-C4), walking the TLB
             // now if needed (§V-C5 deferred fill).
+            if self.sink.enabled() {
+                self.sink
+                    .record(TraceEvent::DeferredTlbUpdate { seq: head.seq, cycle: self.cycle });
+            }
             match self.mem.translate(addr, AccessKind::Write, true) {
                 Err(fault) => {
                     self.raise_fault(head.pc, FaultInfo::Page(fault));
@@ -1133,6 +1244,13 @@ impl Core {
             Instr::Load { width, .. } => width,
             _ => unreachable!("only loads head-stall"),
         };
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::LoadReplay { seq, cycle: self.cycle });
+            if head.head_stall == Some(HeadStall::TlbMiss) {
+                // The walk below is the §V-C5 deferred TLB fill.
+                self.sink.record(TraceEvent::DeferredTlbUpdate { seq, cycle: self.cycle });
+            }
+        }
         match self.mem.translate(addr, AccessKind::Read, true) {
             Err(fault) => {
                 let e = self.al.front_mut().expect("head");
@@ -1141,7 +1259,6 @@ impl Core {
                 e.head_stall = None;
                 e.state = AlState::Completed;
                 if let Some((_, phys, _)) = e.dest {
-                    let phys = phys;
                     self.rf.write(phys, 0);
                 }
             }
@@ -1153,7 +1270,6 @@ impl Core {
                     e.head_stall = None;
                     e.state = AlState::Completed;
                     if let Some((_, phys, _)) = e.dest {
-                        let phys = phys;
                         self.rf.write(phys, 0);
                     }
                 } else {
@@ -1195,6 +1311,11 @@ impl Core {
 
     /// Flushes all speculative state (fault trap path).
     fn full_flush(&mut self) {
+        if self.sink.enabled() {
+            for e in &self.al {
+                self.sink.record(TraceEvent::Squash { seq: e.seq, cycle: self.cycle });
+            }
+        }
         self.al.clear();
         self.iq.clear();
         self.lq.clear();

@@ -232,10 +232,8 @@ mod tests {
 
     #[test]
     fn ras_wraps_without_panicking() {
-        let mut p = BranchPredictor::new(PredictorConfig {
-            ras_entries: 4,
-            ..PredictorConfig::default()
-        });
+        let mut p =
+            BranchPredictor::new(PredictorConfig { ras_entries: 4, ..PredictorConfig::default() });
         for i in 0..10 {
             p.ras_push(i);
         }

@@ -143,10 +143,7 @@ impl RegFile {
     pub fn flush_to_committed(&mut self) {
         self.rmt = self.amt;
         let live: std::collections::HashSet<PhysReg> = self.amt.iter().copied().collect();
-        self.free = (0..self.values.len() as PhysReg)
-            .rev()
-            .filter(|p| !live.contains(p))
-            .collect();
+        self.free = (0..self.values.len() as PhysReg).rev().filter(|p| !live.contains(p)).collect();
         for p in 0..self.values.len() {
             if !live.contains(&(p as PhysReg)) {
                 self.ready[p] = false;

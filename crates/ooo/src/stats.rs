@@ -2,6 +2,7 @@
 
 use specmpk_core::PkruEngineStats;
 use specmpk_mem::MemStats;
+use specmpk_trace::Json;
 
 /// Why the rename stage could not process an instruction this cycle.
 ///
@@ -48,6 +49,22 @@ impl RenameStall {
         ]
     }
 
+    /// Stable snake_case name, used as the JSON key for this cause.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RenameStall::FrontendEmpty => "frontend_empty",
+            RenameStall::ActiveListFull => "active_list_full",
+            RenameStall::IssueQueueFull => "issue_queue_full",
+            RenameStall::LoadQueueFull => "load_queue_full",
+            RenameStall::StoreQueueFull => "store_queue_full",
+            RenameStall::PrfFull => "prf_full",
+            RenameStall::WrpkruSerialize => "wrpkru_serialize",
+            RenameStall::RobPkruFull => "rob_pkru_full",
+            RenameStall::RdpkruSerialize => "rdpkru_serialize",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             RenameStall::FrontendEmpty => 0,
@@ -72,7 +89,7 @@ pub struct SimStats {
     pub retired: u64,
     /// Retired WRPKRU instructions.
     pub retired_wrpkru: u64,
-    /// Retired loads / stores.
+    /// Retired loads.
     pub retired_loads: u64,
     /// Retired stores.
     pub retired_stores: u64,
@@ -103,6 +120,9 @@ pub struct SimStats {
     pub pkru: PkruEngineStats,
     /// Memory-system counters.
     pub mem: MemStats,
+    /// Interval time-series samples, populated when sampling is enabled
+    /// ([`Core::set_sample_interval`](crate::Core::set_sample_interval)).
+    pub samples: Vec<IntervalSample>,
 }
 
 impl SimStats {
@@ -116,24 +136,28 @@ impl SimStats {
         }
     }
 
-    /// WRPKRU instructions per kilo-instruction (Fig. 10's metric).
+    /// `count` events per kilo-retired-instruction — the normalization
+    /// every per-kinstr metric in the paper's figures uses. Zero before
+    /// anything retires.
     #[must_use]
-    pub fn wrpkru_per_kilo_instr(&self) -> f64 {
+    pub fn events_per_kilo_instr(&self, count: u64) -> f64 {
         if self.retired == 0 {
             0.0
         } else {
-            1000.0 * self.retired_wrpkru as f64 / self.retired as f64
+            1000.0 * count as f64 / self.retired as f64
         }
+    }
+
+    /// WRPKRU instructions per kilo-instruction (Fig. 10's metric).
+    #[must_use]
+    pub fn wrpkru_per_kilo_instr(&self) -> f64 {
+        self.events_per_kilo_instr(self.retired_wrpkru)
     }
 
     /// Branch misprediction rate per kilo-instruction.
     #[must_use]
     pub fn mpki(&self) -> f64 {
-        if self.retired == 0 {
-            0.0
-        } else {
-            1000.0 * self.mispredicts as f64 / self.retired as f64
-        }
+        self.events_per_kilo_instr(self.mispredicts)
     }
 
     /// Records a cycle in which rename processed nothing, attributed to
@@ -159,15 +183,116 @@ impl SimStats {
         self.rename_slot_stalls[cause.index()]
     }
 
+    /// Fraction of all cycles fully stalled at rename for `cause`.
+    #[must_use]
+    pub fn rename_stall_fraction(&self, cause: RenameStall) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rename_stall_cycles(cause) as f64 / self.cycles as f64
+        }
+    }
+
     /// Fraction of all cycles fully stalled at rename by the WRPKRU
     /// serialization barrier — the paper's Fig. 3 right axis.
     #[must_use]
     pub fn wrpkru_stall_fraction(&self) -> f64 {
-        if self.cycles == 0 {
+        self.rename_stall_fraction(RenameStall::WrpkruSerialize)
+    }
+
+    /// Structured form for experiment artifacts: every counter field, the
+    /// full 9-cause rename-stall CPI stack (cycle and slot granularity),
+    /// the PKRU-engine and memory sub-objects, derived headline metrics,
+    /// and any interval samples.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let stalls_by = |get: &dyn Fn(RenameStall) -> u64| {
+            let mut obj = Json::object();
+            for cause in RenameStall::all() {
+                obj.set(cause.name(), get(cause));
+            }
+            obj
+        };
+        Json::object()
+            .with("cycles", self.cycles)
+            .with("retired", self.retired)
+            .with("retired_wrpkru", self.retired_wrpkru)
+            .with("retired_loads", self.retired_loads)
+            .with("retired_stores", self.retired_stores)
+            .with("retired_branches", self.retired_branches)
+            .with("mispredicts", self.mispredicts)
+            .with("squashed", self.squashed)
+            .with("load_replays", self.load_replays)
+            .with("forward_blocked_loads", self.forward_blocked_loads)
+            .with("tlb_miss_stalls", self.tlb_miss_stalls)
+            .with("forwards", self.forwards)
+            .with("protection_faults", self.protection_faults)
+            .with("page_faults", self.page_faults)
+            .with("ipc", self.ipc())
+            .with("wrpkru_per_kilo_instr", self.wrpkru_per_kilo_instr())
+            .with("mpki", self.mpki())
+            .with("wrpkru_stall_fraction", self.wrpkru_stall_fraction())
+            .with("rename_stall_cycles", stalls_by(&|c| self.rename_stall_cycles(c)))
+            .with("rename_slot_stalls", stalls_by(&|c| self.rename_slot_stalls(c)))
+            .with("pkru", self.pkru.to_json())
+            .with("mem", self.mem.to_json())
+            .with("samples", Json::Arr(self.samples.iter().map(IntervalSample::to_json).collect()))
+    }
+}
+
+/// One interval of the sampled time series: counter deltas over `len`
+/// cycles ending at `cycle`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalSample {
+    /// Cycle at which the sample was taken (the interval's end).
+    pub cycle: u64,
+    /// Interval length in cycles.
+    pub len: u64,
+    /// Instructions retired during the interval.
+    pub retired: u64,
+    /// Cycles fully stalled at rename during the interval, by cause
+    /// (indexed per [`RenameStall`]).
+    pub stall_cycles: [u64; 9],
+}
+
+impl IntervalSample {
+    /// The interval's IPC.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.len == 0 {
             0.0
         } else {
-            self.rename_stall_cycles(RenameStall::WrpkruSerialize) as f64 / self.cycles as f64
+            self.retired as f64 / self.len as f64
         }
+    }
+
+    /// Fraction of the interval's cycles fully stalled at rename for
+    /// `cause`.
+    #[must_use]
+    pub fn stall_share(&self, cause: RenameStall) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.stall_cycles[cause.index()] as f64 / self.len as f64
+        }
+    }
+
+    /// Structured form for experiment artifacts.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut stalls = Json::object();
+        let mut shares = Json::object();
+        for cause in RenameStall::all() {
+            stalls.set(cause.name(), self.stall_cycles[cause.index()]);
+            shares.set(cause.name(), self.stall_share(cause));
+        }
+        Json::object()
+            .with("cycle", self.cycle)
+            .with("len", self.len)
+            .with("retired", self.retired)
+            .with("ipc", self.ipc())
+            .with("stall_cycles", stalls)
+            .with("stall_share", shares)
     }
 }
 
@@ -177,7 +302,8 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let mut s = SimStats { cycles: 1000, retired: 2500, retired_wrpkru: 50, ..Default::default() };
+        let mut s =
+            SimStats { cycles: 1000, retired: 2500, retired_wrpkru: 50, ..Default::default() };
         s.mispredicts = 25;
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert!((s.wrpkru_per_kilo_instr() - 20.0).abs() < 1e-12);

@@ -6,9 +6,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use specmpk_core::WrpkruPolicy;
-use specmpk_isa::{
-    AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg,
-};
+use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg};
 use specmpk_mpk::{Pkey, Pkru};
 use specmpk_ooo::interp::{Interp, InterpExit};
 use specmpk_ooo::{Core, ExitReason, SimConfig};
@@ -17,17 +15,8 @@ const DATA_BASE: u64 = 0x8000;
 const SECURE_BASE: u64 = 0x20000;
 
 /// Registers the generator may clobber freely.
-const SCRATCH: [Reg; 9] = [
-    Reg::T0,
-    Reg::T1,
-    Reg::T2,
-    Reg::T3,
-    Reg::T4,
-    Reg::S0,
-    Reg::S1,
-    Reg::S2,
-    Reg::A0,
-];
+const SCRATCH: [Reg; 9] =
+    [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::S0, Reg::S1, Reg::S2, Reg::A0];
 
 fn secure_key() -> Pkey {
     Pkey::new(1).unwrap()
@@ -110,11 +99,7 @@ impl Gen {
                     } else {
                         asm.load(self.reg(), Reg::A4, off as i32, w);
                     }
-                    asm.set_pkru(
-                        Pkru::ALL_ACCESS
-                            .with_access_disabled(secure_key(), true)
-                            .bits(),
-                    );
+                    asm.set_pkru(Pkru::ALL_ACCESS.with_access_disabled(secure_key(), true).bits());
                 }
                 _ => {
                     // clflush: microarchitectural only, architecturally a nop.
@@ -136,11 +121,7 @@ fn generate(seed: u64) -> Program {
     // Prologue: fixed base registers.
     asm.li(Reg::S4, DATA_BASE as i64);
     asm.li(Reg::A4, SECURE_BASE as i64);
-    asm.set_pkru(
-        Pkru::ALL_ACCESS
-            .with_access_disabled(secure_key(), true)
-            .bits(),
-    );
+    asm.set_pkru(Pkru::ALL_ACCESS.with_access_disabled(secure_key(), true).bits());
     // Main body with calls sprinkled in.
     for &h in &helpers {
         let body = g.rng.gen_range(3..12);
@@ -177,11 +158,7 @@ fn assert_same_state(
     result: &specmpk_ooo::SimResult,
     reference: &specmpk_ooo::interp::InterpResult,
 ) {
-    assert_eq!(
-        result.exit,
-        ExitReason::Halted,
-        "seed {seed} policy {policy}: pipeline exit"
-    );
+    assert_eq!(result.exit, ExitReason::Halted, "seed {seed} policy {policy}: pipeline exit");
     assert_eq!(reference.exit, InterpExit::Halted, "seed {seed}: interp exit");
     for r in Reg::all() {
         assert_eq!(
@@ -233,6 +210,8 @@ fn random_programs_match_across_rob_pkru_sizes() {
     }
 }
 
+// Gated so the workspace still builds/tests with --no-default-features.
+#[cfg(feature = "proptest")]
 mod proptest_differential {
     //! Property-based version: proptest drives the generator seed (and the
     //! shrinker homes in on the smallest failing seed if one exists).
@@ -240,7 +219,7 @@ mod proptest_differential {
     use proptest::prelude::*;
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig { cases: 16 })]
 
         #[test]
         fn arbitrary_seeds_match_reference(seed in 1000u64..1_000_000) {

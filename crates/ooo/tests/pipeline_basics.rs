@@ -1,9 +1,7 @@
 //! End-to-end correctness tests for the out-of-order core.
 
 use specmpk_core::WrpkruPolicy;
-use specmpk_isa::{
-    AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg,
-};
+use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg};
 use specmpk_mpk::{Pkey, Pkru};
 use specmpk_ooo::{Core, ExitReason, FaultMode, SimConfig};
 
@@ -96,12 +94,8 @@ fn loop_with_branches_computes_sum() {
 #[test]
 fn misprediction_recovery_alternating_branch() {
     let mut asm = Assembler::new(0x1000);
-    let seg = DataSegment::with_bytes(
-        "flags",
-        0x8000,
-        (0..64u8).map(|i| i & 1).collect(),
-        Pkey::DEFAULT,
-    );
+    let seg =
+        DataSegment::with_bytes("flags", 0x8000, (0..64u8).map(|i| i & 1).collect(), Pkey::DEFAULT);
     let top = asm.fresh_label();
     let skip = asm.fresh_label();
     asm.li(Reg::T0, 0); // i
@@ -173,10 +167,7 @@ fn all_policies_agree_on_architectural_results() {
         assert_eq!(r.exit, ExitReason::Halted, "{policy}");
         outcomes.push((policy, r.reg(Reg::T1), r.pkru()));
     }
-    assert!(
-        outcomes.windows(2).all(|w| w[0].1 == w[1].1 && w[0].2 == w[1].2),
-        "{outcomes:?}"
-    );
+    assert!(outcomes.windows(2).all(|w| w[0].1 == w[1].1 && w[0].2 == w[1].2), "{outcomes:?}");
     assert_eq!(outcomes[0].1, 9);
 }
 
@@ -239,10 +230,7 @@ fn serialized_policy_reports_rename_stalls() {
     let (ser, _) = run_with(WrpkruPolicy::Serialized, &p);
     let (spec, _) = run_with(WrpkruPolicy::SpecMpk, &p);
     assert!(ser.stats.wrpkru_stall_fraction() > 0.1, "{}", ser.stats.wrpkru_stall_fraction());
-    assert_eq!(
-        spec.stats.rename_stall_cycles(specmpk_ooo::RenameStall::WrpkruSerialize),
-        0
-    );
+    assert_eq!(spec.stats.rename_stall_cycles(specmpk_ooo::RenameStall::WrpkruSerialize), 0);
     assert!(
         spec.stats.cycles < ser.stats.cycles,
         "SpecMPK ({}) must beat Serialized ({})",
@@ -258,8 +246,8 @@ fn deadlock_detection_fires_on_infinite_loop() {
     asm.bind(top).unwrap();
     asm.jump(top);
     let p = program(asm, vec![]);
-    let mut config = SimConfig::default();
-    config.max_cycles = 50_000; // cycle budget smaller than deadlock window
+    // cycle budget smaller than deadlock window
+    let config = SimConfig { max_cycles: 50_000, ..SimConfig::default() };
     let mut core = Core::new(config, &p);
     let r = core.run();
     assert_eq!(r.exit, ExitReason::CycleLimit);

@@ -3,9 +3,7 @@
 //! fault precision.
 
 use specmpk_core::WrpkruPolicy;
-use specmpk_isa::{
-    AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg,
-};
+use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg};
 use specmpk_mpk::{Pkey, Pkru};
 use specmpk_ooo::{Core, ExitReason, RenameStall, SimConfig};
 
@@ -87,12 +85,14 @@ fn tiny_structures_still_compute_correctly() {
     asm.halt();
     let p = program(asm, vec![seg]);
 
-    let mut config = SimConfig::default();
-    config.active_list_size = 8;
-    config.issue_queue_size = 4;
-    config.load_queue_size = 2;
-    config.store_queue_size = 2;
-    config.prf_size = 40;
+    let config = SimConfig {
+        active_list_size: 8,
+        issue_queue_size: 4,
+        load_queue_size: 2,
+        store_queue_size: 2,
+        prf_size: 40,
+        ..SimConfig::default()
+    };
     let mut core = Core::new(config, &p);
     let r = core.run();
     assert_eq!(r.exit, ExitReason::Halted);
@@ -335,8 +335,7 @@ fn max_instructions_limit_is_exact_enough() {
     asm.addi(Reg::S0, Reg::S0, 1);
     asm.jump(top);
     let p = program(asm, vec![]);
-    let mut config = SimConfig::default();
-    config.max_instructions = 10_000;
+    let config = SimConfig { max_instructions: 10_000, ..SimConfig::default() };
     let mut core = Core::new(config, &p);
     let r = core.run();
     assert_eq!(r.exit, ExitReason::InstrLimit);

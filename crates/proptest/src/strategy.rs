@@ -1,0 +1,263 @@
+//! Value-generation strategies (no shrinking).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`], for boxing.
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// The `prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among boxed strategies of one value type.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// A union of `(weight, strategy)` arms; weights must not all be zero.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof!: all weights zero");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut roll = rng.below(self.total);
+        for (w, strat) in &self.arms {
+            if roll < u64::from(*w) {
+                return strat.generate(rng);
+            }
+            roll -= u64::from(*w);
+        }
+        unreachable!("roll bounded by total weight")
+    }
+}
+
+/// The `any::<T>()` entry point: the full-domain strategy for `T`.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Uniform over the entire domain of a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — uniform over all of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+/// Integer types usable as range-literal strategies (`0u8..16`,
+/// `1u64..=8`). A single generic impl per range shape (rather than one
+/// impl per type) keeps type inference able to unify untyped literals
+/// with the surrounding expression's demanded type.
+pub trait RangeValue: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn draw_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`; callers guarantee `lo <= hi`.
+    fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn draw_half_open(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128).wrapping_sub(lo as i128) as u64;
+                ((lo as i128) + rng.below(span) as i128) as $t
+            }
+            fn draw_inclusive(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t;
+                }
+                ((lo as i128) + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "strategy range is empty");
+        T::draw_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "strategy range is empty");
+        T::draw_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut rng = TestRng::deterministic("ranges_and_maps_compose");
+        let s = (0u8..16).prop_map(|v| v * 2);
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!(v < 32 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = TestRng::deterministic("union_respects_weights");
+        let s = Union::new(vec![(9, Just(true).boxed()), (1, Just(false).boxed())]);
+        let trues = (0..10_000).filter(|_| s.generate(&mut rng)).count();
+        assert!((8_500..9_500).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = TestRng::deterministic("inclusive_range_hits_endpoints");
+        let s = 1u64..=3;
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Observability for the SpecMPK simulator.
+//!
+//! Two independent pieces, both dependency-free:
+//!
+//! * [`sink`] — the [`TraceSink`] trait the simulator core is generic
+//!   over, the zero-overhead [`NullSink`] default, and the ring-buffered
+//!   [`PipeTracer`] that renders gem5-O3PipeView text (loadable in the
+//!   Konata pipeline viewer).
+//! * [`json`] — a hand-rolled [`Json`] value/writer/parser used for
+//!   structured stats artifacts (the build runs offline, so no serde).
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod sink;
+
+pub use json::{Json, JsonError};
+pub use sink::{
+    EventLog, NullSink, PipeTracer, PkruCheckKind, TraceEvent, TraceSink, DEFAULT_TRACE_CAPACITY,
+};

@@ -1,0 +1,470 @@
+//! Pipeline trace sinks.
+//!
+//! The simulator core is generic over a [`TraceSink`]; the default
+//! [`NullSink`] compiles every recording call down to nothing (the trait's
+//! `enabled()` gate is a constant `false`, so call sites that guard event
+//! construction behind it are dead code under the null sink). The
+//! [`PipeTracer`] records per-instruction stage timestamps and renders them
+//! in the gem5 O3PipeView text format, which the Konata pipeline viewer
+//! loads directly.
+
+use std::collections::VecDeque;
+
+/// Which in-flight PKRU check an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PkruCheckKind {
+    /// A load's permission check against the speculative PKRU view.
+    Load,
+    /// A store's (deferred) permission check at retirement.
+    Store,
+}
+
+/// One observable micro-architectural event.
+///
+/// Cycle numbers are absolute simulation cycles; `seq` is the rename-time
+/// sequence number the pipeline assigns (fetch groups carry no sequence
+/// number in this core, so the rename event also reports the fetch cycle).
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// An instruction entered the back end (and was dispatched the same
+    /// cycle in this core).
+    Rename {
+        /// Rename-time sequence number.
+        seq: u64,
+        /// Program counter of the instruction.
+        pc: u64,
+        /// Cycle the instruction's fetch group was fetched.
+        fetch_cycle: u64,
+        /// Cycle of rename/dispatch.
+        cycle: u64,
+        /// Human-readable disassembly (only built when a sink is enabled).
+        disasm: String,
+    },
+    /// The instruction was selected for execution.
+    Issue {
+        /// Rename-time sequence number.
+        seq: u64,
+        /// Issue cycle.
+        cycle: u64,
+    },
+    /// The instruction's result wrote back.
+    Complete {
+        /// Rename-time sequence number.
+        seq: u64,
+        /// Writeback cycle.
+        cycle: u64,
+    },
+    /// The instruction retired.
+    Retire {
+        /// Rename-time sequence number.
+        seq: u64,
+        /// Retire cycle.
+        cycle: u64,
+    },
+    /// The instruction was squashed (branch misprediction, fault, or
+    /// failed PKRU load check).
+    Squash {
+        /// Rename-time sequence number.
+        seq: u64,
+        /// Squash cycle.
+        cycle: u64,
+    },
+    /// A WRPKRU allocated a `ROB_pkru` entry at rename.
+    RobPkruAlloc {
+        /// Sequence number of the WRPKRU.
+        seq: u64,
+        /// Allocation cycle.
+        cycle: u64,
+        /// The renamed PKRU tag.
+        tag: u64,
+    },
+    /// A `ROB_pkru` entry was freed (WRPKRU retired or squashed).
+    RobPkruFree {
+        /// Sequence number of the WRPKRU.
+        seq: u64,
+        /// Free cycle.
+        cycle: u64,
+        /// The freed PKRU tag.
+        tag: u64,
+    },
+    /// A PKRU permission check was performed for a load or store.
+    PkruCheck {
+        /// Sequence number of the checked memory instruction.
+        seq: u64,
+        /// Check cycle.
+        cycle: u64,
+        /// Load or store check.
+        kind: PkruCheckKind,
+        /// Whether the access was permitted under the checked PKRU view.
+        passed: bool,
+    },
+    /// A load at the head of the active list was replayed after its
+    /// optimistic PKRU check failed.
+    LoadReplay {
+        /// Sequence number of the replayed load.
+        seq: u64,
+        /// Replay cycle.
+        cycle: u64,
+    },
+    /// A retiring WRPKRU applied its deferred TLB permission update.
+    DeferredTlbUpdate {
+        /// Sequence number of the retiring WRPKRU.
+        seq: u64,
+        /// Update cycle.
+        cycle: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The sequence number the event refers to.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        match self {
+            TraceEvent::Rename { seq, .. }
+            | TraceEvent::Issue { seq, .. }
+            | TraceEvent::Complete { seq, .. }
+            | TraceEvent::Retire { seq, .. }
+            | TraceEvent::Squash { seq, .. }
+            | TraceEvent::RobPkruAlloc { seq, .. }
+            | TraceEvent::RobPkruFree { seq, .. }
+            | TraceEvent::PkruCheck { seq, .. }
+            | TraceEvent::LoadReplay { seq, .. }
+            | TraceEvent::DeferredTlbUpdate { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Receiver of pipeline events.
+///
+/// All methods have no-op defaults, so a sink only implements what it
+/// needs. Hot paths in the core guard event construction behind
+/// [`TraceSink::enabled`]; with the default `false` the guard (and the
+/// event formatting behind it) folds away entirely under inlining.
+pub trait TraceSink {
+    /// Whether this sink wants events at all. Hot paths check this before
+    /// building event payloads (e.g. disassembly strings).
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one event. Only called when [`TraceSink::enabled`] is true
+    /// (well-behaved callers check first).
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        let _ = event;
+    }
+}
+
+/// The do-nothing sink: the default for uninstrumented simulation runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// Per-instruction stage timestamps being assembled by [`PipeTracer`].
+#[derive(Debug, Clone)]
+struct InFlight {
+    seq: u64,
+    pc: u64,
+    disasm: String,
+    fetch: u64,
+    rename: u64,
+    issue: Option<u64>,
+    complete: Option<u64>,
+    notes: Vec<String>,
+}
+
+/// Ring-buffered per-instruction recorder emitting gem5 O3PipeView text.
+///
+/// Stage timestamps accumulate per sequence number while an instruction is
+/// in flight; the finished block is appended to a bounded ring of recent
+/// blocks when the instruction retires or is squashed. `capacity` bounds
+/// retained *blocks* (instructions), so arbitrarily long runs use bounded
+/// memory and the trace ends with the most recent `capacity` instructions.
+///
+/// SpecMPK-specific events (`ROB_pkru` allocate/free, PKRU checks, load
+/// replays, deferred TLB updates) are attached to their instruction's block
+/// as `//specmpk:` comment lines, which O3PipeView consumers ignore.
+#[derive(Debug)]
+pub struct PipeTracer {
+    in_flight: Vec<InFlight>,
+    blocks: VecDeque<String>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Default maximum number of retained instruction blocks.
+pub const DEFAULT_TRACE_CAPACITY: usize = 100_000;
+
+impl Default for PipeTracer {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl PipeTracer {
+    /// A tracer retaining at most `capacity` instruction blocks.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        PipeTracer {
+            in_flight: Vec::new(),
+            blocks: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Number of completed instruction blocks currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no blocks have been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Blocks evicted from the ring because `capacity` was exceeded.
+    #[must_use]
+    pub fn dropped_blocks(&self) -> u64 {
+        self.dropped
+    }
+
+    fn entry_mut(&mut self, seq: u64) -> Option<&mut InFlight> {
+        self.in_flight.iter_mut().find(|e| e.seq == seq)
+    }
+
+    fn finish(&mut self, seq: u64, retire_cycle: Option<u64>) {
+        let Some(pos) = self.in_flight.iter().position(|e| e.seq == seq) else {
+            return;
+        };
+        let e = self.in_flight.swap_remove(pos);
+        let mut block = String::new();
+        // gem5 O3PipeView block: one fetch line carrying pc/seq/disasm,
+        // then one timestamp line per stage. This core renames and
+        // dispatches in the same cycle and has no distinct decode stage,
+        // so decode/rename/dispatch share the rename timestamp.
+        block.push_str(&format!(
+            "O3PipeView:fetch:{}:0x{:016x}:0:{}:{}\n",
+            e.fetch, e.pc, e.seq, e.disasm
+        ));
+        block.push_str(&format!("O3PipeView:decode:{}\n", e.rename));
+        block.push_str(&format!("O3PipeView:rename:{}\n", e.rename));
+        block.push_str(&format!("O3PipeView:dispatch:{}\n", e.rename));
+        // Instructions that never issue (nop/halt, or squashed before
+        // select) report their rename cycle so viewers draw a zero-width
+        // stage instead of a bogus span back to cycle 0.
+        let issue = e.issue.unwrap_or(e.rename);
+        let complete = e.complete.or(e.issue).unwrap_or(e.rename);
+        block.push_str(&format!("O3PipeView:issue:{issue}\n"));
+        block.push_str(&format!("O3PipeView:complete:{complete}\n"));
+        // Squashed instructions get retire timestamp 0, as gem5 emits them.
+        block.push_str(&format!("O3PipeView:retire:{}:store:0\n", retire_cycle.unwrap_or(0)));
+        for note in &e.notes {
+            block.push_str(note);
+            block.push('\n');
+        }
+        if self.blocks.len() == self.capacity {
+            self.blocks.pop_front();
+            self.dropped += 1;
+        }
+        self.blocks.push_back(block);
+    }
+
+    fn note(&mut self, seq: u64, note: String) {
+        if let Some(e) = self.entry_mut(seq) {
+            e.notes.push(note);
+        }
+    }
+
+    /// Renders the retained trace as one O3PipeView text blob.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for b in &self.blocks {
+            out.push_str(b);
+        }
+        out
+    }
+
+    /// Writes the retained trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+impl TraceSink for PipeTracer {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::Rename { seq, pc, fetch_cycle, cycle, disasm } => {
+                self.in_flight.push(InFlight {
+                    seq,
+                    pc,
+                    disasm,
+                    fetch: fetch_cycle,
+                    rename: cycle,
+                    issue: None,
+                    complete: None,
+                    notes: Vec::new(),
+                });
+            }
+            TraceEvent::Issue { seq, cycle } => {
+                if let Some(e) = self.entry_mut(seq) {
+                    e.issue = Some(cycle);
+                }
+            }
+            TraceEvent::Complete { seq, cycle } => {
+                if let Some(e) = self.entry_mut(seq) {
+                    e.complete = Some(cycle);
+                }
+            }
+            TraceEvent::Retire { seq, cycle } => self.finish(seq, Some(cycle)),
+            TraceEvent::Squash { seq, cycle } => {
+                self.note(seq, format!("//specmpk:squash:{cycle}:{seq}"));
+                self.finish(seq, None);
+            }
+            TraceEvent::RobPkruAlloc { seq, cycle, tag } => {
+                self.note(seq, format!("//specmpk:robpkru_alloc:{cycle}:{seq}:tag{tag}"));
+            }
+            TraceEvent::RobPkruFree { seq, cycle, tag } => {
+                self.note(seq, format!("//specmpk:robpkru_free:{cycle}:{seq}:tag{tag}"));
+            }
+            TraceEvent::PkruCheck { seq, cycle, kind, passed } => {
+                let kind = match kind {
+                    PkruCheckKind::Load => "load",
+                    PkruCheckKind::Store => "store",
+                };
+                let outcome = if passed { "pass" } else { "fail" };
+                self.note(seq, format!("//specmpk:pkru_check:{cycle}:{seq}:{kind}:{outcome}"));
+            }
+            TraceEvent::LoadReplay { seq, cycle } => {
+                self.note(seq, format!("//specmpk:load_replay:{cycle}:{seq}"));
+            }
+            TraceEvent::DeferredTlbUpdate { seq, cycle } => {
+                self.note(seq, format!("//specmpk:deferred_tlb_update:{cycle}:{seq}"));
+            }
+        }
+    }
+}
+
+/// A sink that retains raw [`TraceEvent`]s in a bounded ring; useful in
+/// tests that assert on the event stream rather than the rendered text.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+}
+
+impl EventLog {
+    /// An event log retaining at most `capacity` events (0 = unbounded).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog { events: VecDeque::new(), capacity }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+}
+
+impl TraceSink for EventLog {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.capacity > 0 && self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(t: &mut PipeTracer, seq: u64, base: u64) {
+        t.record(TraceEvent::Rename {
+            seq,
+            pc: 0x1000 + 4 * seq,
+            fetch_cycle: base,
+            cycle: base + 2,
+            disasm: format!("op{seq}"),
+        });
+        t.record(TraceEvent::Issue { seq, cycle: base + 3 });
+        t.record(TraceEvent::Complete { seq, cycle: base + 4 });
+    }
+
+    #[test]
+    fn retire_emits_complete_o3_block() {
+        let mut t = PipeTracer::default();
+        drive(&mut t, 1, 10);
+        t.record(TraceEvent::Retire { seq: 1, cycle: 15 });
+        let out = t.render();
+        assert!(out.starts_with("O3PipeView:fetch:10:0x0000000000001004:0:1:op1\n"));
+        assert!(out.contains("O3PipeView:issue:13\n"));
+        assert!(out.contains("O3PipeView:complete:14\n"));
+        assert!(out.ends_with("O3PipeView:retire:15:store:0\n"));
+    }
+
+    #[test]
+    fn squash_emits_zero_retire_and_note() {
+        let mut t = PipeTracer::default();
+        drive(&mut t, 2, 20);
+        t.record(TraceEvent::Squash { seq: 2, cycle: 23 });
+        let out = t.render();
+        assert!(out.contains("O3PipeView:retire:0:store:0\n"));
+        assert!(out.contains("//specmpk:squash:23:2\n"));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_blocks() {
+        let mut t = PipeTracer::with_capacity(2);
+        for seq in 0..5 {
+            drive(&mut t, seq, 10 * seq);
+            t.record(TraceEvent::Retire { seq, cycle: 10 * seq + 5 });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped_blocks(), 3);
+        let out = t.render();
+        assert!(!out.contains(":op2\n"));
+        assert!(out.contains(":op3\n") && out.contains(":op4\n"));
+    }
+
+    #[test]
+    fn pkru_notes_attach_to_their_instruction() {
+        let mut t = PipeTracer::default();
+        drive(&mut t, 7, 0);
+        t.record(TraceEvent::RobPkruAlloc { seq: 7, cycle: 2, tag: 3 });
+        t.record(TraceEvent::PkruCheck {
+            seq: 7,
+            cycle: 3,
+            kind: PkruCheckKind::Load,
+            passed: false,
+        });
+        t.record(TraceEvent::Retire { seq: 7, cycle: 9 });
+        let out = t.render();
+        assert!(out.contains("//specmpk:robpkru_alloc:2:7:tag3\n"));
+        assert!(out.contains("//specmpk:pkru_check:3:7:load:fail\n"));
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        assert!(!NullSink.enabled());
+    }
+}

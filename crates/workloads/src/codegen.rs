@@ -78,11 +78,8 @@ impl Layout {
     /// Address of function-pointer slot `slot` under `protection`.
     #[must_use]
     pub fn fn_ptr_slot(&self, protection: Protection, slot: usize) -> u64 {
-        let base = if protection == Protection::Cpi {
-            self.safe_base
-        } else {
-            self.plain_table_base
-        };
+        let base =
+            if protection == Protection::Cpi { self.safe_base } else { self.plain_table_base };
         base + slot as u64 * 8
     }
 }
@@ -355,7 +352,8 @@ impl<'m> CodeGenerator<'m> {
             let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (i as u64) << 32 | a.size;
             let init: Vec<u8> = (0..a.size)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     (state >> 33) as u8
                 })
                 .collect();
@@ -459,12 +457,7 @@ impl<'m> CodeGenerator<'m> {
     fn emit_array_addr(&self, asm: &mut Assembler, array: usize, index: &Expr) {
         let decl = &self.module.arrays[array];
         self.emit_expr(asm, index, 0);
-        asm.alu(
-            AluOp::And,
-            TEMP_REGS[0],
-            TEMP_REGS[0],
-            Operand::Imm(decl.index_mask() as i32),
-        );
+        asm.alu(AluOp::And, TEMP_REGS[0], TEMP_REGS[0], Operand::Imm(decl.index_mask() as i32));
         asm.li(ADDR_REG, self.layout.array_bases[array] as i64);
         asm.alu(AluOp::Add, ADDR_REG, ADDR_REG, Operand::Reg(TEMP_REGS[0]));
     }
@@ -523,10 +516,7 @@ mod tests {
         // the leaf) = 5 WRPKRUs.
         assert_eq!(count_wrpkru(&p), 5);
         assert!(p.segment("shadow_stack").is_some());
-        assert_eq!(
-            p.segment("shadow_stack").unwrap().pkey,
-            Pkey::new(SHADOW_PKEY).unwrap()
-        );
+        assert_eq!(p.segment("shadow_stack").unwrap().pkey, Pkey::new(SHADOW_PKEY).unwrap());
     }
 
     #[test]

@@ -271,10 +271,7 @@ mod tests {
 
     #[test]
     fn leaf_and_loop_analysis() {
-        let f = Function {
-            name: "leaf".into(),
-            body: vec![Stmt::Assign(v(0), Expr::Const(1))],
-        };
+        let f = Function { name: "leaf".into(), body: vec![Stmt::Assign(v(0), Expr::Const(1))] };
         assert!(f.is_leaf());
         assert!(!f.uses_loops());
 
@@ -336,11 +333,7 @@ mod tests {
         let e = Expr::BinOp(
             AluOp::Add,
             Box::new(Expr::Var(v(0))),
-            Box::new(Expr::BinOp(
-                AluOp::Mul,
-                Box::new(Expr::Const(3)),
-                Box::new(Expr::Var(v(1))),
-            )),
+            Box::new(Expr::BinOp(AluOp::Mul, Box::new(Expr::Const(3)), Box::new(Expr::Var(v(1))))),
         );
         assert_eq!(e.depth(), 3);
     }

@@ -113,9 +113,7 @@ impl Workload {
     /// (the §V-C6 `RDPKRU` study).
     #[must_use]
     pub fn build_with_style(&self, protection: Protection, style: PkruUpdateStyle) -> Program {
-        CodeGenerator::new(&self.module, protection)
-            .with_pkru_style(style)
-            .generate()
+        CodeGenerator::new(&self.module, protection).with_pkru_style(style).generate()
     }
 
     /// Lowers with the scheme's own protection (the paper's evaluated
@@ -230,8 +228,7 @@ mod tests {
         let ss = suite.iter().filter(|w| w.scheme == Scheme::ShadowStack).count();
         let cpi = suite.iter().filter(|w| w.scheme == Scheme::Cpi).count();
         assert_eq!((ss, cpi), (10, 6));
-        let names: std::collections::HashSet<String> =
-            suite.iter().map(Workload::name).collect();
+        let names: std::collections::HashSet<String> = suite.iter().map(Workload::name).collect();
         assert_eq!(names.len(), 16, "names must be unique");
     }
 
@@ -247,9 +244,7 @@ mod tests {
     #[test]
     fn protected_binary_contains_wrpkru_and_unprotected_does_not() {
         let w = Workload::from_profile(standard_profiles()[0]);
-        let count = |p: &Program| {
-            p.text().iter().filter(|i| matches!(i, Instr::Wrpkru)).count()
-        };
+        let count = |p: &Program| p.text().iter().filter(|i| matches!(i, Instr::Wrpkru)).count();
         assert!(count(&w.build_protected()) > 0);
         assert_eq!(count(&w.build_unprotected()), 0);
     }
@@ -262,12 +257,7 @@ mod tests {
         assert_eq!(protected.len(), nop.len());
         assert!(nop.text().iter().all(|i| !matches!(i, Instr::Wrpkru)));
         // All other instructions are unchanged.
-        let diffs = protected
-            .text()
-            .iter()
-            .zip(nop.text())
-            .filter(|(a, b)| a != b)
-            .count();
+        let diffs = protected.text().iter().zip(nop.text()).filter(|(a, b)| a != b).count();
         assert!(diffs > 0);
         assert!(protected
             .text()

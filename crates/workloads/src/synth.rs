@@ -58,10 +58,7 @@ pub fn synthesize(profile: &WorkloadProfile) -> Module {
         _ => 4,
     };
     for i in 0..pieces {
-        arrays.push(ArrayDecl::new(
-            &format!("array{i}"),
-            (total_bytes / pieces as u64).max(64),
-        ));
+        arrays.push(ArrayDecl::new(&format!("array{i}"), (total_bytes / pieces as u64).max(64)));
     }
     s.num_arrays = arrays.len();
 
@@ -113,11 +110,7 @@ impl Synth<'_> {
         } else {
             let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Mul];
             let op = ops[self.rng.gen_range(0..ops.len())];
-            Expr::BinOp(
-                op,
-                Box::new(self.expr(depth + 1)),
-                Box::new(self.expr(depth + 1)),
-            )
+            Expr::BinOp(op, Box::new(self.expr(depth + 1)), Box::new(self.expr(depth + 1)))
         }
     }
 
@@ -244,9 +237,7 @@ impl Synth<'_> {
         }
         if self.fn_ptr_slots > 0 {
             for _ in 0..self.quota(p.indirect_call_rate * damp, n) {
-                deck.push(Stmt::IndirectCall {
-                    slot: self.rng.gen_range(0..self.fn_ptr_slots),
-                });
+                deck.push(Stmt::IndirectCall { slot: self.rng.gen_range(0..self.fn_ptr_slots) });
             }
             if fidx < self.target_start() {
                 for _ in 0..self.quota(p.fn_ptr_write_rate * damp, n) {
@@ -259,11 +250,8 @@ impl Synth<'_> {
         }
         for _ in 0..self.quota(p.branch_rate, n) {
             let then_body = vec![self.stmt(fidx, true, 1)];
-            let else_body = if self.rng.gen_bool(0.5) {
-                vec![self.stmt(fidx, true, 1)]
-            } else {
-                Vec::new()
-            };
+            let else_body =
+                if self.rng.gen_bool(0.5) { vec![self.stmt(fidx, true, 1)] } else { Vec::new() };
             deck.push(Stmt::If {
                 cond: self.cond(),
                 lhs: self.var(),
@@ -371,8 +359,7 @@ mod tests {
         let profiles = standard_profiles();
         let omnetpp = profiles.iter().find(|p| p.name == "520.omnetpp_r").unwrap();
         let mcf = profiles.iter().find(|p| p.name == "505.mcf_r").unwrap();
-        let dense: usize =
-            synthesize(omnetpp).functions.iter().map(|f| count_calls(&f.body)).sum();
+        let dense: usize = synthesize(omnetpp).functions.iter().map(|f| count_calls(&f.body)).sum();
         let sparse: usize = synthesize(mcf).functions.iter().map(|f| count_calls(&f.body)).sum();
         assert!(dense > sparse, "omnetpp {dense} vs mcf {sparse}");
     }

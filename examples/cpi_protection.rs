@@ -50,7 +50,7 @@ fn fp_victim(protected: bool) -> Program {
     // --- the bug: an attacker-controlled write redirects the pointer ---
     asm.li(Reg::T1, evil_addr as i64);
     asm.store(Reg::T1, Reg::T0, 0, MemWidth::D); // faults if protected
-    // Indirect call through the pointer.
+                                                 // Indirect call through the pointer.
     asm.load(Reg::T2, Reg::T0, 0, MemWidth::D);
     asm.jalr(Reg::RA, Reg::T2);
     asm.jump(done);
@@ -78,7 +78,11 @@ fn main() {
         match result.exit {
             ExitReason::Halted => println!(
                 "{label:<24} → ran; indirect call reached {} ({})",
-                if result.reg(Reg::S0) == 0xBAD { "the ATTACKER's gadget" } else { "the intended function" },
+                if result.reg(Reg::S0) == 0xBAD {
+                    "the ATTACKER's gadget"
+                } else {
+                    "the intended function"
+                },
                 result.reg(Reg::S0)
             ),
             ExitReason::ProtectionFault { fault, .. } => println!(

@@ -35,7 +35,10 @@ fn main() {
     let mut program = Program::new(asm.base(), asm.assemble().expect("labels bound"));
     program.add_segment(DataSegment::zeroed("protected", 0x8000, 4096, key));
 
-    println!("{:<22} {:>10} {:>8} {:>10} {:>14}", "policy", "cycles", "IPC", "speedup", "WRPKRU/kinstr");
+    println!(
+        "{:<22} {:>10} {:>8} {:>10} {:>14}",
+        "policy", "cycles", "IPC", "speedup", "WRPKRU/kinstr"
+    );
     let mut baseline = None;
     for policy in WrpkruPolicy::all() {
         let mut core = Core::new(SimConfig::with_policy(policy), &program);

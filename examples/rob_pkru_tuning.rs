@@ -29,11 +29,14 @@ fn main() {
     );
     println!(
         "{:<10} {:>10.3} {:>12.3} {:>13.1}% {:>12}",
-        "serial", serialized, 1.0, serialized / ceiling * 100.0, 0
+        "serial",
+        serialized,
+        1.0,
+        serialized / ceiling * 100.0,
+        0
     );
     for size in [1usize, 2, 4, 8, 16, 32] {
-        let mut config =
-            SimConfig::with_policy(WrpkruPolicy::SpecMpk).with_rob_pkru_size(size);
+        let mut config = SimConfig::with_policy(WrpkruPolicy::SpecMpk).with_rob_pkru_size(size);
         config.max_instructions = budget;
         let ipc = Core::new(config, &program).run().stats.ipc();
         let cost = hardware_cost(SpecMpkConfig { rob_pkru_size: size, store_queue_size: 72 });
@@ -48,7 +51,10 @@ fn main() {
     }
     println!(
         "{:<10} {:>10.3} {:>12.3} {:>13.1}%",
-        "nonsecure", ceiling, ceiling / serialized, 100.0
+        "nonsecure",
+        ceiling,
+        ceiling / serialized,
+        100.0
     );
     println!("\nTable III's 8-entry ROB_pkru costs 93 B and recovers nearly all of");
     println!("the unprotected speculation's performance — the paper's design point.");

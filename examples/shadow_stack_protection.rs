@@ -50,7 +50,7 @@ fn rop_victim(protected: bool) -> Program {
     let gadget_addr = asm.address_of(gadget).expect("bound above");
     asm.li(Reg::T0, gadget_addr as i64);
     asm.store(Reg::T0, Reg::SP, 8, MemWidth::D); // overwrite RA slot
-    // Epilogue.
+                                                 // Epilogue.
     asm.load(Reg::RA, Reg::SP, 8, MemWidth::D); // reload (corrupted) RA
     if protected {
         let trap = asm.fresh_label();
@@ -86,9 +86,7 @@ fn main() {
         match result.exit {
             ExitReason::Halted => {
                 let hijacked = result.reg(Reg::S0) == 0xBAD;
-                println!(
-                    "{label:<20} → ran to completion; control-flow hijacked: {hijacked}"
-                );
+                println!("{label:<20} → ran to completion; control-flow hijacked: {hijacked}");
             }
             ExitReason::PageFault { pc, .. } => {
                 println!(

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate. Run from the repository root:
+#
+#   ./scripts/ci.sh
+#
+# Steps:
+#   1. cargo build --release        (workspace, warnings are visible)
+#   2. cargo test  -q               (root package: integration + doc tests)
+#   3. cargo test  -q --workspace   (every crate, incl. property tests)
+#   4. cargo fmt   --check          (skipped when rustfmt is absent)
+#   5. cargo clippy -D warnings     (skipped when clippy is absent)
+#
+# The script is offline-safe: all dependencies are vendored path crates,
+# so no step touches the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q (root package)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+else
+    echo "==> cargo fmt --check (skipped: rustfmt not installed)"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy (skipped: clippy not installed)"
+fi
+
+echo "==> CI OK"

@@ -8,11 +8,13 @@
 //! specmpk-sim --workload gcc --rob-pkru 2
 //! ```
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use specmpk::attacks::{run_attack, spectre_bti, spectre_v1, store_forward_overflow};
 use specmpk::core_model::WrpkruPolicy;
 use specmpk::ooo::{Core, SimConfig, SimStats};
+use specmpk::trace::{Json, PipeTracer};
 use specmpk::workloads::{standard_suite, Protection, Workload};
 
 struct Args {
@@ -23,6 +25,9 @@ struct Args {
     instructions: u64,
     rob_pkru: usize,
     list: bool,
+    stats_json: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    trace_interval: u64,
 }
 
 fn usage() -> &'static str {
@@ -41,7 +46,12 @@ OPTIONS:
     --policy P           WRPKRU microarchitecture (default: all)
     --protection S       'scheme' (the workload's own, default), 'none', 'nop'
     --instructions N     retired-instruction budget (default 500000)
-    --rob-pkru N         ROB_pkru entries for SpecMPK (default 8)"
+    --rob-pkru N         ROB_pkru entries for SpecMPK (default 8)
+    --stats-json PATH    write a JSON stats artifact for the run
+    --trace PATH         write a Konata/O3PipeView pipeline trace; with
+                         --policy all the policy name is appended to PATH
+    --trace-interval N   sample IPC/stall time series every N cycles into
+                         the JSON artifact (0 = off, default)"
 }
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
@@ -54,11 +64,12 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         instructions: 500_000,
         rob_pkru: 8,
         list: false,
+        stats_json: None,
+        trace: None,
+        trace_interval: 0,
     };
     while let Some(flag) = argv.next() {
-        let mut value = |name: &str| {
-            argv.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--list" => args.list = true,
             "--workload" => args.workload = Some(value("--workload")?),
@@ -66,14 +77,19 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--policy" => args.policy = value("--policy")?,
             "--protection" => args.protection = value("--protection")?,
             "--instructions" => {
-                args.instructions = value("--instructions")?
-                    .parse()
-                    .map_err(|e| format!("--instructions: {e}"))?;
+                args.instructions =
+                    value("--instructions")?.parse().map_err(|e| format!("--instructions: {e}"))?;
             }
             "--rob-pkru" => {
-                args.rob_pkru = value("--rob-pkru")?
+                args.rob_pkru =
+                    value("--rob-pkru")?.parse().map_err(|e| format!("--rob-pkru: {e}"))?;
+            }
+            "--stats-json" => args.stats_json = Some(value("--stats-json")?.into()),
+            "--trace" => args.trace = Some(value("--trace")?.into()),
+            "--trace-interval" => {
+                args.trace_interval = value("--trace-interval")?
                     .parse()
-                    .map_err(|e| format!("--rob-pkru: {e}"))?;
+                    .map_err(|e| format!("--trace-interval: {e}"))?;
             }
             "--help" | "-h" => return Err(usage().to_owned()),
             other => return Err(format!("unknown flag {other}\n\n{}", usage())),
@@ -106,6 +122,28 @@ fn print_stats(policy: WrpkruPolicy, stats: &SimStats, baseline_ipc: f64) {
     );
 }
 
+/// Stable lowercase key for a policy, used in file names and JSON.
+fn policy_key(policy: WrpkruPolicy) -> &'static str {
+    match policy {
+        WrpkruPolicy::Serialized => "serialized",
+        WrpkruPolicy::NonSecureSpec => "nonsecure",
+        WrpkruPolicy::SpecMpk => "specmpk",
+    }
+}
+
+/// The per-policy trace path: the given path as-is for a single-policy
+/// run, `<path>.<policy>` when several policies share one invocation.
+fn trace_path(base: &Path, policy: WrpkruPolicy, n_policies: usize) -> PathBuf {
+    if n_policies == 1 {
+        base.to_path_buf()
+    } else {
+        let mut name = base.as_os_str().to_owned();
+        name.push(".");
+        name.push(policy_key(policy));
+        PathBuf::from(name)
+    }
+}
+
 fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
     let program = match args.protection.as_str() {
         "scheme" => workload.build_protected(),
@@ -121,13 +159,38 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
         args.rob_pkru
     );
     let mut baseline = None;
-    for policy in policies(&args.policy)? {
+    let mut per_policy = Json::object();
+    let selected = policies(&args.policy)?;
+    for &policy in &selected {
         let mut config = SimConfig::with_policy(policy).with_rob_pkru_size(args.rob_pkru);
         config.max_instructions = args.instructions;
-        let mut core = Core::new(config, &program);
-        let result = core.run();
+        let result = if let Some(base) = &args.trace {
+            let mut core = Core::with_sink(config, &program, PipeTracer::default());
+            core.set_sample_interval(args.trace_interval);
+            let result = core.run();
+            let path = trace_path(base, policy, selected.len());
+            core.into_sink()
+                .write_to(&path)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            result
+        } else {
+            let mut core = Core::new(config, &program);
+            core.set_sample_interval(args.trace_interval);
+            core.run()
+        };
         let base = *baseline.get_or_insert(result.stats.ipc());
         print_stats(policy, &result.stats, base);
+        per_policy.set(policy_key(policy), result.stats.to_json());
+    }
+    if let Some(path) = &args.stats_json {
+        let artifact = Json::object()
+            .with("workload", workload.name())
+            .with("protection", args.protection.as_str())
+            .with("instructions", args.instructions)
+            .with("rob_pkru", args.rob_pkru as u64)
+            .with("policies", per_policy);
+        std::fs::write(path, artifact.dump())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
     }
     Ok(())
 }

@@ -18,6 +18,7 @@
 //! | [`ooo`] | `specmpk-ooo` | the out-of-order core + reference interpreter |
 //! | [`workloads`] | `specmpk-workloads` | IR, codegen, SS/CPI passes, SPEC-like suite |
 //! | [`attacks`] | `specmpk-attacks` | Spectre-V1/BTI gadgets, flush+reload receiver |
+//! | [`trace`] | `specmpk-trace` | pipeline trace sinks (Konata/O3PipeView), JSON stats |
 //!
 //! # Quick start
 //!
@@ -52,4 +53,5 @@ pub use specmpk_isa as isa;
 pub use specmpk_mem as mem;
 pub use specmpk_mpk as mpk;
 pub use specmpk_ooo as ooo;
+pub use specmpk_trace as trace;
 pub use specmpk_workloads as workloads;

@@ -67,7 +67,7 @@ fn kard_lock_acquisition_stops_traps() {
     asm.set_pkru(Pkru::ALL_ACCESS.with_access_disabled(shared_key, true).bits());
     asm.li(Reg::T0, 0x8000);
     asm.load(Reg::T1, Reg::T0, 0, MemWidth::D); // traps once
-    // "Handler" grants access (Kard maps the object to the lock owner).
+                                                // "Handler" grants access (Kard maps the object to the lock owner).
     asm.set_pkru(Pkru::ALL_ACCESS.bits());
     asm.li(Reg::S2, 0xC0DE);
     asm.store(Reg::S2, Reg::T0, 0, MemWidth::D); // no trap now

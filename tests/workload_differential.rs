@@ -39,7 +39,8 @@ fn check_workload(workload: &Workload, protection: Protection) {
         }
         assert_eq!(result.pkru(), reference.pkru, "{} under {policy}", workload.name());
         assert_eq!(
-            result.stats.retired, reference.executed,
+            result.stats.retired,
+            reference.executed,
             "{} under {policy}: instruction counts diverged",
             workload.name()
         );
@@ -48,7 +49,11 @@ fn check_workload(workload: &Workload, protection: Protection) {
 
 #[test]
 fn shadow_stack_workloads_match_reference() {
-    for w in standard_suite().iter().filter(|w| w.scheme == specmpk::workloads::Scheme::ShadowStack).take(3) {
+    for w in standard_suite()
+        .iter()
+        .filter(|w| w.scheme == specmpk::workloads::Scheme::ShadowStack)
+        .take(3)
+    {
         let w = short(w, 40);
         check_workload(&w, Protection::ShadowStack);
     }
@@ -56,7 +61,8 @@ fn shadow_stack_workloads_match_reference() {
 
 #[test]
 fn cpi_workloads_match_reference() {
-    for w in standard_suite().iter().filter(|w| w.scheme == specmpk::workloads::Scheme::Cpi).take(3) {
+    for w in standard_suite().iter().filter(|w| w.scheme == specmpk::workloads::Scheme::Cpi).take(3)
+    {
         let w = short(w, 40);
         check_workload(&w, Protection::Cpi);
     }
@@ -99,10 +105,7 @@ fn rob_pkru_sizes_do_not_change_results() {
 fn read_modify_write_style_matches_reference_too() {
     use specmpk::workloads::PkruUpdateStyle;
     let w = short(&standard_suite()[0], 30);
-    let program = w.build_with_style(
-        Protection::ShadowStack,
-        PkruUpdateStyle::ReadModifyWrite,
-    );
+    let program = w.build_with_style(Protection::ShadowStack, PkruUpdateStyle::ReadModifyWrite);
     let reference = Interp::new(&program, Pkru::ALL_ACCESS).run(20_000_000);
     assert_eq!(reference.exit, InterpExit::Halted);
     for policy in WrpkruPolicy::all() {
