@@ -45,6 +45,8 @@ pub struct PkruEngineStats {
     /// Rename stalls because `ROB_pkru` was full (reported by the caller
     /// through [`PkruEngine::note_rob_full_stall`]).
     pub rob_full_stall_cycles: u64,
+    /// Deepest `ROB_pkru` occupancy reached (just after a WRPKRU renamed).
+    pub rob_pkru_high_water: u64,
 }
 
 impl PkruEngineStats {
@@ -58,6 +60,7 @@ impl PkruEngineStats {
             .with("load_check_failures", self.load_check_failures)
             .with("store_check_failures", self.store_check_failures)
             .with("rob_full_stall_cycles", self.rob_full_stall_cycles)
+            .with("rob_pkru_high_water", self.rob_pkru_high_water)
     }
 }
 
@@ -179,6 +182,7 @@ impl PkruEngine {
         let tag = self.rob.allocate()?;
         self.rmt = Some(tag);
         self.stats.wrpkru_renamed += 1;
+        self.stats.rob_pkru_high_water = self.stats.rob_pkru_high_water.max(self.rob.len() as u64);
         Some(tag)
     }
 

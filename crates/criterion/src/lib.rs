@@ -9,13 +9,23 @@
 //!
 //! Measurement is deliberately simple: each benchmark warms up for the
 //! configured time to estimate a batch size, then takes `sample_size`
-//! wall-clock samples and reports the median per-iteration time. There are
-//! no plots, no saved baselines, and no statistical regression analysis —
-//! the benches in this repo are used for relative comparisons within one
-//! run, which the median supports fine.
+//! wall-clock samples and reports the median per-iteration time.
+//!
+//! Named baselines are supported in criterion's CLI style: `cargo bench --
+//! --save-baseline <name>` stores each benchmark's median in a TSV under
+//! `target/criterion-baselines/<name>.tsv`, and `-- --baseline <name>`
+//! prints the percentage change against that snapshot next to each result.
+//! (Use [`Criterion::configure_from_args`], which the [`criterion_group!`]
+//! default config already does.) There are still no plots and no
+//! statistical significance analysis — wall-clock medians are noisy, so
+//! the printed change is informational and never fails the run; gated
+//! regression checking belongs to the deterministic simulator stats and
+//! `specmpk-report`.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard optimization barrier.
@@ -29,6 +39,9 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    save_baseline: Option<String>,
+    compare_baseline: Option<String>,
+    baseline_dir: PathBuf,
 }
 
 impl Default for Criterion {
@@ -37,6 +50,9 @@ impl Default for Criterion {
             sample_size: 100,
             measurement_time: Duration::from_secs(5),
             warm_up_time: Duration::from_secs(3),
+            save_baseline: None,
+            compare_baseline: None,
+            baseline_dir: PathBuf::from("target/criterion-baselines"),
         }
     }
 }
@@ -61,6 +77,55 @@ impl Criterion {
     #[must_use]
     pub fn warm_up_time(mut self, d: Duration) -> Self {
         self.warm_up_time = d;
+        self
+    }
+
+    /// Saves each benchmark's median under this baseline name.
+    #[must_use]
+    pub fn save_baseline(mut self, name: impl Into<String>) -> Self {
+        self.save_baseline = Some(name.into());
+        self
+    }
+
+    /// Prints each benchmark's change against this saved baseline.
+    #[must_use]
+    pub fn baseline(mut self, name: impl Into<String>) -> Self {
+        self.compare_baseline = Some(name.into());
+        self
+    }
+
+    /// Overrides where baselines are stored (default
+    /// `target/criterion-baselines/`). Not part of upstream criterion's
+    /// API; exists so tests can isolate their storage.
+    #[must_use]
+    pub fn baseline_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.baseline_dir = dir.into();
+        self
+    }
+
+    /// Applies the supported CLI flags (`--save-baseline <name>`,
+    /// `--baseline <name>`, `=`-joined forms included) from the process
+    /// arguments, ignoring everything else cargo's bench harness passes.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self.configure_from(std::env::args().skip(1))
+    }
+
+    fn configure_from(mut self, mut args: impl Iterator<Item = String>) -> Self {
+        while let Some(arg) = args.next() {
+            let flag_value = |prefix: &str, args: &mut dyn Iterator<Item = String>| {
+                if arg == prefix {
+                    args.next()
+                } else {
+                    arg.strip_prefix(&format!("{prefix}=")).map(str::to_string)
+                }
+            };
+            if let Some(name) = flag_value("--save-baseline", &mut args) {
+                self.save_baseline = Some(name);
+            } else if let Some(name) = flag_value("--baseline", &mut args) {
+                self.compare_baseline = Some(name);
+            }
+        }
         self
     }
 
@@ -156,7 +221,58 @@ impl Bencher<'_> {
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, config: &Criterion, f: &mut F) {
     let mut bencher = Bencher { config, median_ns: f64::NAN };
     f(&mut bencher);
-    println!("{:<40} time: [{}]", id, format_ns(bencher.median_ns));
+    let change = config.compare_baseline.as_ref().map(|name| {
+        match load_baseline(&config.baseline_dir, name).get(id) {
+            Some(&base_ns) if base_ns > 0.0 && bencher.median_ns.is_finite() => {
+                format!(
+                    "  change: [{:+.2}% vs {name}]",
+                    (bencher.median_ns / base_ns - 1.0) * 100.0
+                )
+            }
+            _ => format!("  change: [no '{name}' baseline entry]"),
+        }
+    });
+    println!("{:<40} time: [{}]{}", id, format_ns(bencher.median_ns), change.unwrap_or_default());
+    if let Some(name) = &config.save_baseline {
+        if bencher.median_ns.is_finite() {
+            save_baseline_entry(&config.baseline_dir, name, id, bencher.median_ns);
+        }
+    }
+}
+
+fn baseline_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.tsv"))
+}
+
+/// Loads a baseline snapshot: one `benchmark-id<TAB>median-ns` line per
+/// benchmark. A missing or unparseable file is just an empty baseline.
+fn load_baseline(dir: &Path, name: &str) -> BTreeMap<String, f64> {
+    let Ok(text) = std::fs::read_to_string(baseline_path(dir, name)) else {
+        return BTreeMap::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let (id, ns) = line.split_once('\t')?;
+            Some((id.to_string(), ns.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Inserts (or replaces) one benchmark's median in the named baseline.
+/// Read-modify-write keeps the file consistent across bench binaries that
+/// append to the same baseline in one `cargo bench` invocation.
+fn save_baseline_entry(dir: &Path, name: &str, id: &str, median_ns: f64) {
+    let mut entries = load_baseline(dir, name);
+    entries.insert(id.to_string(), median_ns);
+    let mut text = String::new();
+    for (id, ns) in &entries {
+        text.push_str(&format!("{id}\t{ns}\n"));
+    }
+    let path = baseline_path(dir, name);
+    let outcome = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, text));
+    if let Err(e) = outcome {
+        eprintln!("could not save baseline {}: {e}", path.display());
+    }
 }
 
 fn format_ns(ns: f64) -> String {
@@ -190,7 +306,8 @@ macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
         $crate::criterion_group! {
             name = $name;
-            config = $crate::Criterion::default();
+            // Default config honors --save-baseline/--baseline CLI flags.
+            config = $crate::Criterion::default().configure_from_args();
             targets = $($target),+
         }
     };
@@ -238,5 +355,59 @@ mod tests {
         assert_eq!(format_ns(12.5), "12.50 ns");
         assert_eq!(format_ns(1_500.0), "1.500 µs");
         assert_eq!(format_ns(2_500_000.0), "2.500 ms");
+    }
+
+    #[test]
+    fn configure_from_parses_baseline_flags() {
+        let args = ["--bench", "--save-baseline", "main", "--baseline=prev", "junk"];
+        let c = Criterion::default().configure_from(args.iter().map(ToString::to_string));
+        assert_eq!(c.save_baseline.as_deref(), Some("main"));
+        assert_eq!(c.compare_baseline.as_deref(), Some("prev"));
+        // Unrelated harness flags are ignored without error.
+        let c = Criterion::default().configure_from(["--bench"].iter().map(ToString::to_string));
+        assert_eq!(c.save_baseline, None);
+        assert_eq!(c.compare_baseline, None);
+    }
+
+    #[test]
+    fn baseline_save_and_load_round_trip() {
+        let dir =
+            std::env::temp_dir().join(format!("criterion-baseline-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_baseline_entry(&dir, "main", "grp/fast", 125.5);
+        save_baseline_entry(&dir, "main", "grp/slow", 90_000.0);
+        save_baseline_entry(&dir, "main", "grp/fast", 130.0); // replace
+        let loaded = load_baseline(&dir, "main");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded["grp/fast"], 130.0);
+        assert_eq!(loaded["grp/slow"], 90_000.0);
+        assert!(load_baseline(&dir, "absent").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_with_save_baseline_writes_the_snapshot() {
+        let dir =
+            std::env::temp_dir().join(format!("criterion-baseline-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+            .baseline_dir(&dir)
+            .save_baseline("snap");
+        c.bench_function("saved_case", |b| b.iter(|| black_box(1 + 1)));
+        let loaded = load_baseline(&dir, "snap");
+        assert!(loaded.contains_key("saved_case"), "got: {loaded:?}");
+        assert!(loaded["saved_case"] > 0.0);
+        // Comparing against the snapshot runs cleanly too.
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+            .baseline_dir(&dir)
+            .baseline("snap");
+        c.bench_function("saved_case", |b| b.iter(|| black_box(1 + 1)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -20,7 +20,7 @@ fn main() {
     exp::print_fig3(&fig3);
     artifact::write("fig3", artifact::rows(&fig3, exp::Fig3Row::to_json));
     println!();
-    let fig4 = exp::fig4_data(400);
+    let fig4 = exp::fig4_data(exp::fig4_kinstr());
     exp::print_fig4(&fig4);
     artifact::write("fig4", artifact::rows(&fig4, exp::Fig4Row::to_json));
     println!();

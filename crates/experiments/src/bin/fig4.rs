@@ -1,7 +1,7 @@
 //! Regenerates Figure 4 (overhead breakdown vs insecure baseline).
-use specmpk_experiments::{artifact, fig4_data, print_fig4, Fig4Row};
+use specmpk_experiments::{artifact, fig4_data, fig4_kinstr, print_fig4, Fig4Row};
 fn main() {
-    let rows = fig4_data(400);
+    let rows = fig4_data(fig4_kinstr());
     print_fig4(&rows);
     artifact::write("fig4", artifact::rows(&rows, Fig4Row::to_json));
 }

@@ -21,7 +21,7 @@
 use specmpk_core::{hardware_cost, SpecMpkConfig, WrpkruPolicy};
 use specmpk_isa::Program;
 use specmpk_ooo::{Core, RenameStall, SimConfig, SimStats};
-use specmpk_trace::Json;
+use specmpk_trace::{Histogram, Json};
 use specmpk_workloads::{standard_suite, Protection, Workload};
 
 pub use specmpk_attacks as attacks;
@@ -76,6 +76,17 @@ pub fn instr_budget() -> u64 {
     std::env::var("SPECMPK_INSTR_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000_000)
 }
 
+/// Fig. 4's total-instruction target in kilo-instructions, overridable
+/// with the `SPECMPK_FIG4_KINSTR` environment variable (default 400).
+///
+/// Fig. 4 runs each binary variant *to completion* so cycle counts compare
+/// equal work, which makes it the slowest experiment by far; the CI fast
+/// subset shrinks this target instead of the instruction budget.
+#[must_use]
+pub fn fig4_kinstr() -> u32 {
+    std::env::var("SPECMPK_FIG4_KINSTR").ok().and_then(|v| v.parse().ok()).unwrap_or(400)
+}
+
 /// Runs `program` under `policy` for at most `max_instructions`.
 #[must_use]
 pub fn run_policy(program: &Program, policy: WrpkruPolicy, max_instructions: u64) -> SimStats {
@@ -124,6 +135,11 @@ pub struct Fig3Row {
     pub speedup: f64,
     /// Fraction of cycles fully stalled at rename by WRPKRU serialization.
     pub rename_stall_fraction: f64,
+    /// WRPKRU dispatch→retire latency distribution of the serialized run
+    /// (the latencies the speedup comes from eliminating).
+    pub wrpkru_latency: Histogram,
+    /// Per-cycle `ROB_pkru` occupancy distribution of the same run.
+    pub rob_pkru_occupancy: Histogram,
 }
 
 impl Fig3Row {
@@ -134,6 +150,8 @@ impl Fig3Row {
             .with("name", self.name.as_str())
             .with("speedup", self.speedup)
             .with("rename_stall_fraction", self.rename_stall_fraction)
+            .with("wrpkru_latency", self.wrpkru_latency.summary_json())
+            .with("rob_pkru_occupancy", self.rob_pkru_occupancy.summary_json())
     }
 }
 
@@ -150,6 +168,8 @@ pub fn fig3_data(max_instructions: u64) -> Vec<Fig3Row> {
                 name: w.name(),
                 speedup: spec.ipc() / ser.ipc(),
                 rename_stall_fraction: ser.wrpkru_stall_fraction(),
+                wrpkru_latency: ser.hist.wrpkru_latency.clone(),
+                rob_pkru_occupancy: ser.hist.rob_pkru_occupancy.clone(),
             }
         })
         .collect()
@@ -189,6 +209,11 @@ pub struct Fig4Row {
     pub compiler_overhead: f64,
     /// Additional slowdown from real serialized WRPKRU.
     pub serialization_overhead: f64,
+    /// WRPKRU dispatch→retire latency distribution of the fully protected
+    /// serialized run (where the serialization overhead is paid).
+    pub wrpkru_latency: Histogram,
+    /// Per-cycle `ROB_pkru` occupancy distribution of the same run.
+    pub rob_pkru_occupancy: Histogram,
 }
 
 impl Fig4Row {
@@ -199,6 +224,8 @@ impl Fig4Row {
             .with("name", self.name.as_str())
             .with("compiler_overhead", self.compiler_overhead)
             .with("serialization_overhead", self.serialization_overhead)
+            .with("wrpkru_latency", self.wrpkru_latency.summary_json())
+            .with("rob_pkru_occupancy", self.rob_pkru_occupancy.summary_json())
     }
 }
 
@@ -210,26 +237,36 @@ impl Fig4Row {
 #[must_use]
 pub fn fig4_data(target_kilo_instructions: u32) -> Vec<Fig4Row> {
     let target = u64::from(target_kilo_instructions) * 1000;
+    // Small (CI-scale) targets also shrink the probe and the per-run
+    // iteration floor: for the heaviest workloads those floors, not the
+    // target, dominate wall clock. The paper-scale default keeps the
+    // original 8-iteration probe and 20-iteration floor.
+    let probe_iters: u64 = if target < 100_000 { 2 } else { 8 };
+    let min_iters: u64 = if target < 100_000 { 4 } else { 20 };
     standard_suite()
         .iter()
         .map(|w| {
             let mut profile = w.profile;
-            profile.driver_iterations = 8;
+            profile.driver_iterations = probe_iters as u32;
             let probe = Workload::from_profile(profile);
-            let per_iter =
-                run_policy(&probe.build_unprotected(), WrpkruPolicy::Serialized, 0).retired / 8;
-            profile.driver_iterations = (target / per_iter.max(1)).clamp(20, 2000) as u32;
+            let per_iter = run_policy(&probe.build_unprotected(), WrpkruPolicy::Serialized, 0)
+                .retired
+                / probe_iters;
+            profile.driver_iterations = (target / per_iter.max(1)).clamp(min_iters, 2000) as u32;
             let w = Workload::from_profile(profile);
             let insecure = w.build_unprotected();
             let nop = w.build_nop_wrpkru();
             let protected = w.build_protected();
             let base = run_policy(&insecure, WrpkruPolicy::Serialized, 0).cycles as f64;
             let nop_c = run_policy(&nop, WrpkruPolicy::Serialized, 0).cycles as f64;
-            let full_c = run_policy(&protected, WrpkruPolicy::Serialized, 0).cycles as f64;
+            let full = run_policy(&protected, WrpkruPolicy::Serialized, 0);
+            let full_c = full.cycles as f64;
             Fig4Row {
                 name: w.name(),
                 compiler_overhead: nop_c / base - 1.0,
                 serialization_overhead: (full_c - nop_c) / base,
+                wrpkru_latency: full.hist.wrpkru_latency.clone(),
+                rob_pkru_occupancy: full.hist.rob_pkru_occupancy.clone(),
             }
         })
         .collect()
@@ -275,6 +312,11 @@ pub struct Fig9Row {
     pub nonsecure: f64,
     /// WRPKRU per kilo-instruction (Fig. 10).
     pub wrpkru_per_kinstr: f64,
+    /// WRPKRU dispatch→retire latency distribution of the SpecMPK run
+    /// (speculative WRPKRUs overlap, so tails shrink vs the baseline).
+    pub wrpkru_latency: Histogram,
+    /// Per-cycle `ROB_pkru` occupancy distribution of the same run.
+    pub rob_pkru_occupancy: Histogram,
 }
 
 impl Fig9Row {
@@ -287,6 +329,8 @@ impl Fig9Row {
             .with("specmpk", self.specmpk)
             .with("nonsecure", self.nonsecure)
             .with("wrpkru_per_kinstr", self.wrpkru_per_kinstr)
+            .with("wrpkru_latency", self.wrpkru_latency.summary_json())
+            .with("rob_pkru_occupancy", self.rob_pkru_occupancy.summary_json())
     }
 }
 
@@ -307,6 +351,8 @@ pub fn fig9_data(max_instructions: u64) -> Vec<Fig9Row> {
                 specmpk: spec.ipc() / ser.ipc(),
                 nonsecure: nonsec.ipc() / ser.ipc(),
                 wrpkru_per_kinstr: ser.wrpkru_per_kilo_instr(),
+                wrpkru_latency: spec.hist.wrpkru_latency.clone(),
+                rob_pkru_occupancy: spec.hist.rob_pkru_occupancy.clone(),
             }
         })
         .collect()
@@ -350,6 +396,10 @@ pub struct Fig10Row {
     pub name: String,
     /// Dynamic WRPKRU instructions per kilo-instruction.
     pub wrpkru_per_kinstr: f64,
+    /// WRPKRU dispatch→retire latency distribution of the NonSecure run.
+    pub wrpkru_latency: Histogram,
+    /// Per-cycle `ROB_pkru` occupancy distribution of the same run.
+    pub rob_pkru_occupancy: Histogram,
 }
 
 impl Fig10Row {
@@ -359,6 +409,8 @@ impl Fig10Row {
         Json::object()
             .with("name", self.name.as_str())
             .with("wrpkru_per_kinstr", self.wrpkru_per_kinstr)
+            .with("wrpkru_latency", self.wrpkru_latency.summary_json())
+            .with("rob_pkru_occupancy", self.rob_pkru_occupancy.summary_json())
     }
 }
 
@@ -370,7 +422,12 @@ pub fn fig10_data(max_instructions: u64) -> Vec<Fig10Row> {
         .map(|w| {
             let p = w.build_protected();
             let s = run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions);
-            Fig10Row { name: w.name(), wrpkru_per_kinstr: s.wrpkru_per_kilo_instr() }
+            Fig10Row {
+                name: w.name(),
+                wrpkru_per_kinstr: s.wrpkru_per_kilo_instr(),
+                wrpkru_latency: s.hist.wrpkru_latency.clone(),
+                rob_pkru_occupancy: s.hist.rob_pkru_occupancy.clone(),
+            }
         })
         .collect()
 }
@@ -401,6 +458,11 @@ pub struct Fig11Row {
     pub size8: f64,
     /// Normalized IPC of NonSecure (the ceiling).
     pub nonsecure: f64,
+    /// WRPKRU dispatch→retire latency distribution of the 8-entry run.
+    pub wrpkru_latency: Histogram,
+    /// Per-cycle `ROB_pkru` occupancy distribution of the 8-entry run —
+    /// the direct evidence for how many entries a workload actually uses.
+    pub rob_pkru_occupancy: Histogram,
 }
 
 impl Fig11Row {
@@ -413,6 +475,8 @@ impl Fig11Row {
             .with("size4", self.size4)
             .with("size8", self.size8)
             .with("nonsecure", self.nonsecure)
+            .with("wrpkru_latency", self.wrpkru_latency.summary_json())
+            .with("rob_pkru_occupancy", self.rob_pkru_occupancy.summary_json())
     }
 }
 
@@ -425,11 +489,18 @@ pub fn fig11_data(max_instructions: u64) -> Vec<Fig11Row> {
         .map(|w| {
             let p = w.build_protected();
             let ser = run_policy(&p, WrpkruPolicy::Serialized, max_instructions).ipc();
-            let at =
-                |n| run_policy_with_rob(&p, WrpkruPolicy::SpecMpk, n, max_instructions).ipc() / ser;
-            let nonsecure =
-                run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions).ipc() / ser;
-            Fig11Row { name: w.name(), size2: at(2), size4: at(4), size8: at(8), nonsecure }
+            let at = |n| run_policy_with_rob(&p, WrpkruPolicy::SpecMpk, n, max_instructions);
+            let s8 = at(8);
+            Fig11Row {
+                name: w.name(),
+                size2: at(2).ipc() / ser,
+                size4: at(4).ipc() / ser,
+                size8: s8.ipc() / ser,
+                nonsecure: run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions).ipc()
+                    / ser,
+                wrpkru_latency: s8.hist.wrpkru_latency.clone(),
+                rob_pkru_occupancy: s8.hist.rob_pkru_occupancy.clone(),
+            }
         })
         .collect()
 }

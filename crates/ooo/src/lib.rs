@@ -58,4 +58,4 @@ mod stats;
 pub use config::{FaultMode, SimConfig};
 pub use pipeline::{Core, ExitReason, SimResult};
 pub use predictor::{BranchPredictor, PredictorConfig};
-pub use stats::{IntervalSample, RenameStall, SimStats};
+pub use stats::{IntervalSample, RenameStall, SimHistograms, SimStats};

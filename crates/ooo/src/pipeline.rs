@@ -15,7 +15,7 @@ use specmpk_trace::{NullSink, PkruCheckKind, TraceEvent, TraceSink};
 use crate::config::{FaultMode, SimConfig};
 use crate::predictor::{BranchPredictor, PredictorCheckpoint};
 use crate::prf::{PhysReg, RegFile, RenameCheckpoint};
-use crate::stats::{IntervalSample, RenameStall, SimStats};
+use crate::stats::{IntervalSample, RenameStall, SimHistograms, SimStats};
 
 /// Monotone dynamic-instruction sequence number (assigned at rename).
 type Seq = u64;
@@ -159,6 +159,12 @@ struct AlEntry {
     actual_next: Option<u64>,
     fault: Option<FaultInfo>,
     head_stall: Option<HeadStall>,
+    /// Cycle at which this instruction renamed (WRPKRU latency histogram).
+    rename_cycle: u64,
+    /// Cycle at which `head_stall` was set (deferred-TLB-delay histogram).
+    stall_cycle: u64,
+    /// Whether this instruction replayed at the AL head (burst histogram).
+    replayed: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -171,6 +177,8 @@ struct SqEntry {
     forward_ok: bool,
     /// Protection must be re-verified against `ARF_pkru` at retirement.
     deferred_check: bool,
+    /// Cycle at which the store executed (deferred-TLB-delay histogram).
+    issue_cycle: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -217,6 +225,11 @@ pub struct Core<S: TraceSink = NullSink> {
     sample_last_cycle: u64,
     sample_prev_retired: u64,
     sample_prev_stalls: [u64; 9],
+    sample_prev_hist: SimHistograms,
+    /// Length of the current run of consecutively retired instructions
+    /// that each replayed at the AL head (flushed into
+    /// `SimHistograms::load_replay_burst` when the run breaks).
+    replay_run: u64,
 }
 
 impl Core {
@@ -278,6 +291,8 @@ impl<S: TraceSink> Core<S> {
             sample_last_cycle: 0,
             sample_prev_retired: 0,
             sample_prev_stalls: [0; 9],
+            sample_prev_hist: SimHistograms::default(),
+            replay_run: 0,
         }
     }
 
@@ -339,6 +354,10 @@ impl<S: TraceSink> Core<S> {
         while self.exit.is_none() {
             self.step();
         }
+        if self.replay_run > 0 {
+            self.stats.hist.load_replay_burst.record(self.replay_run);
+            self.replay_run = 0;
+        }
         if self.sample_interval > 0 && self.cycle > self.sample_last_cycle {
             self.take_sample(); // final partial interval
         }
@@ -363,6 +382,11 @@ impl<S: TraceSink> Core<S> {
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        // Occupancy is sampled here, at the top of every counted cycle
+        // (i.e. the state left by the previous cycle), so the histogram
+        // count equals `stats.cycles` exactly even on early-exit cycles.
+        self.stats.hist.rob_occupancy.record(self.al.len() as u64);
+        self.stats.hist.rob_pkru_occupancy.record(self.engine.inflight() as u64);
         if self.config.max_cycles > 0 && self.cycle > self.config.max_cycles {
             self.exit = Some(ExitReason::CycleLimit);
             return;
@@ -396,7 +420,15 @@ impl<S: TraceSink> Core<S> {
         self.sample_prev_retired = self.stats.retired;
         let len = self.cycle - self.sample_last_cycle;
         self.sample_last_cycle = self.cycle;
-        self.stats.samples.push(IntervalSample { cycle: self.cycle, len, retired, stall_cycles });
+        let hist = self.stats.hist.diff(&self.sample_prev_hist);
+        self.sample_prev_hist = self.stats.hist.clone();
+        self.stats.samples.push(IntervalSample {
+            cycle: self.cycle,
+            len,
+            retired,
+            stall_cycles,
+            hist,
+        });
     }
 
     // ---------------------------------------------------------- utilities
@@ -626,6 +658,7 @@ impl<S: TraceSink> Core<S> {
                     data: None,
                     forward_ok: true,
                     deferred_check: false,
+                    issue_cycle: 0,
                 }),
                 _ => {}
             }
@@ -660,6 +693,9 @@ impl<S: TraceSink> Core<S> {
                 actual_next: None,
                 fault: None,
                 head_stall: None,
+                rename_cycle: self.cycle,
+                stall_cycle: 0,
+                replayed: false,
             });
             renamed += 1;
         }
@@ -874,8 +910,10 @@ impl<S: TraceSink> Core<S> {
         // 2. Conservative TLB-miss stall (§V-C5).
         if !translation.tlb_hit && self.engine.tlb_miss_must_stall() {
             self.stats.tlb_miss_stalls += 1;
+            let cycle = self.cycle;
             let e = &mut self.al[idx];
             e.head_stall = Some(HeadStall::TlbMiss);
+            e.stall_cycle = cycle;
             e.result = Some(addr); // stash the address for the replay
             e.state = AlState::Issued;
             return true;
@@ -990,11 +1028,13 @@ impl<S: TraceSink> Core<S> {
                 }
             }
         };
+        let cycle = self.cycle;
         let s = &mut self.sq[sq_pos];
         s.addr = Some(addr);
         s.data = Some(width.truncate(data));
         s.forward_ok = forward_ok && fault.is_none();
         s.deferred_check = deferred_check;
+        s.issue_cycle = cycle;
         let e = &mut self.al[idx];
         e.fault = fault;
         e.result = Some(addr);
@@ -1063,6 +1103,7 @@ impl<S: TraceSink> Core<S> {
     fn squash_after(&mut self, seq: Seq, redirect_to: u64) {
         let idx = self.al_index(seq).expect("squashing branch is in flight");
         let info = self.al[idx].branch.clone().expect("branch info");
+        self.stats.hist.squash_depth.record((self.al.len() - idx - 1) as u64);
         // Drop younger AL entries, freeing their resources (reverse order).
         while self.al.len() > idx + 1 {
             let victim = self.al.pop_back().expect("len > idx+1");
@@ -1158,6 +1199,7 @@ impl<S: TraceSink> Core<S> {
                 Instr::Wrpkru => {
                     self.engine.retire_wrpkru();
                     self.stats.retired_wrpkru += 1;
+                    self.stats.hist.wrpkru_latency.record(self.cycle - head.rename_cycle);
                     if self.sink.enabled() {
                         let tag = head.pkru_tag.expect("WRPKRU has a tag");
                         self.sink.record(TraceEvent::RobPkruFree {
@@ -1176,6 +1218,12 @@ impl<S: TraceSink> Core<S> {
                 Instr::Load { .. } => self.stats.retired_loads += 1,
                 Instr::Branch { .. } => self.stats.retired_branches += 1,
                 _ => {}
+            }
+            if head.replayed {
+                self.replay_run += 1;
+            } else if self.replay_run > 0 {
+                self.stats.hist.load_replay_burst.record(self.replay_run);
+                self.replay_run = 0;
             }
             if let Some((reg, new, _prev)) = head.dest {
                 self.rf.commit(reg, new);
@@ -1208,6 +1256,7 @@ impl<S: TraceSink> Core<S> {
         if sq_head.deferred_check {
             // Re-verify against the committed PKRU (§V-C4), walking the TLB
             // now if needed (§V-C5 deferred fill).
+            self.stats.hist.deferred_tlb_delay.record(self.cycle - sq_head.issue_cycle);
             if self.sink.enabled() {
                 self.sink
                     .record(TraceEvent::DeferredTlbUpdate { seq: head.seq, cycle: self.cycle });
@@ -1251,6 +1300,10 @@ impl<S: TraceSink> Core<S> {
                 self.sink.record(TraceEvent::DeferredTlbUpdate { seq, cycle: self.cycle });
             }
         }
+        if head.head_stall == Some(HeadStall::TlbMiss) {
+            self.stats.hist.deferred_tlb_delay.record(self.cycle - head.stall_cycle);
+        }
+        self.al.front_mut().expect("caller checked").replayed = true;
         match self.mem.translate(addr, AccessKind::Read, true) {
             Err(fault) => {
                 let e = self.al.front_mut().expect("head");

@@ -2,7 +2,7 @@
 
 use specmpk_core::PkruEngineStats;
 use specmpk_mem::MemStats;
-use specmpk_trace::Json;
+use specmpk_trace::{Histogram, Json};
 
 /// Why the rename stage could not process an instruction this cycle.
 ///
@@ -80,6 +80,94 @@ impl RenameStall {
     }
 }
 
+/// The simulator's distribution metrics: one log2-bucketed [`Histogram`]
+/// per hot structure/event, all recorded unconditionally (an insert is a
+/// handful of ALU ops, cheap enough for per-cycle sampling).
+///
+/// Means alone hide the paper's microarchitectural stories — a WRPKRU
+/// whose latency is bimodal (fast speculative vs serialized drain), a
+/// `ROB_pkru` that is empty most cycles but saturates in bursts — so
+/// every metric here is reported as count/sum/min/max plus interpolated
+/// p50/p90/p99 in the JSON artifacts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimHistograms {
+    /// WRPKRU rename(dispatch)-to-retire latency in cycles.
+    pub wrpkru_latency: Histogram,
+    /// Active List (ROB) occupancy, sampled once per cycle.
+    pub rob_occupancy: Histogram,
+    /// `ROB_pkru` occupancy (in-flight WRPKRUs), sampled once per cycle.
+    pub rob_pkru_occupancy: Histogram,
+    /// Instructions squashed per control-flow misprediction.
+    pub squash_depth: Histogram,
+    /// Length of runs of consecutively retired instructions that each
+    /// required a head replay (clustered §V-C2/C4/C5 stalls).
+    pub load_replay_burst: Histogram,
+    /// Delay in cycles of a §V-C5 deferred TLB permission update, from
+    /// the issue-time stall decision to the walk at the AL head (loads)
+    /// or at retirement (stores).
+    pub deferred_tlb_delay: Histogram,
+}
+
+impl SimHistograms {
+    /// Stable (name, histogram) pairs, in serialization order.
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, &Histogram); 6] {
+        [
+            ("wrpkru_latency", &self.wrpkru_latency),
+            ("rob_occupancy", &self.rob_occupancy),
+            ("rob_pkru_occupancy", &self.rob_pkru_occupancy),
+            ("squash_depth", &self.squash_depth),
+            ("load_replay_burst", &self.load_replay_burst),
+            ("deferred_tlb_delay", &self.deferred_tlb_delay),
+        ]
+    }
+
+    /// Full structured form: every histogram with its buckets.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        for (name, h) in self.named() {
+            obj.set(name, h.to_json());
+        }
+        obj
+    }
+
+    /// Compact structured form: summary statistics only (no buckets),
+    /// for experiment-row artifacts.
+    #[must_use]
+    pub fn summary_json(&self) -> Json {
+        let mut obj = Json::object();
+        for (name, h) in self.named() {
+            obj.set(name, h.summary_json());
+        }
+        obj
+    }
+
+    /// Element-wise [`Histogram::diff`] against an `earlier` snapshot of
+    /// the same run (interval sampling).
+    #[must_use]
+    pub fn diff(&self, earlier: &SimHistograms) -> SimHistograms {
+        SimHistograms {
+            wrpkru_latency: self.wrpkru_latency.diff(&earlier.wrpkru_latency),
+            rob_occupancy: self.rob_occupancy.diff(&earlier.rob_occupancy),
+            rob_pkru_occupancy: self.rob_pkru_occupancy.diff(&earlier.rob_pkru_occupancy),
+            squash_depth: self.squash_depth.diff(&earlier.squash_depth),
+            load_replay_burst: self.load_replay_burst.diff(&earlier.load_replay_burst),
+            deferred_tlb_delay: self.deferred_tlb_delay.diff(&earlier.deferred_tlb_delay),
+        }
+    }
+
+    /// Element-wise [`Histogram::merge`].
+    pub fn merge(&mut self, other: &SimHistograms) {
+        self.wrpkru_latency.merge(&other.wrpkru_latency);
+        self.rob_occupancy.merge(&other.rob_occupancy);
+        self.rob_pkru_occupancy.merge(&other.rob_pkru_occupancy);
+        self.squash_depth.merge(&other.squash_depth);
+        self.load_replay_burst.merge(&other.load_replay_burst);
+        self.deferred_tlb_delay.merge(&other.deferred_tlb_delay);
+    }
+}
+
 /// Counters accumulated over a simulation.
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
@@ -120,6 +208,8 @@ pub struct SimStats {
     pub pkru: PkruEngineStats,
     /// Memory-system counters.
     pub mem: MemStats,
+    /// Distribution metrics (see [`SimHistograms`]).
+    pub hist: SimHistograms,
     /// Interval time-series samples, populated when sampling is enabled
     /// ([`Core::set_sample_interval`](crate::Core::set_sample_interval)).
     pub samples: Vec<IntervalSample>,
@@ -236,13 +326,14 @@ impl SimStats {
             .with("rename_slot_stalls", stalls_by(&|c| self.rename_slot_stalls(c)))
             .with("pkru", self.pkru.to_json())
             .with("mem", self.mem.to_json())
+            .with("histograms", self.hist.to_json())
             .with("samples", Json::Arr(self.samples.iter().map(IntervalSample::to_json).collect()))
     }
 }
 
 /// One interval of the sampled time series: counter deltas over `len`
 /// cycles ending at `cycle`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IntervalSample {
     /// Cycle at which the sample was taken (the interval's end).
     pub cycle: u64,
@@ -253,6 +344,11 @@ pub struct IntervalSample {
     /// Cycles fully stalled at rename during the interval, by cause
     /// (indexed per [`RenameStall`]).
     pub stall_cycles: [u64; 9],
+    /// Histogram deltas for the interval ([`SimHistograms::diff`] of the
+    /// run totals against the previous sample's snapshot), so the
+    /// per-interval JSON can reconstruct occupancy-over-time without
+    /// full tracing.
+    pub hist: SimHistograms,
 }
 
 impl IntervalSample {
@@ -293,6 +389,7 @@ impl IntervalSample {
             .with("ipc", self.ipc())
             .with("stall_cycles", stalls)
             .with("stall_share", shares)
+            .with("histograms", self.hist.to_json())
     }
 }
 
@@ -316,6 +413,42 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.wrpkru_per_kilo_instr(), 0.0);
         assert_eq!(s.wrpkru_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn histograms_serialize_with_percentiles() {
+        let mut s = SimStats::default();
+        s.hist.wrpkru_latency.record_n(12, 50);
+        s.hist.rob_pkru_occupancy.record_n(3, 100);
+        let j = s.to_json();
+        let h = j.get("histograms").unwrap();
+        let lat = h.get("wrpkru_latency").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(50));
+        assert_eq!(lat.get("p50").unwrap().as_f64(), Some(12.0));
+        assert_eq!(lat.get("p99").unwrap().as_f64(), Some(12.0));
+        let occ = h.get("rob_pkru_occupancy").unwrap();
+        assert_eq!(occ.get("p90").unwrap().as_f64(), Some(3.0));
+        // Empty histograms still serialize (zeroed summary, no buckets).
+        let sq = h.get("squash_depth").unwrap();
+        assert_eq!(sq.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(sq.get("buckets").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn interval_histogram_deltas_merge_back_to_totals() {
+        let mut total = SimHistograms::default();
+        total.rob_occupancy.record_n(10, 40);
+        let snap = total.clone();
+        total.rob_occupancy.record_n(20, 60);
+        total.wrpkru_latency.record(7);
+        let delta = total.diff(&snap);
+        assert_eq!(delta.rob_occupancy.count(), 60);
+        assert_eq!(delta.wrpkru_latency.count(), 1);
+        let mut rebuilt = snap.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.rob_occupancy.count(), total.rob_occupancy.count());
+        assert_eq!(rebuilt.rob_occupancy.sum(), total.rob_occupancy.sum());
+        assert_eq!(rebuilt.wrpkru_latency.sum(), total.wrpkru_latency.sum());
     }
 
     #[test]

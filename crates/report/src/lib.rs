@@ -1,0 +1,464 @@
+//! Baseline & regression analysis for experiment artifacts.
+//!
+//! The simulator is deterministic (fixed-seed vendored RNG), so two runs of
+//! the same binary at the same budgets produce byte-identical stats JSON.
+//! That makes regression gating simple and strict: flatten an artifact into
+//! dotted metric paths (`stats.ipc`, `rows[3].speedup`,
+//! `histograms.wrpkru_latency.p99`), diff each number against a saved
+//! baseline, and fail on any drift beyond a tolerance band.
+//!
+//! Tolerances are *relative*: a metric fails when
+//! `|current - baseline| > tol * max(|baseline|, 1)`. The `max(..., 1)`
+//! floor makes the band behave absolutely near zero, so a counter moving
+//! from 0 to 5 fails a `1e-6` band instead of dividing by zero. Bands are
+//! configurable per metric-path prefix (longest prefix wins) via
+//! [`Tolerances`], typically loaded from `scripts/tolerances.json`.
+//!
+//! The `specmpk-report` binary wraps this into three modes: a single-pair
+//! diff, `--save-baseline <dir>` (snapshot artifacts), and `--check <dir>`
+//! (gate a directory of artifacts against the snapshot, appending a
+//! trajectory entry to `BENCH_report.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use specmpk_trace::Json;
+
+/// How a single metric compared against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within the tolerance band.
+    Pass,
+    /// Outside the tolerance band, or a non-numeric value changed.
+    Regress,
+    /// Present in the baseline but absent from the current artifact.
+    Missing,
+    /// Present in the current artifact but absent from the baseline
+    /// (informational — new metrics are not regressions).
+    New,
+}
+
+impl Status {
+    fn label(self) -> &'static str {
+        match self {
+            Status::Pass => "PASS",
+            Status::Regress => "REGRESS",
+            Status::Missing => "MISSING",
+            Status::New => "NEW",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Dotted path of the metric within the artifact.
+    pub path: String,
+    /// Baseline value, rendered (`None` for [`Status::New`]).
+    pub base: Option<String>,
+    /// Current value, rendered (`None` for [`Status::Missing`]).
+    pub cur: Option<String>,
+    /// `current - baseline` when both are numbers.
+    pub delta: Option<f64>,
+    /// Relative delta `(current - baseline) / max(|baseline|, 1)`.
+    pub rel: Option<f64>,
+    /// Band the comparison ran under.
+    pub tolerance: f64,
+    /// Verdict.
+    pub status: Status,
+}
+
+/// The outcome of comparing one artifact pair.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Every metric whose status is not [`Status::Pass`], sorted by path.
+    pub rows: Vec<Row>,
+    /// Total metrics present in both artifacts.
+    pub compared: usize,
+    /// Count of [`Status::Regress`] + [`Status::Missing`] rows.
+    pub regressions: usize,
+    /// Count of [`Status::New`] rows.
+    pub new_metrics: usize,
+}
+
+impl Report {
+    /// Whether the pair is within tolerance (no regressions, no missing
+    /// metrics).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions == 0
+    }
+}
+
+/// Relative tolerance bands keyed by metric-path prefix.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Band applied when no prefix matches.
+    pub default: f64,
+    /// `(prefix, band)` overrides; the longest matching prefix wins.
+    pub prefixes: Vec<(String, f64)>,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        // The simulator is deterministic; anything beyond float-printing
+        // noise is a real change.
+        Tolerances { default: 1e-6, prefixes: Vec::new() }
+    }
+}
+
+impl Tolerances {
+    /// The band for `path`: the longest matching prefix override, else the
+    /// default.
+    #[must_use]
+    pub fn for_path(&self, path: &str) -> f64 {
+        self.prefixes
+            .iter()
+            .filter(|(p, _)| path.starts_with(p.as_str()))
+            .max_by_key(|(p, _)| p.len())
+            .map_or(self.default, |(_, t)| *t)
+    }
+
+    /// Loads bands from a JSON document of the form
+    /// `{"default": 1e-6, "paths": {"rows": 0.01, ...}}`. Both fields are
+    /// optional.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(doc: &Json) -> Result<Tolerances, String> {
+        let mut t = Tolerances::default();
+        if let Some(d) = doc.get("default") {
+            t.default = d.as_f64().ok_or("\"default\" must be a number")?;
+        }
+        if let Some(paths) = doc.get("paths") {
+            let Json::Obj(fields) = paths else {
+                return Err("\"paths\" must be an object".to_string());
+            };
+            for (k, v) in fields {
+                let band = v.as_f64().ok_or_else(|| format!("paths.{k} must be a number"))?;
+                t.prefixes.push((k.clone(), band));
+            }
+        }
+        Ok(t)
+    }
+}
+
+/// Flattens a JSON tree into `(dotted.path, leaf)` pairs in document order.
+/// Array elements get `[i]` suffixes; only leaves (numbers, strings,
+/// booleans, nulls) are emitted.
+#[must_use]
+pub fn flatten(doc: &Json) -> Vec<(String, Json)> {
+    let mut out = Vec::new();
+    walk(doc, String::new(), &mut out);
+    out
+}
+
+fn walk(node: &Json, path: String, out: &mut Vec<(String, Json)>) {
+    match node {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let child = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                walk(v, child, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                walk(v, format!("{path}[{i}]"), out);
+            }
+        }
+        leaf => out.push((path, leaf.clone())),
+    }
+}
+
+fn render_leaf(leaf: &Json) -> String {
+    match leaf {
+        Json::Str(s) => s.clone(),
+        other => other.dump().trim_end().to_string(),
+    }
+}
+
+/// Compares `current` against `baseline` metric-by-metric.
+#[must_use]
+pub fn compare(baseline: &Json, current: &Json, tol: &Tolerances) -> Report {
+    let base_flat = flatten(baseline);
+    let cur_flat = flatten(current);
+    // Paths are unique within an artifact (objects never repeat keys), so a
+    // sorted union gives a deterministic row order.
+    let mut paths: Vec<&String> = base_flat.iter().chain(cur_flat.iter()).map(|(p, _)| p).collect();
+    paths.sort();
+    paths.dedup();
+
+    let lookup = |flat: &[(String, Json)], path: &str| -> Option<Json> {
+        flat.iter().find(|(p, _)| p == path).map(|(_, v)| v.clone())
+    };
+
+    let mut rows = Vec::new();
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    let mut new_metrics = 0usize;
+    for path in paths {
+        let band = tol.for_path(path);
+        let (base, cur) = (lookup(&base_flat, path), lookup(&cur_flat, path));
+        let row = match (base, cur) {
+            (Some(b), Some(c)) => {
+                compared += 1;
+                let status = match (b.as_f64(), c.as_f64()) {
+                    (Some(x), Some(y)) => {
+                        if (y - x).abs() > band * x.abs().max(1.0) {
+                            Status::Regress
+                        } else {
+                            Status::Pass
+                        }
+                    }
+                    _ if b == c => Status::Pass,
+                    _ => Status::Regress,
+                };
+                if status == Status::Pass {
+                    continue;
+                }
+                let (delta, rel) = match (b.as_f64(), c.as_f64()) {
+                    (Some(x), Some(y)) => (Some(y - x), Some((y - x) / x.abs().max(1.0))),
+                    _ => (None, None),
+                };
+                Row {
+                    path: path.clone(),
+                    base: Some(render_leaf(&b)),
+                    cur: Some(render_leaf(&c)),
+                    delta,
+                    rel,
+                    tolerance: band,
+                    status,
+                }
+            }
+            (Some(b), None) => Row {
+                path: path.clone(),
+                base: Some(render_leaf(&b)),
+                cur: None,
+                delta: None,
+                rel: None,
+                tolerance: band,
+                status: Status::Missing,
+            },
+            (None, Some(c)) => Row {
+                path: path.clone(),
+                base: None,
+                cur: Some(render_leaf(&c)),
+                delta: None,
+                rel: None,
+                tolerance: band,
+                status: Status::New,
+            },
+            (None, None) => unreachable!("path came from one of the two sets"),
+        };
+        match row.status {
+            Status::Regress | Status::Missing => regressions += 1,
+            Status::New => new_metrics += 1,
+            Status::Pass => {}
+        }
+        rows.push(row);
+    }
+    Report { rows, compared, regressions, new_metrics }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9_007_199_254_740_992.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Renders a report as a GitHub-flavored markdown table. Passing metrics
+/// are summarized, not listed; the output is byte-stable for fixed inputs.
+#[must_use]
+pub fn render_markdown(report: &Report, baseline_name: &str, current_name: &str) -> String {
+    let mut out = String::new();
+    let verdict = if report.passed() { "PASS" } else { "FAIL" };
+    out.push_str(&format!("## {verdict}: `{current_name}` vs `{baseline_name}`\n\n"));
+    out.push_str(&format!(
+        "{} metrics compared, {} regressions, {} new\n\n",
+        report.compared, report.regressions, report.new_metrics
+    ));
+    if report.rows.is_empty() {
+        out.push_str("All metrics within tolerance.\n");
+        return out;
+    }
+    out.push_str("| metric | baseline | current | delta | rel | band | status |\n");
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for row in &report.rows {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {:e} | {} |\n",
+            row.path,
+            row.base.as_deref().unwrap_or("—"),
+            row.cur.as_deref().unwrap_or("—"),
+            row.delta.map_or("—".to_string(), fmt_f64),
+            row.rel.map_or("—".to_string(), |r| format!("{:+.4}%", r * 100.0)),
+            row.tolerance,
+            row.status.label(),
+        ));
+    }
+    out
+}
+
+/// Renders a report as an ANSI-colored plain-text table for terminals.
+#[must_use]
+pub fn render_ansi(report: &Report, baseline_name: &str, current_name: &str) -> String {
+    const RED: &str = "\x1b[31m";
+    const GREEN: &str = "\x1b[32m";
+    const YELLOW: &str = "\x1b[33m";
+    const BOLD: &str = "\x1b[1m";
+    const RESET: &str = "\x1b[0m";
+    let mut out = String::new();
+    let verdict = if report.passed() {
+        format!("{GREEN}{BOLD}PASS{RESET}")
+    } else {
+        format!("{RED}{BOLD}FAIL{RESET}")
+    };
+    out.push_str(&format!("{verdict}: {current_name} vs {baseline_name}  "));
+    out.push_str(&format!(
+        "({} compared, {} regressions, {} new)\n",
+        report.compared, report.regressions, report.new_metrics
+    ));
+    for row in &report.rows {
+        let color = match row.status {
+            Status::Pass => GREEN,
+            Status::Regress | Status::Missing => RED,
+            Status::New => YELLOW,
+        };
+        out.push_str(&format!(
+            "  {color}{:<7}{RESET} {}  {} -> {}{}\n",
+            row.status.label(),
+            row.path,
+            row.base.as_deref().unwrap_or("—"),
+            row.cur.as_deref().unwrap_or("—"),
+            row.rel.map_or(String::new(), |r| format!("  ({:+.4}%)", r * 100.0)),
+        ));
+    }
+    out
+}
+
+/// Builds one `BENCH_report.json` trajectory entry for a `--check` run.
+#[must_use]
+pub fn trajectory_entry(
+    files_checked: usize,
+    files_skipped: usize,
+    metrics_compared: usize,
+    regressions: usize,
+) -> Json {
+    Json::object()
+        .with("files_checked", files_checked)
+        .with("files_skipped", files_skipped)
+        .with("metrics_compared", metrics_compared)
+        .with("regressions", regressions)
+        .with("status", if regressions == 0 { "pass" } else { "fail" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(ipc: f64) -> Json {
+        Json::object()
+            .with("policy", "specmpk")
+            .with("stats", Json::object().with("ipc", ipc).with("cycles", 1000u64))
+            .with("rows", vec![Json::object().with("speedup", 1.25)])
+    }
+
+    #[test]
+    fn flatten_produces_dotted_paths() {
+        let flat = flatten(&doc(1.5));
+        let paths: Vec<&str> = flat.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ["policy", "stats.ipc", "stats.cycles", "rows[0].speedup"]);
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        let r = compare(&doc(1.5), &doc(1.5), &Tolerances::default());
+        assert!(r.passed());
+        assert_eq!(r.compared, 4);
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn ten_percent_ipc_drift_fails_default_band() {
+        let r = compare(&doc(1.5), &doc(1.35), &Tolerances::default());
+        assert!(!r.passed());
+        assert_eq!(r.regressions, 1);
+        assert_eq!(r.rows[0].path, "stats.ipc");
+        assert_eq!(r.rows[0].status, Status::Regress);
+    }
+
+    #[test]
+    fn drift_inside_a_widened_band_passes() {
+        let tol = Tolerances { default: 1e-6, prefixes: vec![("stats.ipc".to_string(), 0.2)] };
+        assert!(compare(&doc(1.5), &doc(1.35), &tol).passed());
+        // The band is path-scoped: cycles still gets the tight default.
+        assert!((tol.for_path("stats.cycles") - 1e-6).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let tol = Tolerances {
+            default: 1.0,
+            prefixes: vec![("stats".to_string(), 0.5), ("stats.ipc".to_string(), 0.01)],
+        };
+        assert!((tol.for_path("stats.ipc") - 0.01).abs() < f64::EPSILON);
+        assert!((tol.for_path("stats.cycles") - 0.5).abs() < f64::EPSILON);
+        assert!((tol.for_path("other") - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn zero_baseline_uses_absolute_floor() {
+        let base = Json::object().with("faults", 0u64);
+        let cur = Json::object().with("faults", 5u64);
+        assert!(!compare(&base, &cur, &Tolerances::default()).passed());
+        assert!(compare(&base, &base, &Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn missing_metric_regresses_new_metric_does_not() {
+        let base = Json::object().with("a", 1u64).with("b", 2u64);
+        let cur = Json::object().with("a", 1u64).with("c", 3u64);
+        let r = compare(&base, &cur, &Tolerances::default());
+        assert_eq!(r.regressions, 1); // "b" went missing
+        assert_eq!(r.new_metrics, 1); // "c" appeared
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn string_change_is_a_regression() {
+        let base = Json::object().with("policy", "specmpk");
+        let cur = Json::object().with("policy", "serialized");
+        assert!(!compare(&base, &cur, &Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn tolerances_parse_from_json() {
+        let doc = Json::parse(r#"{"default": 0.001, "paths": {"rows": 0.05, "stats.ipc": 0.01}}"#)
+            .unwrap();
+        let tol = Tolerances::from_json(&doc).unwrap();
+        assert!((tol.default - 0.001).abs() < f64::EPSILON);
+        assert!((tol.for_path("rows[3].speedup") - 0.05).abs() < f64::EPSILON);
+        assert!((tol.for_path("stats.ipc") - 0.01).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn markdown_is_byte_stable() {
+        let r = compare(&doc(1.5), &doc(1.35), &Tolerances::default());
+        let a = render_markdown(&r, "base.json", "cur.json");
+        let b = render_markdown(&r, "base.json", "cur.json");
+        assert_eq!(a, b);
+        assert!(a.contains("| `stats.ipc` |"));
+        assert!(a.starts_with("## FAIL"));
+    }
+
+    #[test]
+    fn trajectory_entry_reports_status() {
+        let pass = trajectory_entry(12, 1, 4000, 0);
+        assert_eq!(pass.get("status").unwrap().as_str(), Some("pass"));
+        let fail = trajectory_entry(12, 1, 4000, 3);
+        assert_eq!(fail.get("status").unwrap().as_str(), Some("fail"));
+        assert_eq!(fail.get("regressions").unwrap().as_u64(), Some(3));
+    }
+}

@@ -1,0 +1,243 @@
+//! `specmpk-report`: diff experiment artifacts against saved baselines.
+//!
+//! ```text
+//! specmpk-report <baseline.json> <current.json> [options]
+//! specmpk-report --save-baseline <dir> [--from <dir>]
+//! specmpk-report --check <dir> [--from <dir>] [options]
+//!
+//! options:
+//!   --tolerance <x>        default relative band (default 1e-6)
+//!   --tolerance-file <f>   JSON bands: {"default": x, "paths": {...}}
+//!   --ansi                 colored terminal table instead of markdown
+//!   --bench-file <f>       trajectory file appended on --check
+//!                          (default BENCH_report.json, "-" disables)
+//!   --from <dir>           artifact source for --save-baseline/--check
+//!                          (default $SPECMPK_OUTPUT_DIR or
+//!                          experiments_output)
+//! ```
+//!
+//! Exit codes: 0 within tolerance, 1 regression, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use specmpk_report::{compare, render_ansi, render_markdown, trajectory_entry, Tolerances};
+use specmpk_trace::Json;
+
+enum Mode {
+    Diff { baseline: PathBuf, current: PathBuf },
+    SaveBaseline { dir: PathBuf },
+    Check { dir: PathBuf },
+}
+
+struct Options {
+    mode: Mode,
+    tolerances: Tolerances,
+    ansi: bool,
+    bench_file: Option<PathBuf>,
+    from: PathBuf,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: specmpk-report <baseline.json> <current.json> [options]\n\
+         \x20      specmpk-report --save-baseline <dir> [--from <dir>]\n\
+         \x20      specmpk-report --check <dir> [--from <dir>] [options]\n\
+         options: --tolerance <x>, --tolerance-file <f>, --ansi,\n\
+         \x20        --bench-file <f|->, --from <dir>"
+    );
+    ExitCode::from(2)
+}
+
+fn default_from() -> PathBuf {
+    std::env::var("SPECMPK_OUTPUT_DIR").unwrap_or_else(|_| "experiments_output".to_string()).into()
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut save_dir: Option<PathBuf> = None;
+    let mut check_dir: Option<PathBuf> = None;
+    let mut tolerances = Tolerances::default();
+    let mut ansi = false;
+    let mut bench_file = Some(PathBuf::from("BENCH_report.json"));
+    let mut from = default_from();
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--save-baseline" => save_dir = Some(next_value(&mut args, &arg)?.into()),
+            "--check" => check_dir = Some(next_value(&mut args, &arg)?.into()),
+            "--from" => from = next_value(&mut args, &arg)?.into(),
+            "--tolerance" => {
+                tolerances.default = next_value(&mut args, &arg)?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+            }
+            "--tolerance-file" => {
+                let path = next_value(&mut args, &arg)?;
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                tolerances = Tolerances::from_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+            }
+            "--ansi" => ansi = true,
+            "--bench-file" => {
+                let v = next_value(&mut args, &arg)?;
+                bench_file = if v == "-" { None } else { Some(v.into()) };
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.into()),
+        }
+    }
+    let mode = match (save_dir, check_dir, positional.len()) {
+        (Some(dir), None, 0) => Mode::SaveBaseline { dir },
+        (None, Some(dir), 0) => Mode::Check { dir },
+        (None, None, 2) => {
+            let mut it = positional.into_iter();
+            Mode::Diff { baseline: it.next().expect("len 2"), current: it.next().expect("len 2") }
+        }
+        _ => return Err("expected two artifact paths, --save-baseline, or --check".to_string()),
+    };
+    Ok(Options { mode, tolerances, ansi, bench_file, from })
+}
+
+fn load_json(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The `.json` artifacts directly inside `dir`, sorted by file name.
+fn json_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json") && p.is_file())
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned())
+}
+
+fn save_baseline(opts: &Options, dir: &Path) -> Result<ExitCode, String> {
+    let sources = json_files(&opts.from)?;
+    if sources.is_empty() {
+        return Err(format!("no .json artifacts in {}", opts.from.display()));
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for src in &sources {
+        let dst = dir.join(file_name(src));
+        std::fs::copy(src, &dst).map_err(|e| format!("{}: {e}", dst.display()))?;
+        println!("saved {}", dst.display());
+    }
+    println!("{} baseline artifacts saved to {}", sources.len(), dir.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn check(opts: &Options, dir: &Path) -> Result<ExitCode, String> {
+    let baselines = json_files(dir)?;
+    if baselines.is_empty() {
+        return Err(format!("no baseline artifacts in {}", dir.display()));
+    }
+    let mut files_checked = 0usize;
+    let mut files_skipped = 0usize;
+    let mut metrics_compared = 0usize;
+    let mut regressions = 0usize;
+    let mut failures = String::new();
+    for base_path in &baselines {
+        let name = file_name(base_path);
+        let cur_path = opts.from.join(&name);
+        if !cur_path.is_file() {
+            // Some artifacts (the calibration grid search) are too slow for
+            // the fast CI subset; their baselines stay committed but are
+            // only gated when the bin has been run.
+            println!("SKIP {name} (not in {})", opts.from.display());
+            files_skipped += 1;
+            continue;
+        }
+        let report = compare(&load_json(base_path)?, &load_json(&cur_path)?, &opts.tolerances);
+        files_checked += 1;
+        metrics_compared += report.compared;
+        regressions += report.regressions;
+        if report.passed() {
+            println!("PASS {name} ({} metrics)", report.compared);
+        } else {
+            println!("FAIL {name} ({} regressions)", report.regressions);
+            let rendered = if opts.ansi {
+                render_ansi(&report, &base_path.display().to_string(), &name)
+            } else {
+                render_markdown(&report, &base_path.display().to_string(), &name)
+            };
+            failures.push_str(&rendered);
+            failures.push('\n');
+        }
+    }
+    if !failures.is_empty() {
+        print!("\n{failures}");
+    }
+    println!(
+        "report: {files_checked} checked, {files_skipped} skipped, \
+         {metrics_compared} metrics, {regressions} regressions"
+    );
+    if let Some(bench) = &opts.bench_file {
+        append_trajectory(
+            bench,
+            trajectory_entry(files_checked, files_skipped, metrics_compared, regressions),
+        )?;
+    }
+    Ok(if regressions == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn append_trajectory(path: &Path, entry: Json) -> Result<(), String> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(Json::Arr(items)) => items,
+            // A corrupt or non-array file restarts the trajectory rather
+            // than wedging the gate.
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    entries.push(entry);
+    std::fs::write(path, Json::Arr(entries).dump()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn diff(opts: &Options, baseline: &Path, current: &Path) -> Result<ExitCode, String> {
+    let report = compare(&load_json(baseline)?, &load_json(current)?, &opts.tolerances);
+    let rendered = if opts.ansi {
+        render_ansi(&report, &file_name(baseline), &file_name(current))
+    } else {
+        render_markdown(&report, &file_name(baseline), &file_name(current))
+    };
+    print!("{rendered}");
+    Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("specmpk-report: {msg}");
+            }
+            return usage();
+        }
+    };
+    let result = match &opts.mode {
+        Mode::Diff { baseline, current } => diff(&opts, baseline, current),
+        Mode::SaveBaseline { dir } => save_baseline(&opts, &dir.clone()),
+        Mode::Check { dir } => check(&opts, &dir.clone()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("specmpk-report: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! A zero-dependency log2-bucketed histogram for distribution metrics.
+//!
+//! The paper's microarchitectural effects are *distributional* — WRPKRU
+//! stall anatomy, `ROB_pkru` occupancy, load-replay clustering — which a
+//! mean-only counter cannot capture. [`Histogram`] records `u64` samples
+//! into power-of-two buckets (constant space, O(1) insert) and answers
+//! percentile queries by linear interpolation inside the containing
+//! bucket, clamped to the exact observed `[min, max]`.
+//!
+//! Bucket `0` holds exactly the value `0`; bucket `i ≥ 1` holds the range
+//! `[2^(i-1), 2^i)`. With 65 buckets the full `u64` domain is covered.
+
+use crate::json::Json;
+
+/// Number of buckets: one for the value `0` plus one per bit position.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Tracks exact `count`, `sum`, `min`, and `max` alongside the bucket
+/// array, so means are exact and percentile estimates are clamped to the
+/// true observed range (a single-valued histogram reports that value
+/// exactly at every percentile).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; NUM_BUCKETS] }
+    }
+}
+
+/// The bucket a value lands in: `0 → 0`, else `1 + floor(log2(v))`.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= NUM_BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same `value` (bulk insert).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += n;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample; 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample; 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw count of bucket `index` (see [`bucket_bounds`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_BUCKETS`.
+    #[must_use]
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), estimated by linear
+    /// interpolation within the containing bucket and clamped to the
+    /// observed `[min, max]`. Returns 0.0 for an empty histogram.
+    ///
+    /// The estimate is monotone in `q`, exact for single-valued
+    /// histograms (the clamp pins it), and never outside `[min, max]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Target rank in (0, count]: the sample below which a q-fraction
+        // of the mass lies.
+        let target = (q * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = cum + c;
+            if (upto as f64) >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (target - cum as f64) / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            cum = upto;
+        }
+        self.max as f64
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds `other` into `self`. Count, sum, and every bucket are
+    /// conserved: merging partitions of a sample set reproduces the
+    /// histogram of the whole set exactly.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// The samples recorded in `self` but not yet in `earlier`, where
+    /// `earlier` is a previous snapshot of the same growing histogram
+    /// (interval sampling). Count, sum, and buckets subtract exactly;
+    /// `min`/`max` cannot be recovered from snapshots, so they are
+    /// approximated by the delta's occupied bucket bounds, tightened with
+    /// the totals where the extreme bucket is shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `earlier` is not a prefix snapshot
+    /// (any bucket count exceeding `self`'s).
+    #[must_use]
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        debug_assert!(earlier.count <= self.count, "diff against a non-prefix snapshot");
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (b, (&now, &was)) in buckets.iter_mut().zip(self.buckets.iter().zip(&earlier.buckets)) {
+            debug_assert!(was <= now, "diff against a non-prefix snapshot");
+            *b = now.saturating_sub(was);
+        }
+        let mut out = Histogram {
+            count: self.count - earlier.count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: u64::MAX,
+            max: 0,
+            buckets,
+        };
+        if out.count > 0 {
+            let first = out.buckets.iter().position(|&c| c > 0).expect("count > 0");
+            let last = out.buckets.iter().rposition(|&c| c > 0).expect("count > 0");
+            // If the interval touched the same extreme bucket as the run
+            // total, the exact extreme is the best available bound.
+            out.min =
+                if first == bucket_index(self.min) { self.min } else { bucket_bounds(first).0 };
+            out.max = if last == bucket_index(self.max) { self.max } else { bucket_bounds(last).1 };
+        }
+        out
+    }
+
+    /// Full structured form: exact summary statistics, percentile
+    /// estimates, and the occupied buckets as `[lo, count]` pairs.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::from(bucket_bounds(i).0), Json::from(c)]))
+            .collect();
+        self.summary_json().with("buckets", Json::Arr(buckets))
+    }
+
+    /// Compact structured form (no buckets): `count`, `sum`, `min`,
+    /// `max`, `mean`, `p50`, `p90`, `p99`. This is what experiment-row
+    /// artifacts embed.
+    #[must_use]
+    pub fn summary_json(&self) -> Json {
+        Json::object()
+            .with("count", self.count)
+            .with("sum", self.sum)
+            .with("min", self.min())
+            .with("max", self.max())
+            .with("mean", self.mean())
+            .with("p50", self.p50())
+            .with("p90", self.p90())
+            .with("p99", self.p99())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        // 0 is its own bucket; powers of two open a new bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+            if hi < u64::MAX {
+                assert_eq!(bucket_index(hi + 1), i + 1, "bucket {i} is right-open");
+            }
+        }
+    }
+
+    #[test]
+    fn single_value_reports_exactly_at_every_percentile() {
+        let mut h = Histogram::new();
+        h.record_n(37, 1000);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 37_000);
+        assert_eq!(h.min(), 37);
+        assert_eq!(h.max(), 37);
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 37.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_a_bucket() {
+        // 100 samples spread across bucket 7 ([64, 127]); min/max exact.
+        let mut h = Histogram::new();
+        for v in 0..100 {
+            h.record(64 + v % 64);
+        }
+        let p50 = h.p50();
+        assert!((64.0..=127.0).contains(&p50), "p50 inside the bucket: {p50}");
+        assert!(h.p90() >= p50);
+        assert!(h.p99() >= h.p90());
+        assert!(h.p99() <= h.max() as f64);
+    }
+
+    #[test]
+    fn percentiles_split_across_buckets() {
+        // 90 small values, 10 large: p50 must sit with the small mass,
+        // p99 with the large.
+        let mut h = Histogram::new();
+        h.record_n(1, 90);
+        h.record_n(1024, 10);
+        assert_eq!(h.p50(), 1.0);
+        assert!(h.p99() >= 1024.0 * 0.5, "p99 lands in the large bucket: {}", h.p99());
+        assert!(h.p99() <= h.max() as f64);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 9, 20, 21, 22, 100, 5000, 5001, 70000] {
+            h.record(v);
+        }
+        let mut prev = -1.0f64;
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+        assert!(prev <= h.max() as f64);
+    }
+
+    #[test]
+    fn zero_values_occupy_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record_n(0, 5);
+        h.record(8);
+        assert_eq!(h.bucket_count(0), 5);
+        assert_eq!(h.bucket_count(4), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 8);
+        assert_eq!(h.p50(), 0.0);
+    }
+
+    #[test]
+    fn merge_conserves_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for (i, v) in [3u64, 0, 17, 256, 255, 1, 99999, 12].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v)
+            } else {
+                b.record(*v)
+            }
+            whole.record(*v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn diff_recovers_interval_counts() {
+        let mut h = Histogram::new();
+        h.record_n(4, 10);
+        let snap = h.clone();
+        h.record_n(4, 5);
+        h.record_n(1000, 2);
+        let d = h.diff(&snap);
+        assert_eq!(d.count(), 7);
+        assert_eq!(d.sum(), 5 * 4 + 2 * 1000);
+        assert_eq!(d.bucket_count(bucket_index(4)), 5);
+        assert_eq!(d.bucket_count(bucket_index(1000)), 2);
+        // Extreme buckets shared with the totals tighten to the exact values.
+        assert_eq!(d.max(), 1000);
+        assert_eq!(d.min(), 4);
+        // Snapshot minus itself is empty.
+        assert!(h.diff(&h.clone()).is_empty());
+    }
+
+    #[test]
+    fn json_round_trips_field_for_field() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 64, 65, 1_000_000] {
+            h.record(v);
+        }
+        let parsed = Json::parse(&h.to_json().dump()).expect("valid JSON");
+        assert_eq!(parsed.get("count").unwrap().as_u64(), Some(h.count()));
+        assert_eq!(parsed.get("sum").unwrap().as_u64(), Some(h.sum()));
+        assert_eq!(parsed.get("min").unwrap().as_u64(), Some(h.min()));
+        assert_eq!(parsed.get("max").unwrap().as_u64(), Some(h.max()));
+        assert_eq!(parsed.get("p50").unwrap().as_f64(), Some(h.p50()));
+        assert_eq!(parsed.get("p90").unwrap().as_f64(), Some(h.p90()));
+        assert_eq!(parsed.get("p99").unwrap().as_f64(), Some(h.p99()));
+        let buckets = parsed.get("buckets").unwrap().as_arr().unwrap();
+        let occupied = (0..NUM_BUCKETS).filter(|&i| h.bucket_count(i) > 0).count();
+        assert_eq!(buckets.len(), occupied);
+        for pair in buckets {
+            let pair = pair.as_arr().unwrap();
+            let lo = pair[0].as_u64().unwrap();
+            let c = pair[1].as_u64().unwrap();
+            assert_eq!(h.bucket_count(bucket_index(lo)), c);
+        }
+    }
+}

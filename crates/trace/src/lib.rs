@@ -8,12 +8,17 @@
 //!   Konata pipeline viewer).
 //! * [`json`] — a hand-rolled [`Json`] value/writer/parser used for
 //!   structured stats artifacts (the build runs offline, so no serde).
+//! * [`histogram`] — a log2-bucketed [`Histogram`] with interpolated
+//!   percentiles, backing the simulator's distribution metrics (WRPKRU
+//!   latency, `ROB_pkru` occupancy, squash depth, ...).
 
 #![forbid(unsafe_code)]
 
+pub mod histogram;
 pub mod json;
 pub mod sink;
 
+pub use histogram::Histogram;
 pub use json::{Json, JsonError};
 pub use sink::{
     EventLog, NullSink, PipeTracer, PkruCheckKind, TraceEvent, TraceSink, DEFAULT_TRACE_CAPACITY,

@@ -3,39 +3,83 @@
 #
 #   ./scripts/ci.sh
 #
-# Steps:
-#   1. cargo build --release        (workspace, warnings are visible)
-#   2. cargo test  -q               (root package: integration + doc tests)
-#   3. cargo test  -q --workspace   (every crate, incl. property tests)
-#   4. cargo fmt   --check          (skipped when rustfmt is absent)
-#   5. cargo clippy -D warnings     (skipped when clippy is absent)
+# Stages (one PASS/FAIL line each; the first failure aborts):
+#   build       cargo build --release --workspace
+#   test-root   cargo test -q             (root package: integration + doc)
+#   test-ws     cargo test -q --workspace (every crate, incl. property tests)
+#   fmt         cargo fmt --check          (skipped when rustfmt is absent)
+#   clippy      cargo clippy -D warnings   (skipped when clippy is absent)
+#   experiments fast-subset experiment bins under the pinned budgets below
+#   report      specmpk-report --check baselines/ — regression gate
+#
+# The regression gate reruns the fast experiment subset with pinned,
+# shrunken budgets (SPECMPK_INSTR_BUDGET=100000, SPECMPK_FIG4_KINSTR=40 —
+# the same pins the committed baselines/ were generated with; see
+# baselines/README.md) and diffs every artifact metric against the
+# committed golden stats. The simulator is deterministic, so the default
+# tolerance in scripts/tolerances.json is effectively exact.
+#
+# The `calibrate` grid search is too slow for this subset; its baseline
+# stays committed and `specmpk-report --check` reports it as SKIP.
 #
 # The script is offline-safe: all dependencies are vendored path crates,
-# so no step touches the network.
+# so no stage touches the network.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --workspace"
-cargo build --release --workspace
+stage() {
+    local name="$1"
+    shift
+    echo "==> ${name}: $*"
+    if "$@"; then
+        echo "PASS ${name}"
+    else
+        echo "FAIL ${name}"
+        exit 1
+    fi
+}
 
-echo "==> cargo test -q (root package)"
-cargo test -q
+# Pinned budgets for the regression-gated experiment runs.
+export SPECMPK_INSTR_BUDGET=100000
+export SPECMPK_FIG4_KINSTR=40
 
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+FAST_BINS=(
+    table1 table2 table3 hw_overhead
+    fig3 fig4 fig9 fig10 fig11 fig13
+    rdpkru_study domain_virtualization
+)
+
+run_experiments() {
+    rm -rf experiments_output
+    local bin
+    for bin in "${FAST_BINS[@]}"; do
+        echo "    running ${bin}"
+        cargo run -q --release -p specmpk-experiments --bin "${bin}" >/dev/null
+    done
+}
+
+run_report() {
+    cargo run -q --release -p specmpk-report -- \
+        --check baselines --tolerance-file scripts/tolerances.json
+}
+
+stage build cargo build --release --workspace
+stage test-root cargo test -q
+stage test-ws cargo test -q --workspace
 
 if cargo fmt --version >/dev/null 2>&1; then
-    echo "==> cargo fmt --check"
-    cargo fmt --check
+    stage fmt cargo fmt --check
 else
-    echo "==> cargo fmt --check (skipped: rustfmt not installed)"
+    echo "SKIP fmt (rustfmt not installed)"
 fi
 
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-    cargo clippy --workspace --all-targets -- -D warnings
+    stage clippy cargo clippy --workspace --all-targets -- -D warnings
 else
-    echo "==> cargo clippy (skipped: clippy not installed)"
+    echo "SKIP clippy (clippy not installed)"
 fi
+
+stage experiments run_experiments
+stage report run_report
 
 echo "==> CI OK"

@@ -138,6 +138,38 @@ fn stats_json_round_trips_field_for_field() {
         stats.pkru.rob_full_stall_cycles
     );
 
+    // Distribution metrics: every named histogram round-trips its summary
+    // statistics, and the WRPKRU-dense workload actually populates the two
+    // headline distributions (dispatch-to-retire latency, ROB_pkru depth).
+    let hists = parsed.get("histograms").unwrap();
+    for (name, h) in stats.hist.named() {
+        let j = hists.get(name).unwrap();
+        assert_eq!(j.get("count").unwrap().as_u64().unwrap(), h.count(), "{name}.count");
+        assert_eq!(j.get("sum").unwrap().as_u64().unwrap(), h.sum(), "{name}.sum");
+        assert_eq!(j.get("min").unwrap().as_u64().unwrap(), h.min(), "{name}.min");
+        assert_eq!(j.get("max").unwrap().as_u64().unwrap(), h.max(), "{name}.max");
+        for (key, q) in [("p50", h.p50()), ("p90", h.p90()), ("p99", h.p99())] {
+            assert!((j.get(key).unwrap().as_f64().unwrap() - q).abs() < 1e-12, "{name}.{key}");
+        }
+        // Sparse bucket pairs [lower_bound, count] reassemble into count.
+        let bucket_total: u64 = j
+            .get("buckets")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|b| {
+                let pair = b.as_arr().unwrap();
+                assert_eq!(pair.len(), 2);
+                pair[1].as_u64().unwrap()
+            })
+            .sum();
+        assert_eq!(bucket_total, h.count(), "{name} bucket counts");
+    }
+    assert_eq!(stats.hist.wrpkru_latency.count(), stats.retired_wrpkru);
+    assert!(stats.hist.rob_pkru_occupancy.max() > 0, "speculative WRPKRUs were in flight");
+    assert_eq!(stats.hist.rob_occupancy.count(), stats.cycles, "ROB occupancy sampled per cycle");
+
     // Memory sub-object and the sampled time series.
     let mem = parsed.get("mem").unwrap();
     assert_eq!(mem.get("l1d").unwrap().get("hits").unwrap().as_u64().unwrap(), stats.mem.l1d.hits);
@@ -158,4 +190,13 @@ fn stats_json_round_trips_field_for_field() {
     assert_eq!(retired_total, stats.retired);
     let len_total: u64 = stats.samples.iter().map(|s| s.len).sum();
     assert_eq!(len_total, stats.cycles);
+    // Per-interval histogram deltas merge back into the run histograms.
+    let mut merged = specmpk::ooo::SimHistograms::default();
+    for s in &stats.samples {
+        merged.merge(&s.hist);
+    }
+    for ((name, total), (_, interval_sum)) in stats.hist.named().iter().zip(merged.named().iter()) {
+        assert_eq!(total.count(), interval_sum.count(), "{name} interval counts");
+        assert_eq!(total.sum(), interval_sum.sum(), "{name} interval sums");
+    }
 }
