@@ -1,0 +1,141 @@
+//! Hot-path microbenchmarks for the timing model's flattened data
+//! structures: the set-major cache and TLB arrays and the slab-backed
+//! `SparseMemory` with its last-page cache. These are the per-access
+//! costs every simulated instruction pays, so regressions here multiply
+//! into every experiment's wall clock.
+//!
+//! Save a baseline with
+//! `cargo bench -p specmpk-bench --bench mem_hotpath -- --save-baseline main`
+//! (written to `benches/baselines/main.tsv`, which is committed).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use specmpk_mem::{
+    Cache, CacheConfig, PageTableEntry, SparseMemory, Tlb, TlbConfig, TlbEntry, PAGE_BYTES,
+};
+use specmpk_mpk::Pkey;
+
+fn l1d() -> Cache {
+    Cache::new(CacheConfig { size_bytes: 48 * 1024, ways: 12, latency: 5, name: "L1D" })
+}
+
+fn cache_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem_hotpath/cache");
+    group.bench_function("hit_same_line", |b| {
+        let mut cache = l1d();
+        cache.fill(0x1000);
+        b.iter(|| cache.access(black_box(0x1000)))
+    });
+    group.bench_function("hit_resident_walk", |b| {
+        // Touch 64 resident lines round-robin: the tag scan hits a
+        // different set each access, defeating trivial branch prediction.
+        let mut cache = l1d();
+        for i in 0..64u64 {
+            cache.fill(i * 64);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            cache.access(black_box(i * 64))
+        })
+    });
+    group.bench_function("streaming_miss_fill", |b| {
+        let mut cache = l1d();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            if !cache.access(black_box(addr)) {
+                cache.fill(addr);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn tlb_hotpath(c: &mut Criterion) {
+    let pte = PageTableEntry { read: true, write: true, exec: false, pkey: Pkey::DEFAULT };
+    let mut group = c.benchmark_group("mem_hotpath/tlb");
+    group.bench_function("lookup_hit", |b| {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        tlb.fill(TlbEntry { vpn: 7, pte });
+        b.iter(|| tlb.access(black_box(7)).is_some())
+    });
+    group.bench_function("lookup_miss", |b| {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        tlb.fill(TlbEntry { vpn: 7, pte });
+        b.iter(|| tlb.access(black_box(9)).is_none())
+    });
+    group.bench_function("probe_resident_walk", |b| {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        for vpn in 0..256u64 {
+            tlb.fill(TlbEntry { vpn, pte });
+        }
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 256;
+            tlb.probe(black_box(vpn)).is_some()
+        })
+    });
+    group.finish();
+}
+
+fn sparse_memory_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem_hotpath/sparse_memory");
+    group.bench_function("read_u64_same_page", |b| {
+        let mut m = SparseMemory::new();
+        m.write_uint(0x1000, 8, 0xDEAD_BEEF);
+        b.iter(|| m.read_u64(black_box(0x1000)))
+    });
+    group.bench_function("read_u64_page_interleave", |b| {
+        // Alternate between 8 pages: exercises the last-page cache's miss
+        // path and the VPN hash, the pattern of stack + heap traffic.
+        let mut m = SparseMemory::new();
+        for p in 0..8u64 {
+            m.write_uint(p * PAGE_BYTES, 8, p);
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 1) % 8;
+            m.read_u64(black_box(p * PAGE_BYTES))
+        })
+    });
+    group.bench_function("write_uint_same_page", |b| {
+        let mut m = SparseMemory::new();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            m.write_uint(black_box(0x2000), 8, v)
+        })
+    });
+    group.bench_function("read_into_64B", |b| {
+        let mut m = SparseMemory::new();
+        m.write_bytes(0x3000, &[0xAB; 64]);
+        let mut buf = [0u8; 64];
+        b.iter(|| {
+            m.read_into(black_box(0x3000), &mut buf);
+            buf[0]
+        })
+    });
+    group.bench_function("read_uint_straddle", |b| {
+        let mut m = SparseMemory::new();
+        let addr = PAGE_BYTES - 4;
+        m.write_uint(addr, 8, 0x1122_3344_5566_7788);
+        b.iter(|| m.read_uint(black_box(addr), 8))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .baseline_dir("benches/baselines")
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = cache_hotpath, tlb_hotpath, sparse_memory_hotpath
+}
+criterion_main!(benches);

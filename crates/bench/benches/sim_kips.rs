@@ -1,0 +1,54 @@
+//! End-to-end simulator throughput (retired kilo-instructions per second)
+//! per WRPKRU policy. One benchmark iteration is a full fixed-budget run
+//! of a protected workload, so the reported time divided by the budget is
+//! the simulator's instructions-per-second — the single-thread number the
+//! hot-path flattening PR optimizes.
+//!
+//! Save a baseline with
+//! `cargo bench -p specmpk-bench --bench sim_kips -- --save-baseline main`
+//! (written to `benches/baselines/main.tsv`, which is committed).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use specmpk_core::WrpkruPolicy;
+use specmpk_ooo::{Core, SimConfig};
+use specmpk_workloads::standard_suite;
+
+/// Instructions retired per benchmark iteration. Small enough that a
+/// criterion sample finishes quickly, large enough to swamp setup cost.
+const BUDGET: u64 = 20_000;
+
+fn sim_kips(c: &mut Criterion) {
+    let workload = standard_suite()
+        .into_iter()
+        .find(|w| w.name().contains("520.omnetpp_r"))
+        .expect("suite contains 520.omnetpp_r");
+    let program = workload.build_protected();
+    let mut group = c.benchmark_group("sim_kips");
+    for policy in [WrpkruPolicy::Serialized, WrpkruPolicy::SpecMpk, WrpkruPolicy::NonSecureSpec] {
+        group.bench_function(format!("{policy}"), |b| {
+            b.iter(|| {
+                let mut config = SimConfig::with_policy(policy);
+                config.max_instructions = BUDGET;
+                let mut core = Core::new(config, black_box(&program));
+                core.run().stats.retired
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .baseline_dir("benches/baselines")
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = sim_kips
+}
+criterion_main!(benches);

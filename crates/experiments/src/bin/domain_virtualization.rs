@@ -94,10 +94,15 @@ fn main() {
         "{:>8} {:>12} {:>11} {:>12} {:>11}",
         "", "pages/switch", "evict rate", "pages/switch", "evict rate"
     );
+    // Each (domain count, pattern) sweep point is an independent cell.
+    let counts = [4usize, 8, 15, 16, 20, 24, 32, 64];
+    let cells: Vec<(usize, bool)> =
+        counts.iter().flat_map(|&count| [(count, false), (count, true)]).collect();
+    let measured = specmpk_par::par_map(cells, |(count, skewed)| run_pattern(count, skewed));
     let mut results = Vec::new();
-    for count in [4usize, 8, 15, 16, 20, 24, 32, 64] {
-        let (rr_pages, rr_evict) = run_pattern(count, false);
-        let (sk_pages, sk_evict) = run_pattern(count, true);
+    for (&count, pair) in counts.iter().zip(measured.chunks_exact(2)) {
+        let (rr_pages, rr_evict) = pair[0];
+        let (sk_pages, sk_evict) = pair[1];
         println!("{count:>8} {rr_pages:>12.2} {rr_evict:>11.3} {sk_pages:>12.2} {sk_evict:>11.3}");
         results.push(
             Json::object()

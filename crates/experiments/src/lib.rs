@@ -21,6 +21,7 @@
 use specmpk_core::{hardware_cost, SpecMpkConfig, WrpkruPolicy};
 use specmpk_isa::Program;
 use specmpk_ooo::{Core, RenameStall, SimConfig, SimStats};
+use specmpk_par::par_map;
 use specmpk_trace::{Histogram, Json};
 use specmpk_workloads::{standard_suite, Protection, Workload};
 
@@ -156,14 +157,23 @@ impl Fig3Row {
 }
 
 /// Computes Fig. 3 for the standard suite.
+///
+/// Each independent (workload, policy) simulation is one [`par_map`] cell;
+/// rows assemble from the order-preserved results, so the output is
+/// byte-identical at any `SPECMPK_JOBS` setting.
 #[must_use]
 pub fn fig3_data(max_instructions: u64) -> Vec<Fig3Row> {
-    standard_suite()
+    let suite = standard_suite();
+    let programs = par_map((0..suite.len()).collect(), |i| suite[i].build_protected());
+    let cells: Vec<(usize, WrpkruPolicy)> = (0..suite.len())
+        .flat_map(|i| [(i, WrpkruPolicy::Serialized), (i, WrpkruPolicy::NonSecureSpec)])
+        .collect();
+    let stats = par_map(cells, |(i, policy)| run_policy(&programs[i], policy, max_instructions));
+    suite
         .iter()
-        .map(|w| {
-            let p = w.build_protected();
-            let ser = run_policy(&p, WrpkruPolicy::Serialized, max_instructions);
-            let spec = run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions);
+        .zip(stats.chunks_exact(2))
+        .map(|(w, pair)| {
+            let (ser, spec) = (&pair[0], &pair[1]);
             Fig3Row {
                 name: w.name(),
                 speedup: spec.ipc() / ser.ipc(),
@@ -243,25 +253,41 @@ pub fn fig4_data(target_kilo_instructions: u32) -> Vec<Fig4Row> {
     // original 8-iteration probe and 20-iteration floor.
     let probe_iters: u64 = if target < 100_000 { 2 } else { 8 };
     let min_iters: u64 = if target < 100_000 { 4 } else { 20 };
-    standard_suite()
+    let suite = standard_suite();
+    // Phase 1: size each workload's driver from a cheap parallel probe.
+    let iterations = par_map((0..suite.len()).collect(), |i| {
+        let mut profile = suite[i].profile;
+        profile.driver_iterations = probe_iters as u32;
+        let probe = Workload::from_profile(profile);
+        let per_iter = run_policy(&probe.build_unprotected(), WrpkruPolicy::Serialized, 0).retired
+            / probe_iters;
+        (target / per_iter.max(1)).clamp(min_iters, 2000) as u32
+    });
+    // Phase 2: the three binary variants of every workload are independent
+    // run-to-completion cells.
+    let cells: Vec<(usize, u8)> = (0..suite.len()).flat_map(|i| [(i, 0), (i, 1), (i, 2)]).collect();
+    let stats = par_map(cells, |(i, variant)| {
+        let mut profile = suite[i].profile;
+        profile.driver_iterations = iterations[i];
+        let w = Workload::from_profile(profile);
+        let program = match variant {
+            0 => w.build_unprotected(),
+            1 => w.build_nop_wrpkru(),
+            _ => w.build_protected(),
+        };
+        run_policy(&program, WrpkruPolicy::Serialized, 0)
+    });
+    suite
         .iter()
-        .map(|w| {
-            let mut profile = w.profile;
-            profile.driver_iterations = probe_iters as u32;
-            let probe = Workload::from_profile(profile);
-            let per_iter = run_policy(&probe.build_unprotected(), WrpkruPolicy::Serialized, 0)
-                .retired
-                / probe_iters;
-            profile.driver_iterations = (target / per_iter.max(1)).clamp(min_iters, 2000) as u32;
-            let w = Workload::from_profile(profile);
-            let insecure = w.build_unprotected();
-            let nop = w.build_nop_wrpkru();
-            let protected = w.build_protected();
-            let base = run_policy(&insecure, WrpkruPolicy::Serialized, 0).cycles as f64;
-            let nop_c = run_policy(&nop, WrpkruPolicy::Serialized, 0).cycles as f64;
-            let full = run_policy(&protected, WrpkruPolicy::Serialized, 0);
+        .zip(stats.chunks_exact(3))
+        .map(|(w, runs)| {
+            let base = runs[0].cycles as f64;
+            let nop_c = runs[1].cycles as f64;
+            let full = &runs[2];
             let full_c = full.cycles as f64;
             Fig4Row {
+                // The display name depends only on profile name + scheme,
+                // which the driver-iteration override leaves untouched.
                 name: w.name(),
                 compiler_overhead: nop_c / base - 1.0,
                 serialization_overhead: (full_c - nop_c) / base,
@@ -338,13 +364,23 @@ impl Fig9Row {
 /// Fig. 10 (WRPKRU density) in one pass over the suite.
 #[must_use]
 pub fn fig9_data(max_instructions: u64) -> Vec<Fig9Row> {
-    standard_suite()
+    let suite = standard_suite();
+    let cells: Vec<(usize, WrpkruPolicy)> = (0..suite.len())
+        .flat_map(|i| {
+            [
+                (i, WrpkruPolicy::Serialized),
+                (i, WrpkruPolicy::SpecMpk),
+                (i, WrpkruPolicy::NonSecureSpec),
+            ]
+        })
+        .collect();
+    let programs = par_map((0..suite.len()).collect(), |i| suite[i].build_protected());
+    let stats = par_map(cells, |(i, policy)| run_policy(&programs[i], policy, max_instructions));
+    suite
         .iter()
-        .map(|w| {
-            let p = w.build_protected();
-            let ser = run_policy(&p, WrpkruPolicy::Serialized, max_instructions);
-            let spec = run_policy(&p, WrpkruPolicy::SpecMpk, max_instructions);
-            let nonsec = run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions);
+        .zip(stats.chunks_exact(3))
+        .map(|(w, runs)| {
+            let (ser, spec, nonsec) = (&runs[0], &runs[1], &runs[2]);
             Fig9Row {
                 name: w.name(),
                 serialized_ipc: ser.ipc(),
@@ -417,17 +453,18 @@ impl Fig10Row {
 /// Computes Fig. 10: dynamic WRPKRU density of each workload.
 #[must_use]
 pub fn fig10_data(max_instructions: u64) -> Vec<Fig10Row> {
-    standard_suite()
+    let suite = standard_suite();
+    let stats = par_map((0..suite.len()).collect(), |i| {
+        run_policy(&suite[i].build_protected(), WrpkruPolicy::NonSecureSpec, max_instructions)
+    });
+    suite
         .iter()
-        .map(|w| {
-            let p = w.build_protected();
-            let s = run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions);
-            Fig10Row {
-                name: w.name(),
-                wrpkru_per_kinstr: s.wrpkru_per_kilo_instr(),
-                wrpkru_latency: s.hist.wrpkru_latency.clone(),
-                rob_pkru_occupancy: s.hist.rob_pkru_occupancy.clone(),
-            }
+        .zip(&stats)
+        .map(|(w, s)| Fig10Row {
+            name: w.name(),
+            wrpkru_per_kinstr: s.wrpkru_per_kilo_instr(),
+            wrpkru_latency: s.hist.wrpkru_latency.clone(),
+            rob_pkru_occupancy: s.hist.rob_pkru_occupancy.clone(),
         })
         .collect()
 }
@@ -484,20 +521,37 @@ impl Fig11Row {
 /// the serialized baseline, with NonSecure as the ceiling.
 #[must_use]
 pub fn fig11_data(max_instructions: u64) -> Vec<Fig11Row> {
-    standard_suite()
+    let suite = standard_suite();
+    // Per workload: serialized baseline, SpecMPK at ROB_pkru ∈ {2, 4, 8},
+    // and the NonSecure ceiling — five independent cells.
+    let cells: Vec<(usize, Option<usize>, WrpkruPolicy)> = (0..suite.len())
+        .flat_map(|i| {
+            [
+                (i, None, WrpkruPolicy::Serialized),
+                (i, Some(2), WrpkruPolicy::SpecMpk),
+                (i, Some(4), WrpkruPolicy::SpecMpk),
+                (i, Some(8), WrpkruPolicy::SpecMpk),
+                (i, None, WrpkruPolicy::NonSecureSpec),
+            ]
+        })
+        .collect();
+    let programs = par_map((0..suite.len()).collect(), |i| suite[i].build_protected());
+    let stats = par_map(cells, |(i, rob, policy)| match rob {
+        Some(n) => run_policy_with_rob(&programs[i], policy, n, max_instructions),
+        None => run_policy(&programs[i], policy, max_instructions),
+    });
+    suite
         .iter()
-        .map(|w| {
-            let p = w.build_protected();
-            let ser = run_policy(&p, WrpkruPolicy::Serialized, max_instructions).ipc();
-            let at = |n| run_policy_with_rob(&p, WrpkruPolicy::SpecMpk, n, max_instructions);
-            let s8 = at(8);
+        .zip(stats.chunks_exact(5))
+        .map(|(w, runs)| {
+            let ser = runs[0].ipc();
+            let s8 = &runs[3];
             Fig11Row {
                 name: w.name(),
-                size2: at(2).ipc() / ser,
-                size4: at(4).ipc() / ser,
+                size2: runs[1].ipc() / ser,
+                size4: runs[2].ipc() / ser,
                 size8: s8.ipc() / ser,
-                nonsecure: run_policy(&p, WrpkruPolicy::NonSecureSpec, max_instructions).ipc()
-                    / ser,
+                nonsecure: runs[4].ipc() / ser,
                 wrpkru_latency: s8.hist.wrpkru_latency.clone(),
                 rob_pkru_occupancy: s8.hist.rob_pkru_occupancy.clone(),
             }
@@ -550,17 +604,10 @@ impl Fig13Series {
 #[must_use]
 pub fn fig13_data() -> Vec<Fig13Series> {
     let attack = specmpk_attacks::spectre_v1(101, 72);
-    [WrpkruPolicy::NonSecureSpec, WrpkruPolicy::SpecMpk]
-        .into_iter()
-        .map(|policy| {
-            let outcome = specmpk_attacks::run_attack(&attack, policy);
-            Fig13Series {
-                policy,
-                latencies: outcome.latencies().to_vec(),
-                hot: outcome.hot_indices(),
-            }
-        })
-        .collect()
+    par_map(vec![WrpkruPolicy::NonSecureSpec, WrpkruPolicy::SpecMpk], |policy| {
+        let outcome = specmpk_attacks::run_attack(&attack, policy);
+        Fig13Series { policy, latencies: outcome.latencies().to_vec(), hot: outcome.hot_indices() }
+    })
 }
 
 /// Prints Fig. 13 in the paper's layout.

@@ -1,0 +1,22 @@
+//! Golden test: a figure artifact must be byte-identical whether the
+//! sweep fans out across a worker pool or runs serially. This is the
+//! contract that lets `scripts/ci.sh` validate parallel runs against the
+//! committed serial baselines.
+//!
+//! Kept in its own integration-test binary because it mutates the
+//! process-global `SPECMPK_JOBS` variable; the libtest harness would
+//! otherwise interleave it with unrelated tests.
+
+use specmpk_experiments::{artifact, fig10_data};
+
+#[test]
+fn fig10_artifact_is_byte_identical_across_jobs() {
+    let budget = 2_000;
+    std::env::set_var(specmpk_par::JOBS_ENV, "1");
+    let serial = artifact::rows(&fig10_data(budget), |r| r.to_json()).dump();
+    std::env::set_var(specmpk_par::JOBS_ENV, "4");
+    let parallel = artifact::rows(&fig10_data(budget), |r| r.to_json()).dump();
+    std::env::remove_var(specmpk_par::JOBS_ENV);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "fig10 artifact differs between SPECMPK_JOBS=1 and 4");
+}

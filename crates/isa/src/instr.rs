@@ -402,22 +402,33 @@ impl Instr {
     /// order. PKRU dependences are handled separately by the policy engine.
     #[must_use]
     pub fn sources(&self) -> Vec<Reg> {
+        let (regs, n) = self.source_regs();
+        regs[..n].to_vec()
+    }
+
+    /// Allocation-free form of [`Instr::sources`]: the source registers in
+    /// operand order packed into a fixed pair (no instruction has more than
+    /// two), plus how many of the slots are meaningful. Unused slots hold
+    /// [`Reg::ZERO`]. This is what the rename stage calls once per
+    /// instruction, so it must not heap-allocate.
+    #[must_use]
+    pub fn source_regs(&self) -> ([Reg; 2], usize) {
         match *self {
             Instr::Alu { rs1, src2, .. } => match src2 {
-                Operand::Reg(rs2) => vec![rs1, rs2],
-                Operand::Imm(_) => vec![rs1],
+                Operand::Reg(rs2) => ([rs1, rs2], 2),
+                Operand::Imm(_) => ([rs1, Reg::ZERO], 1),
             },
-            Instr::Load { base, .. } | Instr::Clflush { base, .. } => vec![base],
-            Instr::Store { rs, base, .. } => vec![rs, base],
-            Instr::Branch { rs1, rs2, .. } => vec![rs1, rs2],
-            Instr::Jalr { rs, .. } => vec![rs],
-            Instr::Wrpkru => vec![Reg::EAX],
+            Instr::Load { base, .. } | Instr::Clflush { base, .. } => ([base, Reg::ZERO], 1),
+            Instr::Store { rs, base, .. } => ([rs, base], 2),
+            Instr::Branch { rs1, rs2, .. } => ([rs1, rs2], 2),
+            Instr::Jalr { rs, .. } => ([rs, Reg::ZERO], 1),
+            Instr::Wrpkru => ([Reg::EAX, Reg::ZERO], 1),
             Instr::Li { .. }
             | Instr::Jump { .. }
             | Instr::Jal { .. }
             | Instr::Rdpkru
             | Instr::Nop
-            | Instr::Halt => vec![],
+            | Instr::Halt => ([Reg::ZERO, Reg::ZERO], 0),
         }
     }
 

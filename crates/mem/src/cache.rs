@@ -90,6 +90,11 @@ struct Line {
 /// lives in [`SparseMemory`](crate::SparseMemory)) — only presence and
 /// replacement state, which is all the timing and side-channel models need.
 ///
+/// Storage is one flat set-major array (`lines[set * ways + way]`) with an
+/// integer-timestamp LRU per line: a single allocation whose sets are
+/// contiguous 1–16-way runs, so the per-access tag scan walks one short
+/// cache-resident slice instead of chasing a `Vec<Vec<_>>` indirection.
+///
 /// # Examples
 ///
 /// ```
@@ -106,7 +111,9 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    num_sets: usize,
+    /// Set-major: the ways of set `s` are `lines[s * ways .. (s+1) * ways]`.
+    lines: Vec<Line>,
     clock: u64,
     stats: CacheStats,
 }
@@ -116,10 +123,8 @@ impl Cache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let num_sets = config.num_sets();
-        let sets = (0..num_sets)
-            .map(|_| vec![Line { tag: 0, valid: false, lru: 0 }; config.ways])
-            .collect();
-        Cache { config, sets, clock: 0, stats: CacheStats::default() }
+        let lines = vec![Line { tag: 0, valid: false, lru: 0 }; num_sets * config.ways];
+        Cache { config, num_sets, lines, clock: 0, stats: CacheStats::default() }
     }
 
     /// This level's configuration.
@@ -132,15 +137,25 @@ impl Cache {
         addr / LINE_BYTES
     }
 
-    fn set_index(&self, line: u64) -> usize {
-        (line % self.sets.len() as u64) as usize
+    /// The contiguous slice of ways for the set `line` maps to.
+    #[inline]
+    fn set(&self, line: u64) -> &[Line] {
+        let idx = (line % self.num_sets as u64) as usize * self.config.ways;
+        &self.lines[idx..idx + self.config.ways]
+    }
+
+    /// Mutable version of [`Cache::set`].
+    #[inline]
+    fn set_mut(&mut self, line: u64) -> &mut [Line] {
+        let idx = (line % self.num_sets as u64) as usize * self.config.ways;
+        &mut self.lines[idx..idx + self.config.ways]
     }
 
     /// Checks residency without updating LRU or statistics.
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
         let line = Self::line_addr(addr);
-        self.sets[self.set_index(line)].iter().any(|l| l.valid && l.tag == line)
+        self.set(line).iter().any(|l| l.valid && l.tag == line)
     }
 
     /// Performs an access: returns `true` on hit (promoting the line to
@@ -150,8 +165,7 @@ impl Cache {
         self.clock += 1;
         let clock = self.clock;
         let line = Self::line_addr(addr);
-        let idx = self.set_index(line);
-        if let Some(l) = self.sets[idx].iter_mut().find(|l| l.valid && l.tag == line) {
+        if let Some(l) = self.set_mut(line).iter_mut().find(|l| l.valid && l.tag == line) {
             l.lru = clock;
             self.stats.hits += 1;
             true
@@ -166,38 +180,37 @@ impl Cache {
         self.clock += 1;
         let clock = self.clock;
         let line = Self::line_addr(addr);
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
+        let set = self.set_mut(line);
         if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == line) {
             l.lru = clock;
             return;
         }
         let victim =
             set.iter_mut().min_by_key(|l| if l.valid { l.lru + 1 } else { 0 }).expect("ways > 0");
-        if victim.valid {
+        let evicting = victim.valid;
+        *victim = Line { tag: line, valid: true, lru: clock };
+        if evicting {
             self.stats.evictions += 1;
         }
-        *victim = Line { tag: line, valid: true, lru: clock };
     }
 
     /// Invalidates the line containing `addr`, if resident (`clflush`).
     pub fn flush_line(&mut self, addr: u64) {
         let line = Self::line_addr(addr);
-        let idx = self.set_index(line);
-        for l in &mut self.sets[idx] {
+        let mut flushed = 0;
+        for l in self.set_mut(line) {
             if l.valid && l.tag == line {
                 l.valid = false;
-                self.stats.flushes += 1;
+                flushed += 1;
             }
         }
+        self.stats.flushes += flushed;
     }
 
     /// Invalidates the entire cache.
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            for l in set {
-                l.valid = false;
-            }
+        for l in &mut self.lines {
+            l.valid = false;
         }
     }
 
@@ -210,7 +223,7 @@ impl Cache {
     /// Number of valid lines.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|l| l.valid).count()
+        self.lines.iter().filter(|l| l.valid).count()
     }
 }
 

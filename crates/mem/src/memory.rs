@@ -1,8 +1,42 @@
 //! Sparse functional backing store.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::{page_offset, vpn, PAGE_BYTES};
+
+/// Sentinel VPN that can never occur (`vpn(addr) = addr >> 12 < 2^52`).
+const NO_PAGE: u64 = u64::MAX;
+
+/// Multiply-based hasher for VPN keys (Fibonacci hashing).
+///
+/// VPNs are small, well-distributed integers; SipHash's DoS resistance
+/// buys nothing here and costs a large fraction of every simulated memory
+/// access. One multiply by the 64-bit golden-ratio constant mixes the low
+/// bits the `HashMap` actually uses.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VpnHasher(u64);
+
+impl Hasher for VpnHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits; HashMap
+        // masks the low ones, so swap halves on the way out.
+        self.0.rotate_left(32)
+    }
+}
+
+type VpnIndex = HashMap<u64, u32, BuildHasherDefault<VpnHasher>>;
 
 /// A sparse, byte-addressable 64-bit memory.
 ///
@@ -10,6 +44,14 @@ use crate::{page_offset, vpn, PAGE_BYTES};
 /// widely separated regions (text at 4 KiB, heap at 1 MiB, a victim array at
 /// 1 GiB) without cost. This is the *functional* store; all timing lives in
 /// the cache hierarchy.
+///
+/// Layout: page payloads live in one slab (`pages`), located through a
+/// VPN → slot index with a cheap multiplicative hasher, fronted by a
+/// one-entry last-page cache. Simulated programs touch the same page in
+/// runs (stack traffic, array walks), so most accesses skip hashing
+/// entirely; `read_u64`/`read_uint`/`write_uint` additionally use whole-
+/// slice fast paths when the access stays inside one page (the common case
+/// — only accesses straddling a 4 KiB boundary fall back to per-byte).
 ///
 /// # Examples
 ///
@@ -23,24 +65,65 @@ use crate::{page_offset, vpn, PAGE_BYTES};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8]>>,
+    index: VpnIndex,
+    pages: Vec<Box<[u8]>>,
+    /// Last-page cache: `(vpn, slot)`, `NO_PAGE` when empty. A `Cell` so
+    /// the read path (`&self`) can refresh it; the simulator never shares
+    /// one memory across threads (each parallel experiment cell owns its
+    /// core), so losing `Sync` costs nothing.
+    last: Cell<(u64, u32)>,
 }
 
 impl SparseMemory {
     /// Creates an empty memory.
     #[must_use]
     pub fn new() -> Self {
-        SparseMemory { pages: HashMap::new() }
+        SparseMemory {
+            index: VpnIndex::default(),
+            pages: Vec::new(),
+            last: Cell::new((NO_PAGE, 0)),
+        }
     }
 
+    /// The slab slot holding `page`, if materialized.
+    #[inline]
+    fn slot_of(&self, page: u64) -> Option<u32> {
+        let (last_vpn, last_slot) = self.last.get();
+        if last_vpn == page {
+            return Some(last_slot);
+        }
+        let slot = *self.index.get(&page)?;
+        self.last.set((page, slot));
+        Some(slot)
+    }
+
+    /// The page slice holding `page`, if materialized.
+    #[inline]
+    fn page(&self, page: u64) -> Option<&[u8]> {
+        self.slot_of(page).map(|slot| &*self.pages[slot as usize])
+    }
+
+    /// The page slice holding `page`, materializing it (zero-filled) on
+    /// first touch.
     fn page_mut(&mut self, page: u64) -> &mut [u8] {
-        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice())
+        let slot = match self.slot_of(page) {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.pages.len()).expect("fewer than 2^32 pages");
+                self.pages.push(vec![0u8; PAGE_BYTES as usize].into_boxed_slice());
+                self.index.insert(page, slot);
+                self.last.set((page, slot));
+                slot
+            }
+        };
+        &mut self.pages[slot as usize]
     }
 
     /// Reads one byte (zero if the page was never written).
     #[must_use]
+    #[inline]
     pub fn read_byte(&self, addr: u64) -> u8 {
-        self.pages.get(&vpn(addr)).map_or(0, |p| p[page_offset(addr) as usize])
+        self.page(vpn(addr)).map_or(0, |p| p[page_offset(addr) as usize])
     }
 
     /// Writes one byte.
@@ -58,11 +141,28 @@ impl SparseMemory {
     #[must_use]
     pub fn read_uint(&self, addr: u64, width: u64) -> u64 {
         assert!((1..=8).contains(&width), "width {width} out of range");
+        let offset = page_offset(addr);
+        if offset + width <= PAGE_BYTES {
+            // Single-page fast path: one locate, then a slice read.
+            let Some(page) = self.page(vpn(addr)) else { return 0 };
+            let mut buf = [0u8; 8];
+            buf[..width as usize]
+                .copy_from_slice(&page[offset as usize..(offset + width) as usize]);
+            return u64::from_le_bytes(buf);
+        }
         let mut v = 0u64;
         for i in 0..width {
             v |= u64::from(self.read_byte(addr + i)) << (8 * i);
         }
         v
+    }
+
+    /// Reads a little-endian `u64` — the load-path width the pipeline
+    /// issues most, with no per-access allocation.
+    #[must_use]
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_uint(addr, 8)
     }
 
     /// Writes a little-endian unsigned integer of `width` bytes.
@@ -72,22 +172,57 @@ impl SparseMemory {
     /// Panics if `width` is 0 or greater than 8.
     pub fn write_uint(&mut self, addr: u64, width: u64, value: u64) {
         assert!((1..=8).contains(&width), "width {width} out of range");
+        let offset = page_offset(addr);
+        if offset + width <= PAGE_BYTES {
+            let page = self.page_mut(vpn(addr));
+            page[offset as usize..(offset + width) as usize]
+                .copy_from_slice(&value.to_le_bytes()[..width as usize]);
+            return;
+        }
         for i in 0..width {
             self.write_byte(addr + i, (value >> (8 * i)) as u8);
         }
     }
 
-    /// Copies `bytes` into memory starting at `addr`.
+    /// Copies `bytes` into memory starting at `addr`, one page chunk at a
+    /// time.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_byte(addr + i as u64, b);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let offset = page_offset(addr) as usize;
+            let chunk = rest.len().min(PAGE_BYTES as usize - offset);
+            self.page_mut(vpn(addr))[offset..offset + chunk].copy_from_slice(&rest[..chunk]);
+            addr += chunk as u64;
+            rest = &rest[chunk..];
+        }
+    }
+
+    /// Fills `buf` with the bytes starting at `addr` (untouched memory
+    /// reads zero), one page chunk at a time — the allocation-free
+    /// replacement for [`SparseMemory::read_bytes`].
+    pub fn read_into(&self, addr: u64, buf: &mut [u8]) {
+        let mut addr = addr;
+        let mut rest = &mut *buf;
+        while !rest.is_empty() {
+            let offset = page_offset(addr) as usize;
+            let chunk = rest.len().min(PAGE_BYTES as usize - offset);
+            match self.page(vpn(addr)) {
+                Some(page) => rest[..chunk].copy_from_slice(&page[offset..offset + chunk]),
+                None => rest[..chunk].fill(0),
+            }
+            addr += chunk as u64;
+            rest = &mut rest[chunk..];
         }
     }
 
     /// Reads `len` bytes starting at `addr`.
+    #[deprecated(note = "allocates per access; use `read_into` (or `read_u64`) instead")]
     #[must_use]
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
-        (0..len as u64).map(|i| self.read_byte(addr + i)).collect()
+        let mut buf = vec![0u8; len];
+        self.read_into(addr, &mut buf);
+        buf
     }
 
     /// Number of pages that have been materialized.
@@ -115,6 +250,7 @@ mod tests {
         assert_eq!(m.read_byte(0x100), 0x88);
         assert_eq!(m.read_byte(0x107), 0x11);
         assert_eq!(m.read_uint(0x100, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(0x100), 0x1122_3344_5566_7788);
         assert_eq!(m.read_uint(0x100, 4), 0x5566_7788);
         assert_eq!(m.read_uint(0x104, 2), 0x3344);
     }
@@ -132,7 +268,59 @@ mod tests {
     fn byte_slices_round_trip() {
         let mut m = SparseMemory::new();
         m.write_bytes(0x42, &[1, 2, 3, 4, 5]);
-        assert_eq!(m.read_bytes(0x42, 5), vec![1, 2, 3, 4, 5]);
+        let mut buf = [0u8; 5];
+        m.read_into(0x42, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5]);
+        #[allow(deprecated)]
+        let v = m.read_bytes(0x42, 5);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bulk_copies_straddle_pages() {
+        let mut m = SparseMemory::new();
+        let base = 2 * PAGE_BYTES - 3;
+        let data: Vec<u8> = (0..10u8).collect();
+        m.write_bytes(base, &data);
+        let mut buf = [0xFFu8; 10];
+        m.read_into(base, &mut buf);
+        assert_eq!(&buf[..], &data[..]);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn read_into_zero_fills_untouched_pages() {
+        let mut m = SparseMemory::new();
+        m.write_byte(0x0, 7); // first page resident, second untouched
+        let mut buf = [0xFFu8; 16];
+        m.read_into(PAGE_BYTES - 8, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn last_page_cache_tracks_interleaved_pages() {
+        let mut m = SparseMemory::new();
+        let a = 0x1000;
+        let b = 0x8_0000;
+        m.write_uint(a, 8, 1);
+        m.write_uint(b, 8, 2);
+        for _ in 0..4 {
+            assert_eq!(m.read_u64(a), 1);
+            assert_eq!(m.read_u64(b), 2);
+        }
+        m.write_uint(a, 8, 3);
+        assert_eq!(m.read_u64(a), 3);
+        assert_eq!(m.read_u64(b), 2);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut m = SparseMemory::new();
+        m.write_uint(0x500, 8, 42);
+        let snapshot = m.clone();
+        m.write_uint(0x500, 8, 99);
+        assert_eq!(snapshot.read_u64(0x500), 42);
+        assert_eq!(m.read_u64(0x500), 99);
     }
 
     #[test]

@@ -113,7 +113,11 @@ impl TlbStats {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    sets: Vec<Vec<Way>>,
+    num_sets: usize,
+    /// Set-major: the ways of set `s` are `ways[s * ways_per_set ..]`.
+    /// One flat allocation keeps the per-lookup scan on a contiguous,
+    /// cache-resident run instead of a `Vec<Vec<_>>` double indirection.
+    ways: Vec<Way>,
     clock: u64,
     stats: TlbStats,
 }
@@ -129,10 +133,8 @@ impl Tlb {
         assert!(config.ways > 0 && config.entries > 0, "degenerate TLB geometry");
         assert_eq!(config.entries % config.ways, 0, "entries must be a multiple of ways");
         let num_sets = config.entries / config.ways;
-        let sets = (0..num_sets)
-            .map(|_| (0..config.ways).map(|_| Way { entry: None, lru: 0 }).collect())
-            .collect();
-        Tlb { config, sets, clock: 0, stats: TlbStats::default() }
+        let ways = vec![Way { entry: None, lru: 0 }; config.entries];
+        Tlb { config, num_sets, ways, clock: 0, stats: TlbStats::default() }
     }
 
     /// The TLB's geometry.
@@ -141,15 +143,24 @@ impl Tlb {
         self.config
     }
 
-    fn set_index(&self, vpn: u64) -> usize {
-        (vpn % self.sets.len() as u64) as usize
+    /// The contiguous slice of ways for the set `vpn` maps to.
+    #[inline]
+    fn set(&self, vpn: u64) -> &[Way] {
+        let idx = (vpn % self.num_sets as u64) as usize * self.config.ways;
+        &self.ways[idx..idx + self.config.ways]
+    }
+
+    /// Mutable version of [`Tlb::set`].
+    #[inline]
+    fn set_mut(&mut self, vpn: u64) -> &mut [Way] {
+        let idx = (vpn % self.num_sets as u64) as usize * self.config.ways;
+        &mut self.ways[idx..idx + self.config.ways]
     }
 
     /// Checks residency *without* updating replacement state or counters.
     #[must_use]
     pub fn probe(&self, vpn: u64) -> Option<TlbEntry> {
-        let set = &self.sets[self.set_index(vpn)];
-        set.iter().filter_map(|w| w.entry).find(|e| e.vpn == vpn)
+        self.set(vpn).iter().filter_map(|w| w.entry).find(|e| e.vpn == vpn)
     }
 
     /// Looks up `vpn`, recording a hit or a miss in the statistics. On a
@@ -170,8 +181,8 @@ impl Tlb {
     pub fn touch(&mut self, vpn: u64) {
         self.clock += 1;
         let clock = self.clock;
-        let idx = self.set_index(vpn);
-        if let Some(way) = self.sets[idx].iter_mut().find(|w| w.entry.is_some_and(|e| e.vpn == vpn))
+        if let Some(way) =
+            self.set_mut(vpn).iter_mut().find(|w| w.entry.is_some_and(|e| e.vpn == vpn))
         {
             way.lru = clock;
         }
@@ -181,8 +192,7 @@ impl Tlb {
     pub fn fill(&mut self, entry: TlbEntry) {
         self.clock += 1;
         let clock = self.clock;
-        let idx = self.set_index(entry.vpn);
-        let set = &mut self.sets[idx];
+        let set = self.set_mut(entry.vpn);
         // Re-fill of a resident page just refreshes it.
         if let Some(way) = set.iter_mut().find(|w| w.entry.is_some_and(|e| e.vpn == entry.vpn)) {
             way.entry = Some(entry);
@@ -193,17 +203,17 @@ impl Tlb {
             .iter_mut()
             .min_by_key(|w| if w.entry.is_none() { 0 } else { w.lru + 1 })
             .expect("ways > 0");
-        if victim.entry.is_some() {
-            self.stats.evictions += 1;
-        }
+        let evicting = victim.entry.is_some();
         victim.entry = Some(entry);
         victim.lru = clock;
+        if evicting {
+            self.stats.evictions += 1;
+        }
     }
 
     /// Invalidates the translation for `vpn`, if resident.
     pub fn invalidate(&mut self, vpn: u64) {
-        let idx = self.set_index(vpn);
-        for way in &mut self.sets[idx] {
+        for way in self.set_mut(vpn) {
             if way.entry.is_some_and(|e| e.vpn == vpn) {
                 way.entry = None;
             }
@@ -212,11 +222,9 @@ impl Tlb {
 
     /// Flushes the whole TLB (e.g. on address-space change).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for way in set {
-                way.entry = None;
-                way.lru = 0;
-            }
+        for way in &mut self.ways {
+            way.entry = None;
+            way.lru = 0;
         }
         self.stats.flushes += 1;
     }
@@ -230,7 +238,7 @@ impl Tlb {
     /// Number of currently valid entries.
     #[must_use]
     pub fn resident(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.entry.is_some()).count()
+        self.ways.iter().filter(|w| w.entry.is_some()).count()
     }
 }
 

@@ -143,6 +143,23 @@ enum AlState {
     Completed,
 }
 
+/// Renamed source registers, packed inline. No instruction has more than
+/// two logical sources ([`Instr::source_regs`]), so a heap `Vec` here
+/// would cost an allocation per renamed instruction inside the cycle loop
+/// for nothing.
+#[derive(Debug, Clone, Copy, Default)]
+struct SrcRegs {
+    regs: [PhysReg; 2],
+    len: u8,
+}
+
+impl SrcRegs {
+    #[inline]
+    fn as_slice(&self) -> &[PhysReg] {
+        &self.regs[..usize::from(self.len)]
+    }
+}
+
 #[derive(Debug, Clone)]
 struct AlEntry {
     seq: Seq,
@@ -150,7 +167,7 @@ struct AlEntry {
     instr: Instr,
     state: AlState,
     dest: Option<(Reg, PhysReg, PhysReg)>,
-    srcs: Vec<PhysReg>,
+    srcs: SrcRegs,
     pkru_source: Option<PkruSource>,
     pkru_tag: Option<PkruTag>,
     branch: Option<BranchInfo>,
@@ -215,6 +232,9 @@ pub struct Core<S: TraceSink = NullSink> {
     lq: Vec<Seq>,
     sq: Vec<SqEntry>,
     events: Vec<Event>,
+    /// Scratch buffer for [`Core::writeback`], kept to avoid a per-cycle
+    /// allocation. Always logically empty between cycles.
+    wb_scratch: Vec<Event>,
     last_retire_cycle: u64,
     stats: SimStats,
     exit: Option<ExitReason>,
@@ -283,6 +303,7 @@ impl<S: TraceSink> Core<S> {
             lq: Vec::new(),
             sq: Vec::new(),
             events: Vec::new(),
+            wb_scratch: Vec::new(),
             last_retire_cycle: 0,
             stats: SimStats::default(),
             exit: None,
@@ -614,8 +635,12 @@ impl<S: TraceSink> Core<S> {
             let seq = self.next_seq;
             self.next_seq += 1;
 
-            let srcs: Vec<PhysReg> =
-                f.instr.sources().into_iter().map(|r| self.rf.map_source(r)).collect();
+            let (src_regs, n_srcs) = f.instr.source_regs();
+            let mut srcs = SrcRegs::default();
+            for &r in &src_regs[..n_srcs] {
+                srcs.regs[usize::from(srcs.len)] = self.rf.map_source(r);
+                srcs.len += 1;
+            }
             let pkru_source = match class {
                 InstrClass::Load | InstrClass::Store | InstrClass::Wrpkru | InstrClass::Rdpkru => {
                     Some(self.engine.rename_pkru_source())
@@ -717,14 +742,18 @@ impl<S: TraceSink> Core<S> {
         let mut store_free = self.config.store_ports;
         let mut branch_free = self.config.branch_units;
         let mut issued_total = 0usize;
-        let mut issued_seqs: Vec<Seq> = Vec::new();
 
-        // IQ is naturally in seq (age) order: oldest-first select.
-        let candidates: Vec<Seq> = self.iq.clone();
-        for seq in candidates {
+        // IQ is naturally in seq (age) order: oldest-first select. Walk it
+        // by index, removing issued entries in place, rather than cloning
+        // the queue every cycle (nothing below pushes to the IQ — only
+        // rename does).
+        let mut i = 0;
+        while i < self.iq.len() {
             if issued_total >= self.config.width {
                 break;
             }
+            let seq = self.iq[i];
+            i += 1;
             let Some(idx) = self.al_index(seq) else { continue };
             let entry = &self.al[idx];
             debug_assert_eq!(entry.state, AlState::Queued);
@@ -740,7 +769,7 @@ impl<S: TraceSink> Core<S> {
                 continue;
             }
             // Register sources ready?
-            if !entry.srcs.iter().all(|&p| self.rf.is_ready(p)) {
+            if !entry.srcs.as_slice().iter().all(|&p| self.rf.is_ready(p)) {
                 continue;
             }
             // PKRU source ready (orders memory ops and WRPKRUs behind all
@@ -762,7 +791,8 @@ impl<S: TraceSink> Core<S> {
             // from the store queue, so a store→clflush sequence really
             // leaves the line uncached.
             if let Instr::Clflush { offset, .. } = entry.instr {
-                let addr = self.rf.read(entry.srcs[0]).wrapping_add(offset as i64 as u64);
+                let addr =
+                    self.rf.read(entry.srcs.as_slice()[0]).wrapping_add(offset as i64 as u64);
                 let line = specmpk_mem::line_base(addr);
                 if self.sq.iter().any(|s| {
                     s.seq < seq && s.addr.is_none_or(|a| specmpk_mem::line_base(a) == line)
@@ -773,13 +803,13 @@ impl<S: TraceSink> Core<S> {
             if self.execute_at_issue(idx) {
                 *unit -= 1;
                 issued_total += 1;
-                issued_seqs.push(seq);
+                i -= 1;
+                self.iq.remove(i);
                 if self.sink.enabled() {
                     self.sink.record(TraceEvent::Issue { seq, cycle: self.cycle });
                 }
             }
         }
-        self.iq.retain(|s| !issued_seqs.contains(s));
     }
 
     /// Executes the instruction's issue-time work. Returns `false` if it
@@ -790,8 +820,12 @@ impl<S: TraceSink> Core<S> {
         let instr = entry.instr;
         let pkru_source = entry.pkru_source;
         let pc = entry.pc;
-        // Sources were verified ready by the issue scan; read them now.
-        let vals: Vec<u64> = entry.srcs.iter().map(|&p| self.rf.read(p)).collect();
+        // Sources were verified ready by the issue scan; read them now
+        // (into a fixed pair — this runs for every issued instruction).
+        let mut vals = [0u64; 2];
+        for (v, &p) in vals.iter_mut().zip(entry.srcs.as_slice()) {
+            *v = self.rf.read(p);
+        }
         let read = |i: usize| vals[i];
 
         match instr {
@@ -1046,9 +1080,14 @@ impl<S: TraceSink> Core<S> {
     // ---------------------------------------------------------- writeback
 
     fn writeback(&mut self) {
-        let mut due: Vec<Event> = Vec::new();
+        // Reuse one scratch buffer across cycles instead of allocating a
+        // fresh Vec per cycle; `take` sidesteps the borrow of `self` while
+        // the loop body mutates the core.
+        let mut due = std::mem::take(&mut self.wb_scratch);
+        due.clear();
+        let cycle = self.cycle;
         self.events.retain(|e| {
-            if e.at <= self.cycle {
+            if e.at <= cycle {
                 due.push(*e);
                 false
             } else {
@@ -1056,7 +1095,7 @@ impl<S: TraceSink> Core<S> {
             }
         });
         due.sort_by_key(|e| e.seq);
-        for ev in due {
+        for &ev in &due {
             let Some(idx) = self.al_index(ev.seq) else { continue };
             if self.al[idx].state != AlState::Issued {
                 continue;
@@ -1074,6 +1113,7 @@ impl<S: TraceSink> Core<S> {
                 self.resolve_branch(ev.seq);
             }
         }
+        self.wb_scratch = due;
     }
 
     fn resolve_branch(&mut self, seq: Seq) {

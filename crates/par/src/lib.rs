@@ -1,0 +1,189 @@
+//! Order-preserving parallel map over a scoped, fixed-worker thread pool.
+//!
+//! The experiment harness runs large (workload × policy × config) sweep
+//! matrices in which every cell is an independent, deterministic
+//! simulation. [`par_map`] fans those cells across `std::thread` workers
+//! while keeping everything a serial run guarantees:
+//!
+//! * **Input order is output order.** Results land in a pre-sized slot
+//!   vector indexed by the item's position, so row assembly downstream is
+//!   byte-identical to a serial run regardless of completion order.
+//! * **Panics propagate.** A panicking cell panics the calling thread
+//!   (after the remaining workers drain), exactly like the serial
+//!   `map` would — no silently missing rows.
+//! * **Serial mode is *the serial code path*.** With one worker the items
+//!   are mapped inline on the caller's thread: same stack, same order,
+//!   no pool. `SPECMPK_JOBS=1` therefore reproduces today's sequential
+//!   behavior exactly.
+//!
+//! The worker count is `min(items, SPECMPK_JOBS or available_parallelism)`;
+//! see [`max_jobs`]. There are no dependencies beyond `std` — the build is
+//! offline/vendored, so rayon is deliberately not used.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = specmpk_par::par_map(vec![1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker cap (`0` or unparseable
+/// values fall back to the hardware default; `1` forces the serial path).
+pub const JOBS_ENV: &str = "SPECMPK_JOBS";
+
+/// The maximum number of workers a [`par_map`] call may use:
+/// `SPECMPK_JOBS` if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if even that is unknown).
+#[must_use]
+pub fn max_jobs() -> usize {
+    match std::env::var(JOBS_ENV).ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Spawns `min(items.len(), max_jobs())` scoped workers that pull items
+/// from a shared queue, so heterogeneous cell costs load-balance
+/// dynamically. With one worker (or zero/one items) no thread is spawned
+/// and the map runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Panics if `f` panics for any item (the panic is propagated once all
+/// workers have stopped).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_with_jobs(max_jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker cap (ignoring `SPECMPK_JOBS`).
+///
+/// Exposed so tests can exercise specific pool shapes without mutating
+/// process-global environment state.
+///
+/// # Panics
+///
+/// Panics if `f` panics for any item.
+pub fn par_map_with_jobs<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        // The serial path: identical to pre-pool behavior, caller's thread.
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let abort = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Hold the queue lock only for the pop; cells are heavy.
+                let Some((i, item)) = queue.lock().expect("queue lock").next() else {
+                    break;
+                };
+                // Catch so the original payload (not the generic "a scoped
+                // thread panicked") reaches the caller, and so sibling
+                // workers stop pulling new cells. `AssertUnwindSafe` is
+                // sound here: after a panic no mapped state is observed —
+                // the pool drains and the payload is re-raised below.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+                    Ok(result) => *slots[i].lock().expect("slot lock") = Some(result),
+                    Err(payload) => {
+                        abort.store(true, Ordering::Relaxed);
+                        panic_payload.lock().expect("panic lock").get_or_insert(payload);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(payload) = panic_payload.into_inner().expect("panic lock") {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("every index was mapped"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map_with_jobs(8, Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        for jobs in [1usize, 2, 3, 8, 64] {
+            let items: Vec<usize> = (0..97).collect();
+            let out = par_map_with_jobs(jobs, items.clone(), |x| x * 3 + 1);
+            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_is_mapped_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = par_map_with_jobs(4, (0..200usize).collect(), |x| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 200);
+        assert_eq!(calls.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn borrowed_context_is_usable_from_workers() {
+        let base = [10u64, 20, 30];
+        let out = par_map_with_jobs(3, vec![0usize, 1, 2], |i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 3 exploded")]
+    fn panics_propagate_from_workers() {
+        let _ = par_map_with_jobs(4, (0..8usize).collect(), |x| {
+            assert!(x != 3, "cell 3 exploded");
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "serial boom")]
+    fn panics_propagate_on_the_serial_path() {
+        let _ = par_map_with_jobs(1, vec![1u8], |_| panic!("serial boom"));
+    }
+
+    #[test]
+    fn worker_count_caps_at_item_count() {
+        // 64 requested workers over 2 items must not deadlock or leak.
+        let out = par_map_with_jobs(64, vec![1u32, 2], |x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property-based determinism tests: `par_map` must be observationally
+//! identical to a serial `map` for any item count and worker count.
+
+// Gated so the workspace still builds/tests with --no-default-features.
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use specmpk_par::par_map_with_jobs;
+
+proptest! {
+    /// Output equals the serial map — values *and* order — for random
+    /// item counts and worker counts.
+    #[test]
+    fn par_map_equals_serial_map(
+        items in prop::collection::vec(0u64..1 << 48, 0..128),
+        jobs in 1usize..=16,
+    ) {
+        let expected: Vec<u64> = items.iter().map(|x| x.wrapping_mul(2654435761).rotate_left(13)).collect();
+        let got = par_map_with_jobs(jobs, items, |x| x.wrapping_mul(2654435761).rotate_left(13));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Non-copy payloads (heap-owning items and results) survive the
+    /// pool with order intact.
+    #[test]
+    fn par_map_owned_payloads(
+        words in prop::collection::vec(0u32..1000, 0..64),
+        jobs in 1usize..=8,
+    ) {
+        let items: Vec<String> = words.iter().map(|w| format!("w{w}")).collect();
+        let expected: Vec<String> = items.iter().map(|s| format!("{s}!")).collect();
+        let got = par_map_with_jobs(jobs, items, |s| format!("{s}!"));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A panicking cell panics the caller no matter which worker ran it
+    /// or how many workers there were.
+    #[test]
+    fn par_map_propagates_panics(
+        len in 1usize..64,
+        jobs in 1usize..=8,
+        bad_seed in any::<u64>(),
+    ) {
+        let bad = (bad_seed % len as u64) as usize;
+        let outcome = std::panic::catch_unwind(|| {
+            par_map_with_jobs(jobs, (0..len).collect(), |i| {
+                assert!(i != bad, "poisoned cell");
+                i
+            })
+        });
+        prop_assert!(outcome.is_err());
+    }
+}

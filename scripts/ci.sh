@@ -27,12 +27,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Wall-clock bookkeeping (bash integer arithmetic on nanosecond stamps;
+# the container has no `bc` or `/usr/bin/time`). Collected per stage and
+# per experiment bin, printed as a summary table, and written to
+# experiments_output/timing.json (the report gate only reads baselines/,
+# so the extra file is ignored by the regression check).
+now_ms() {
+    echo $(( $(date +%s%N) / 1000000 ))
+}
+
+STAGE_NAMES=()
+STAGE_MS=()
+BIN_NAMES=()
+BIN_MS=()
+
 stage() {
     local name="$1"
     shift
     echo "==> ${name}: $*"
+    local start
+    start=$(now_ms)
     if "$@"; then
-        echo "PASS ${name}"
+        local elapsed=$(( $(now_ms) - start ))
+        STAGE_NAMES+=("${name}")
+        STAGE_MS+=("${elapsed}")
+        echo "PASS ${name} (${elapsed} ms)"
     else
         echo "FAIL ${name}"
         exit 1
@@ -51,10 +70,14 @@ FAST_BINS=(
 
 run_experiments() {
     rm -rf experiments_output
-    local bin
+    local bin start elapsed
     for bin in "${FAST_BINS[@]}"; do
-        echo "    running ${bin}"
+        start=$(now_ms)
         cargo run -q --release -p specmpk-experiments --bin "${bin}" >/dev/null
+        elapsed=$(( $(now_ms) - start ))
+        BIN_NAMES+=("${bin}")
+        BIN_MS+=("${elapsed}")
+        echo "    ${bin}: ${elapsed} ms"
     done
 }
 
@@ -81,5 +104,39 @@ fi
 
 stage experiments run_experiments
 stage report run_report
+
+# ------------------------------------------------- timing summary + JSON
+write_timing_json() {
+    local path="experiments_output/timing.json"
+    local i sep
+    {
+        printf '{\n  "jobs_env": "%s",\n' "${SPECMPK_JOBS:-}"
+        printf '  "stages_ms": {'
+        sep=""
+        for i in "${!STAGE_NAMES[@]}"; do
+            printf '%s\n    "%s": %s' "${sep}" "${STAGE_NAMES[$i]}" "${STAGE_MS[$i]}"
+            sep=","
+        done
+        printf '\n  },\n  "experiment_bins_ms": {'
+        sep=""
+        for i in "${!BIN_NAMES[@]}"; do
+            printf '%s\n    "%s": %s' "${sep}" "${BIN_NAMES[$i]}" "${BIN_MS[$i]}"
+            sep=","
+        done
+        printf '\n  }\n}\n'
+    } > "${path}"
+    echo "wrote ${path}"
+}
+
+echo "==> wall-clock summary"
+printf '%-24s %10s\n' "stage" "ms"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '%-24s %10s\n' "${STAGE_NAMES[$i]}" "${STAGE_MS[$i]}"
+done
+printf '%-24s %10s\n' "  experiment bin" "ms"
+for i in "${!BIN_NAMES[@]}"; do
+    printf '  %-22s %10s\n' "${BIN_NAMES[$i]}" "${BIN_MS[$i]}"
+done
+write_timing_json
 
 echo "==> CI OK"
