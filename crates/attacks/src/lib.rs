@@ -2,7 +2,7 @@
 //! (paper §IX-C and §III-C).
 //!
 //! Each attack builds a self-contained victim+attacker [`Program`] and runs
-//! it on the out-of-order core under a chosen [`WrpkruPolicy`]; the
+//! it on the out-of-order core under a chosen policy ([`PolicyRef`]); the
 //! **flush+reload receiver** then probes the simulated cache from outside
 //! the program (exactly what Fig. 13 plots: per-index access latency of the
 //! probe array after the attack). Three PoCs are provided:
@@ -33,20 +33,20 @@
 //!
 //! ```
 //! use specmpk_attacks::{spectre_v1, run_attack, AttackKind};
-//! use specmpk_core::WrpkruPolicy;
+//! use specmpk_core::PolicyRef;
 //!
 //! let attack = spectre_v1(101, 72);
-//! let outcome = run_attack(&attack, WrpkruPolicy::NonSecureSpec);
+//! let outcome = run_attack(&attack, PolicyRef::NONSECURE_SPEC);
 //! assert!(outcome.hot_indices().contains(&101));       // leaked
 //!
-//! let outcome = run_attack(&attack, WrpkruPolicy::SpecMpk);
+//! let outcome = run_attack(&attack, PolicyRef::SPEC_MPK);
 //! assert!(!outcome.hot_indices().contains(&101));      // blocked
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use specmpk_core::WrpkruPolicy;
+use specmpk_core::PolicyRef;
 use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg};
 use specmpk_mpk::{Pkey, Pkru};
 use specmpk_ooo::{Core, ExitReason, SimConfig};
@@ -467,7 +467,7 @@ pub fn store_forward_overflow(poison: u8) -> AttackProgram {
 /// Runs an attack under `policy` and performs the flush+reload measurement
 /// from outside the program (the receiver's view).
 #[must_use]
-pub fn run_attack(attack: &AttackProgram, policy: WrpkruPolicy) -> AttackOutcome {
+pub fn run_attack(attack: &AttackProgram, policy: impl Into<PolicyRef>) -> AttackOutcome {
     let config = SimConfig::with_policy(policy);
     let mut core = Core::new(config, attack.program());
     let result = core.run();
@@ -489,14 +489,14 @@ mod tests {
     #[test]
     fn spectre_v1_leaks_only_on_nonsecure() {
         let attack = spectre_v1(101, 72);
-        for policy in WrpkruPolicy::all() {
+        for policy in specmpk_core::registry::all() {
             let outcome = run_attack(&attack, policy);
             assert_eq!(outcome.exit(), &ExitReason::Halted, "{policy}");
             assert!(
                 outcome.leaked(72),
                 "{policy}: training index must be hot (architectural access)"
             );
-            let expect_leak = policy == WrpkruPolicy::NonSecureSpec;
+            let expect_leak = policy == PolicyRef::NONSECURE_SPEC;
             assert_eq!(
                 outcome.leaked(101),
                 expect_leak,
@@ -510,13 +510,13 @@ mod tests {
     fn spectre_v1_leaks_arbitrary_secret_bytes_on_nonsecure() {
         for secret in [3u8, 33, 200, 255] {
             let attack = spectre_v1(secret, 72);
-            let outcome = run_attack(&attack, WrpkruPolicy::NonSecureSpec);
+            let outcome = run_attack(&attack, PolicyRef::NONSECURE_SPEC);
             assert!(
                 outcome.leaked(secret as usize),
                 "secret {secret} not leaked; hot = {:?}",
                 outcome.hot_indices()
             );
-            let outcome = run_attack(&attack, WrpkruPolicy::SpecMpk);
+            let outcome = run_attack(&attack, PolicyRef::SPEC_MPK);
             assert!(!outcome.leaked(secret as usize), "SpecMPK must block {secret}");
         }
     }
@@ -524,10 +524,10 @@ mod tests {
     #[test]
     fn spectre_bti_leaks_only_on_nonsecure() {
         let attack = spectre_bti(101, 72);
-        for policy in WrpkruPolicy::all() {
+        for policy in specmpk_core::registry::all() {
             let outcome = run_attack(&attack, policy);
             assert_eq!(outcome.exit(), &ExitReason::Halted, "{policy}");
-            let expect_leak = policy == WrpkruPolicy::NonSecureSpec;
+            let expect_leak = policy == PolicyRef::NONSECURE_SPEC;
             assert_eq!(
                 outcome.leaked(101),
                 expect_leak,
@@ -541,14 +541,14 @@ mod tests {
     fn store_forward_overflow_blocked_by_specmpk() {
         let attack = store_forward_overflow(13);
         let secret = attack.secret_index();
-        let leak = run_attack(&attack, WrpkruPolicy::NonSecureSpec);
+        let leak = run_attack(&attack, PolicyRef::NONSECURE_SPEC);
         assert_eq!(leak.exit(), &ExitReason::Halted);
         assert!(
             leak.leaked(secret),
             "NonSecure must forward the poisoned store; hot = {:?}",
             leak.hot_indices()
         );
-        let blocked = run_attack(&attack, WrpkruPolicy::SpecMpk);
+        let blocked = run_attack(&attack, PolicyRef::SPEC_MPK);
         assert!(
             !blocked.leaked(secret),
             "SpecMPK bars forwarding; hot = {:?}",

@@ -4,8 +4,9 @@
 use specmpk_mpk::{AccessKind, Pkey, Pkru, ProtectionFault};
 
 use crate::counters::DisablingCounters;
+use crate::policy::{PolicyRef, PolicyView};
 use crate::rob_pkru::{PkruTag, RobPkru};
-use crate::{SpecMpkConfig, WrpkruPolicy};
+use crate::SpecMpkConfig;
 
 /// Where an instruction's implicit PKRU source operand was renamed to
 /// (paper §V-B3).
@@ -65,7 +66,11 @@ impl PkruEngineStats {
 }
 
 /// The per-core PKRU rename/check apparatus: `ROB_pkru`, `ARF_pkru`,
-/// `RMT_pkru` and the Disabling Counters, specialized by [`WrpkruPolicy`].
+/// `RMT_pkru` and the Disabling Counters, specialized by a
+/// [`PermissionPolicy`](crate::PermissionPolicy).
+///
+/// The engine owns every piece of *state*; the policy makes every
+/// *decision*, reading that state through a [`PolicyView`].
 ///
 /// The pipeline calls, in order of an instruction's life:
 ///
@@ -84,7 +89,12 @@ impl PkruEngineStats {
 ///    [`restore`](Self::restore).
 #[derive(Debug, Clone)]
 pub struct PkruEngine {
-    policy: WrpkruPolicy,
+    policy: PolicyRef,
+    // Static policy properties, cached at construction so the per-access
+    // hot paths below skip virtual dispatch when the answer is constant.
+    barrier_while_inflight: bool,
+    checks_can_fail: bool,
+    faults_speculatively: bool,
     config: SpecMpkConfig,
     rob: RobPkru,
     arf: Pkru,
@@ -94,21 +104,17 @@ pub struct PkruEngine {
 }
 
 impl PkruEngine {
-    /// Creates an engine for `policy`.
-    ///
-    /// `NonSecureSpec` renames PKRU through the main PRF, so its effective
-    /// buffer is bounded only by the instruction window; we model that with
-    /// a 512-entry buffer that can never fill in a 352-entry Active List.
-    /// `Serialized` can have at most one WRPKRU in flight by construction.
+    /// Creates an engine for `policy`, sizing `ROB_pkru` to the policy's
+    /// [`rob_pkru_capacity`](crate::PermissionPolicy::rob_pkru_capacity).
     #[must_use]
-    pub fn new(policy: WrpkruPolicy, config: SpecMpkConfig) -> Self {
-        let capacity = match policy {
-            WrpkruPolicy::Serialized => 1,
-            WrpkruPolicy::NonSecureSpec => 512,
-            WrpkruPolicy::SpecMpk => config.rob_pkru_size,
-        };
+    pub fn new(policy: impl Into<PolicyRef>, config: SpecMpkConfig) -> Self {
+        let policy = policy.into();
+        let capacity = policy.rob_pkru_capacity(&config);
         PkruEngine {
             policy,
+            barrier_while_inflight: policy.rename_barrier_while_inflight(),
+            checks_can_fail: policy.speculative_checks_can_fail(),
+            faults_speculatively: policy.faults_speculatively(),
             config,
             rob: RobPkru::new(capacity),
             arf: Pkru::ALL_ACCESS,
@@ -120,8 +126,13 @@ impl PkruEngine {
 
     /// The policy this engine implements.
     #[must_use]
-    pub fn policy(&self) -> WrpkruPolicy {
+    pub fn policy(&self) -> PolicyRef {
         self.policy
+    }
+
+    /// The read-only view of the rename state the policy decides over.
+    fn view(&self) -> PolicyView<'_> {
+        PolicyView::new(&self.rob, self.arf, &self.counters)
     }
 
     /// The structure configuration.
@@ -132,6 +143,7 @@ impl PkruEngine {
 
     /// The committed PKRU (`ARF_pkru`).
     #[must_use]
+    #[inline]
     pub fn committed(&self) -> Pkru {
         self.arf
     }
@@ -145,8 +157,26 @@ impl PkruEngine {
     /// Whether any WRPKRU is in flight. Under the `Serialized` policy the
     /// frontend stalls *all* renames while this holds.
     #[must_use]
+    #[inline]
     pub fn wrpkru_inflight(&self) -> bool {
         !self.rob.is_empty()
+    }
+
+    /// Whether the policy's serialization barrier is currently blocking
+    /// *all* renames: an in-flight WRPKRU under a policy that serializes
+    /// (the stall-after half of `Serialized`'s drain/stall barrier).
+    #[must_use]
+    #[inline]
+    pub fn rename_barrier_active(&self) -> bool {
+        self.barrier_while_inflight && self.wrpkru_inflight()
+    }
+
+    /// Whether a failed WRPKRU rename is attributable to the serialization
+    /// barrier (rather than a full `ROB_pkru`).
+    #[must_use]
+    #[inline]
+    pub fn wrpkru_rename_serializes(&self) -> bool {
+        self.barrier_while_inflight
     }
 
     /// Whether a `WRPKRU` may rename this cycle.
@@ -156,10 +186,7 @@ impl PkruEngine {
     /// * Speculative policies: whenever `ROB_pkru` has a free entry.
     #[must_use]
     pub fn can_rename_wrpkru(&self, older_inflight: usize) -> bool {
-        match self.policy {
-            WrpkruPolicy::Serialized => older_inflight == 0 && self.rob.is_empty(),
-            WrpkruPolicy::NonSecureSpec | WrpkruPolicy::SpecMpk => !self.rob.is_full(),
-        }
+        self.policy.can_rename_wrpkru(self.view(), older_inflight)
     }
 
     /// Whether a `RDPKRU` may rename this cycle. SpecMPK serializes RDPKRU
@@ -168,11 +195,7 @@ impl PkruEngine {
     /// `NonSecureSpec` reads the renamed value and needs no stall.
     #[must_use]
     pub fn can_rename_rdpkru(&self, older_inflight: usize) -> bool {
-        match self.policy {
-            WrpkruPolicy::Serialized => older_inflight == 0 && self.rob.is_empty(),
-            WrpkruPolicy::SpecMpk => self.rob.is_empty(),
-            WrpkruPolicy::NonSecureSpec => true,
-        }
+        self.policy.can_rename_rdpkru(self.view(), older_inflight)
     }
 
     /// Renames a `WRPKRU`: allocates its `ROB_pkru` entry and updates
@@ -189,11 +212,9 @@ impl PkruEngine {
     /// Renames the implicit PKRU *source* operand of a memory instruction,
     /// `RDPKRU`, or `WRPKRU`.
     #[must_use]
+    #[inline]
     pub fn rename_pkru_source(&self) -> PkruSource {
-        match self.rmt {
-            Some(tag) => PkruSource::Renamed(tag),
-            None => PkruSource::Committed,
-        }
+        self.policy.rename_pkru_source(self.rmt)
     }
 
     /// Whether the PKRU source operand is available — the issue gate that
@@ -201,6 +222,7 @@ impl PkruEngine {
     /// among themselves, and memory instructions execute only after all
     /// prior WRPKRUs have executed.
     #[must_use]
+    #[inline]
     pub fn source_ready(&self, source: PkruSource) -> bool {
         match source {
             PkruSource::Committed => true,
@@ -212,6 +234,7 @@ impl PkruEngine {
     /// still buffered, else the committed one. Only `NonSecureSpec` fault
     /// checks and `RDPKRU` results consume this.
     #[must_use]
+    #[inline]
     pub fn resolve_value(&self, source: PkruSource) -> Pkru {
         match source {
             PkruSource::Committed => self.arf,
@@ -237,18 +260,16 @@ impl PkruEngine {
     /// scenarios of Fig. 7). Always passes for the non-SpecMPK policies
     /// (Serialized has no speculative window; NonSecure is deliberately
     /// unprotected).
+    #[inline]
     pub fn load_check(&mut self, pkey: Pkey) -> bool {
-        match self.policy {
-            WrpkruPolicy::Serialized | WrpkruPolicy::NonSecureSpec => true,
-            WrpkruPolicy::SpecMpk => {
-                let pass =
-                    self.counters.access_disable(pkey) == 0 && !self.arf.access_disabled(pkey);
-                if !pass {
-                    self.stats.load_check_failures += 1;
-                }
-                pass
-            }
+        if !self.checks_can_fail {
+            return true;
         }
+        let pass = self.policy.load_check(self.view(), pkey);
+        if !pass {
+            self.stats.load_check_failures += 1;
+        }
+        pass
     }
 
     /// The **PKRU Store Check** (§V-C2): may a store to `pkey` forward its
@@ -259,20 +280,16 @@ impl PkruEngine {
     /// store-to-load buffer-overflow channel (§III-C). The store still
     /// executes (address generation proceeds, reducing memory-dependence
     /// squashes), it just may not forward.
+    #[inline]
     pub fn store_check(&mut self, pkey: Pkey) -> bool {
-        match self.policy {
-            WrpkruPolicy::Serialized | WrpkruPolicy::NonSecureSpec => true,
-            WrpkruPolicy::SpecMpk => {
-                let pass = self.counters.access_disable(pkey) == 0
-                    && self.counters.write_disable(pkey) == 0
-                    && !self.arf.access_disabled(pkey)
-                    && !self.arf.write_disabled(pkey);
-                if !pass {
-                    self.stats.store_check_failures += 1;
-                }
-                pass
-            }
+        if !self.checks_can_fail {
+            return true;
         }
+        let pass = self.policy.store_check(self.view(), pkey);
+        if !pass {
+            self.stats.store_check_failures += 1;
+        }
+        pass
     }
 
     /// Whether a memory access that *misses the TLB* must stall to the
@@ -280,34 +297,44 @@ impl PkruEngine {
     /// disabling permission anywhere in the WRPKRU-window forces the
     /// conservative stall (and defers the TLB fill).
     #[must_use]
+    #[inline]
     pub fn tlb_miss_must_stall(&self) -> bool {
-        match self.policy {
-            WrpkruPolicy::Serialized | WrpkruPolicy::NonSecureSpec => false,
-            WrpkruPolicy::SpecMpk => {
-                !self.counters.all_zero()
-                    || self.arf.any_access_disabled()
-                    || self.arf.any_write_disabled()
-            }
-        }
+        self.checks_can_fail && self.policy.tlb_miss_must_stall(self.view())
     }
 
-    /// Speculative fault determination for `NonSecureSpec` (and the
-    /// degenerate `Serialized` case, where the source is always committed):
-    /// checks the access against the instruction's *renamed* PKRU. SpecMPK
-    /// never faults speculatively — instructions that might fault fail the
-    /// checks above and are re-checked at the head.
+    /// Speculative fault determination, delegated to the policy:
+    /// `NonSecureSpec` (and the degenerate `Serialized` case, where the
+    /// source is always committed) checks the access against the
+    /// instruction's *renamed* PKRU; SpecMPK never faults speculatively —
+    /// instructions that might fault fail the checks above and are
+    /// re-checked at the head.
     ///
     /// # Errors
     ///
     /// Returns the fault to be *recorded* in the Active-List entry and
     /// raised only if the instruction retires.
+    #[inline]
     pub fn fault_check_speculative(
         &self,
         source: PkruSource,
         pkey: Pkey,
         kind: AccessKind,
     ) -> Result<(), ProtectionFault> {
-        self.resolve_value(source).check(pkey, kind)
+        if !self.faults_speculatively {
+            return Ok(());
+        }
+        self.fault_check_speculative_slow(source, pkey, kind)
+    }
+
+    /// The virtual-dispatch half of the speculative fault check, split out
+    /// so the cached-flag fast path above stays small enough to inline.
+    fn fault_check_speculative_slow(
+        &self,
+        source: PkruSource,
+        pkey: Pkey,
+        kind: AccessKind,
+    ) -> Result<(), ProtectionFault> {
+        self.policy.fault_check_speculative(self.view(), source, pkey, kind)
     }
 
     /// Precise fault determination against the committed PKRU, used when a
@@ -341,6 +368,7 @@ impl PkruEngine {
             self.rmt = None;
         }
         self.stats.wrpkru_retired += 1;
+        self.policy.on_retire_wrpkru(value);
         value
     }
 
@@ -361,6 +389,7 @@ impl PkruEngine {
         }
         self.stats.wrpkru_squashed += (before - self.rob.len()) as u64;
         self.rmt = checkpoint.rmt;
+        self.policy.on_restore();
     }
 
     /// Discards *all* speculative PKRU state — used on a full pipeline
@@ -375,6 +404,7 @@ impl PkruEngine {
         }
         self.stats.wrpkru_squashed += (before - self.rob.len()) as u64;
         self.rmt = None;
+        self.policy.on_flush();
     }
 
     /// Records one frontend stall cycle attributable to a full `ROB_pkru`.
@@ -404,6 +434,7 @@ impl PkruEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::WrpkruPolicy;
 
     fn k(i: u8) -> Pkey {
         Pkey::new(i).unwrap()

@@ -51,11 +51,15 @@
 mod counters;
 mod engine;
 mod hwcost;
+pub mod policy;
 mod rob_pkru;
 
 pub use counters::DisablingCounters;
 pub use engine::{PkruCheckpoint, PkruEngine, PkruEngineStats, PkruSource};
 pub use hwcost::{hardware_cost, HardwareCost};
+pub use policy::{
+    registry, NonSecureSpec, PermissionPolicy, PolicyRef, PolicyView, Serialized, SpecMpk,
+};
 pub use rob_pkru::{PkruTag, RobPkru};
 
 use std::fmt;

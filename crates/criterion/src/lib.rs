@@ -291,9 +291,25 @@ fn format_ns(ns: f64) -> String {
 
 /// Declares a benchmark group function, with or without a custom config:
 ///
-/// ```ignore
+/// ```
+/// use criterion::{criterion_group, Criterion};
+///
+/// fn bench_a(c: &mut Criterion) {
+///     c.bench_function("a", |b| b.iter(|| 1 + 1));
+/// }
+/// fn bench_b(c: &mut Criterion) {
+///     c.bench_function("b", |b| b.iter(|| 2 + 2));
+/// }
+/// fn custom() -> Criterion {
+///     Criterion::default()
+///         .sample_size(5)
+///         .measurement_time(std::time::Duration::from_millis(10))
+///         .warm_up_time(std::time::Duration::from_millis(1))
+/// }
+///
 /// criterion_group!(benches, bench_a, bench_b);
-/// criterion_group! { name = benches; config = custom(); targets = bench_a }
+/// criterion_group! { name = quick; config = custom(); targets = bench_a }
+/// # quick(); // exercise the custom-config group without CLI args
 /// ```
 #[macro_export]
 macro_rules! criterion_group {

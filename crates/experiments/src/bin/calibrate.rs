@@ -3,7 +3,7 @@
 //! target density, printing the best rate per benchmark. The results are
 //! baked into `specmpk_workloads::profile::standard_profiles`.
 
-use specmpk_core::WrpkruPolicy;
+use specmpk_core::PolicyRef;
 use specmpk_experiments::artifact;
 use specmpk_ooo::{Core, SimConfig};
 use specmpk_trace::Json;
@@ -35,7 +35,7 @@ fn target(name: &str, scheme: Scheme) -> f64 {
 fn measure(profile: WorkloadProfile) -> f64 {
     let w = Workload::from_profile(profile);
     let p = w.build_protected();
-    let mut cfg = SimConfig::with_policy(WrpkruPolicy::NonSecureSpec);
+    let mut cfg = SimConfig::with_policy(PolicyRef::NONSECURE_SPEC);
     cfg.max_instructions = 150_000;
     let mut core = Core::new(cfg, &p);
     let r = core.run();

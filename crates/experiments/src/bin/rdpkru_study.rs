@@ -8,7 +8,7 @@
 //! pattern the paper suggests compilers avoid by materializing PKRU values
 //! with load-immediates. This experiment quantifies the difference.
 
-use specmpk_core::WrpkruPolicy;
+use specmpk_core::{registry, PolicyRef};
 use specmpk_experiments::{artifact, run_policy};
 use specmpk_trace::Json;
 use specmpk_workloads::{standard_suite, PkruUpdateStyle};
@@ -35,9 +35,9 @@ fn main() {
     });
     // Phase 2: simulate every (workload, policy, style) cell; program of
     // cell (i, _, s) is `programs[i * 2 + s]`.
-    let cells: Vec<(usize, WrpkruPolicy, usize)> = (0..suite.len())
+    let cells: Vec<(usize, PolicyRef, usize)> = (0..suite.len())
         .flat_map(|i| {
-            WrpkruPolicy::all().into_iter().flat_map(move |policy| [(i, policy, 0), (i, policy, 1)])
+            registry::all().into_iter().flat_map(move |policy| [(i, policy, 0), (i, policy, 1)])
         })
         .collect();
     let ipcs = specmpk_par::par_map(cells.clone(), |(i, policy, style)| {

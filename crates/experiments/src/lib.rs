@@ -18,7 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use specmpk_core::{hardware_cost, SpecMpkConfig, WrpkruPolicy};
+use specmpk_core::{hardware_cost, PolicyRef, SpecMpkConfig};
 use specmpk_isa::Program;
 use specmpk_ooo::{Core, RenameStall, SimConfig, SimStats};
 use specmpk_par::par_map;
@@ -90,7 +90,11 @@ pub fn fig4_kinstr() -> u32 {
 
 /// Runs `program` under `policy` for at most `max_instructions`.
 #[must_use]
-pub fn run_policy(program: &Program, policy: WrpkruPolicy, max_instructions: u64) -> SimStats {
+pub fn run_policy(
+    program: &Program,
+    policy: impl Into<PolicyRef>,
+    max_instructions: u64,
+) -> SimStats {
     let mut config = SimConfig::with_policy(policy);
     config.max_instructions = max_instructions;
     let mut core = Core::new(config, program);
@@ -101,7 +105,7 @@ pub fn run_policy(program: &Program, policy: WrpkruPolicy, max_instructions: u64
 #[must_use]
 pub fn run_policy_with_rob(
     program: &Program,
-    policy: WrpkruPolicy,
+    policy: impl Into<PolicyRef>,
     rob_pkru_size: usize,
     max_instructions: u64,
 ) -> SimStats {
@@ -165,8 +169,8 @@ impl Fig3Row {
 pub fn fig3_data(max_instructions: u64) -> Vec<Fig3Row> {
     let suite = standard_suite();
     let programs = par_map((0..suite.len()).collect(), |i| suite[i].build_protected());
-    let cells: Vec<(usize, WrpkruPolicy)> = (0..suite.len())
-        .flat_map(|i| [(i, WrpkruPolicy::Serialized), (i, WrpkruPolicy::NonSecureSpec)])
+    let cells: Vec<(usize, PolicyRef)> = (0..suite.len())
+        .flat_map(|i| [(i, PolicyRef::SERIALIZED), (i, PolicyRef::NONSECURE_SPEC)])
         .collect();
     let stats = par_map(cells, |(i, policy)| run_policy(&programs[i], policy, max_instructions));
     suite
@@ -259,8 +263,8 @@ pub fn fig4_data(target_kilo_instructions: u32) -> Vec<Fig4Row> {
         let mut profile = suite[i].profile;
         profile.driver_iterations = probe_iters as u32;
         let probe = Workload::from_profile(profile);
-        let per_iter = run_policy(&probe.build_unprotected(), WrpkruPolicy::Serialized, 0).retired
-            / probe_iters;
+        let per_iter =
+            run_policy(&probe.build_unprotected(), PolicyRef::SERIALIZED, 0).retired / probe_iters;
         (target / per_iter.max(1)).clamp(min_iters, 2000) as u32
     });
     // Phase 2: the three binary variants of every workload are independent
@@ -275,7 +279,7 @@ pub fn fig4_data(target_kilo_instructions: u32) -> Vec<Fig4Row> {
             1 => w.build_nop_wrpkru(),
             _ => w.build_protected(),
         };
-        run_policy(&program, WrpkruPolicy::Serialized, 0)
+        run_policy(&program, PolicyRef::SERIALIZED, 0)
     });
     suite
         .iter()
@@ -365,13 +369,9 @@ impl Fig9Row {
 #[must_use]
 pub fn fig9_data(max_instructions: u64) -> Vec<Fig9Row> {
     let suite = standard_suite();
-    let cells: Vec<(usize, WrpkruPolicy)> = (0..suite.len())
+    let cells: Vec<(usize, PolicyRef)> = (0..suite.len())
         .flat_map(|i| {
-            [
-                (i, WrpkruPolicy::Serialized),
-                (i, WrpkruPolicy::SpecMpk),
-                (i, WrpkruPolicy::NonSecureSpec),
-            ]
+            [(i, PolicyRef::SERIALIZED), (i, PolicyRef::SPEC_MPK), (i, PolicyRef::NONSECURE_SPEC)]
         })
         .collect();
     let programs = par_map((0..suite.len()).collect(), |i| suite[i].build_protected());
@@ -455,7 +455,7 @@ impl Fig10Row {
 pub fn fig10_data(max_instructions: u64) -> Vec<Fig10Row> {
     let suite = standard_suite();
     let stats = par_map((0..suite.len()).collect(), |i| {
-        run_policy(&suite[i].build_protected(), WrpkruPolicy::NonSecureSpec, max_instructions)
+        run_policy(&suite[i].build_protected(), PolicyRef::NONSECURE_SPEC, max_instructions)
     });
     suite
         .iter()
@@ -524,14 +524,14 @@ pub fn fig11_data(max_instructions: u64) -> Vec<Fig11Row> {
     let suite = standard_suite();
     // Per workload: serialized baseline, SpecMPK at ROB_pkru ∈ {2, 4, 8},
     // and the NonSecure ceiling — five independent cells.
-    let cells: Vec<(usize, Option<usize>, WrpkruPolicy)> = (0..suite.len())
+    let cells: Vec<(usize, Option<usize>, PolicyRef)> = (0..suite.len())
         .flat_map(|i| {
             [
-                (i, None, WrpkruPolicy::Serialized),
-                (i, Some(2), WrpkruPolicy::SpecMpk),
-                (i, Some(4), WrpkruPolicy::SpecMpk),
-                (i, Some(8), WrpkruPolicy::SpecMpk),
-                (i, None, WrpkruPolicy::NonSecureSpec),
+                (i, None, PolicyRef::SERIALIZED),
+                (i, Some(2), PolicyRef::SPEC_MPK),
+                (i, Some(4), PolicyRef::SPEC_MPK),
+                (i, Some(8), PolicyRef::SPEC_MPK),
+                (i, None, PolicyRef::NONSECURE_SPEC),
             ]
         })
         .collect();
@@ -581,7 +581,7 @@ pub fn print_fig11(rows: &[Fig11Row]) {
 #[derive(Debug, Clone)]
 pub struct Fig13Series {
     /// Policy label.
-    pub policy: WrpkruPolicy,
+    pub policy: PolicyRef,
     /// Per-index reload latency (256 entries).
     pub latencies: Vec<u64>,
     /// Indices classified as cache hits.
@@ -604,7 +604,7 @@ impl Fig13Series {
 #[must_use]
 pub fn fig13_data() -> Vec<Fig13Series> {
     let attack = specmpk_attacks::spectre_v1(101, 72);
-    par_map(vec![WrpkruPolicy::NonSecureSpec, WrpkruPolicy::SpecMpk], |policy| {
+    par_map(vec![PolicyRef::NONSECURE_SPEC, PolicyRef::SPEC_MPK], |policy| {
         let outcome = specmpk_attacks::run_attack(&attack, policy);
         Fig13Series { policy, latencies: outcome.latencies().to_vec(), hot: outcome.hot_indices() }
     })
@@ -836,7 +836,7 @@ pub fn hw_overhead_json() -> Json {
 /// benches too).
 #[must_use]
 pub fn rename_stall_profile(program: &Program, max_instructions: u64) -> Vec<(String, u64)> {
-    let stats = run_policy(program, WrpkruPolicy::Serialized, max_instructions);
+    let stats = run_policy(program, PolicyRef::SERIALIZED, max_instructions);
     RenameStall::all().iter().map(|&c| (format!("{c:?}"), stats.rename_stall_cycles(c))).collect()
 }
 

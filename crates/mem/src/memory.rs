@@ -199,8 +199,7 @@ impl SparseMemory {
     }
 
     /// Fills `buf` with the bytes starting at `addr` (untouched memory
-    /// reads zero), one page chunk at a time — the allocation-free
-    /// replacement for [`SparseMemory::read_bytes`].
+    /// reads zero), one page chunk at a time, without allocating.
     pub fn read_into(&self, addr: u64, buf: &mut [u8]) {
         let mut addr = addr;
         let mut rest = &mut *buf;
@@ -214,15 +213,6 @@ impl SparseMemory {
             addr += chunk as u64;
             rest = &mut rest[chunk..];
         }
-    }
-
-    /// Reads `len` bytes starting at `addr`.
-    #[deprecated(note = "allocates per access; use `read_into` (or `read_u64`) instead")]
-    #[must_use]
-    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
-        let mut buf = vec![0u8; len];
-        self.read_into(addr, &mut buf);
-        buf
     }
 
     /// Number of pages that have been materialized.
@@ -271,9 +261,6 @@ mod tests {
         let mut buf = [0u8; 5];
         m.read_into(0x42, &mut buf);
         assert_eq!(buf, [1, 2, 3, 4, 5]);
-        #[allow(deprecated)]
-        let v = m.read_bytes(0x42, 5);
-        assert_eq!(v, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Simulator configuration (Table III defaults).
 
-use specmpk_core::{SpecMpkConfig, WrpkruPolicy};
+use specmpk_core::{PolicyRef, SpecMpkConfig};
 use specmpk_mem::MemConfig;
 use specmpk_mpk::Pkru;
 
@@ -48,8 +48,11 @@ pub struct SimConfig {
     pub frontend_depth: u64,
     /// Branch predictor configuration.
     pub predictor: PredictorConfig,
-    /// WRPKRU handling policy.
-    pub policy: WrpkruPolicy,
+    /// WRPKRU handling policy (a registered [`PermissionPolicy`]
+    /// implementation; see `specmpk_core::registry`).
+    ///
+    /// [`PermissionPolicy`]: specmpk_core::PermissionPolicy
+    pub policy: PolicyRef,
     /// SpecMPK structure sizes.
     pub specmpk: SpecMpkConfig,
     /// Memory system (caches + TLB) configuration.
@@ -81,7 +84,7 @@ impl Default for SimConfig {
             mul_latency: 3,
             frontend_depth: 3,
             predictor: PredictorConfig::default(),
-            policy: WrpkruPolicy::SpecMpk,
+            policy: PolicyRef::SPEC_MPK,
             specmpk: SpecMpkConfig::default(),
             mem: MemConfig::default(),
             initial_pkru: Pkru::ALL_ACCESS,
@@ -93,10 +96,12 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// The default configuration with a different WRPKRU policy.
+    /// The default configuration with a different WRPKRU policy. Accepts
+    /// anything convertible to a [`PolicyRef`] — a registry entry or the
+    /// legacy `WrpkruPolicy` enum.
     #[must_use]
-    pub fn with_policy(policy: WrpkruPolicy) -> Self {
-        SimConfig { policy, ..SimConfig::default() }
+    pub fn with_policy(policy: impl Into<PolicyRef>) -> Self {
+        SimConfig { policy: policy.into(), ..SimConfig::default() }
     }
 
     /// Returns a copy with the given `ROB_pkru` size (the Fig. 11 knob).
@@ -146,8 +151,8 @@ mod tests {
 
     #[test]
     fn policy_and_rob_size_builders() {
-        let c = SimConfig::with_policy(WrpkruPolicy::Serialized).with_rob_pkru_size(2);
-        assert_eq!(c.policy, WrpkruPolicy::Serialized);
+        let c = SimConfig::with_policy(PolicyRef::SERIALIZED).with_rob_pkru_size(2);
+        assert_eq!(c.policy, PolicyRef::SERIALIZED);
         assert_eq!(c.specmpk.rob_pkru_size, 2);
     }
 

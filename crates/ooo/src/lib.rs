@@ -53,6 +53,7 @@ pub mod interp;
 mod pipeline;
 mod predictor;
 mod prf;
+mod stages;
 mod stats;
 
 pub use config::{FaultMode, SimConfig};

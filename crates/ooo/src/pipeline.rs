@@ -1,24 +1,21 @@
-//! The cycle-level out-of-order pipeline.
+//! The cycle-level out-of-order pipeline: the [`Core`] shell and its
+//! per-cycle [`step`](Core::step) orchestrator.
 //!
-//! Stage order within [`Core::step`] is retire → writeback → issue →
-//! rename → fetch, so information flows at most one stage per cycle and a
-//! squash raised at writeback redirects fetch on the next cycle.
+//! The stage implementations live in [`crate::stages`], one module per
+//! stage, as functions over the shared
+//! [`PipelineState`](crate::stages::PipelineState). Stage order within
+//! [`Core::step`] is retire → writeback → issue → rename → fetch, so
+//! information flows at most one stage per cycle and a squash raised at
+//! writeback redirects fetch on the next cycle.
 
-use std::collections::VecDeque;
+use specmpk_isa::{Program, Reg};
+use specmpk_mem::{MemorySystem, PageFault};
+use specmpk_mpk::{Pkru, ProtectionFault};
+use specmpk_trace::{NullSink, TraceSink};
 
-use specmpk_core::{PkruCheckpoint, PkruEngine, PkruSource, PkruTag, WrpkruPolicy};
-use specmpk_isa::{Instr, InstrClass, MemWidth, Operand, Program, Reg, INSTR_BYTES};
-use specmpk_mem::{AccessLevel, MemorySystem, PageFault};
-use specmpk_mpk::{AccessKind, Pkey, Pkru, ProtectionFault};
-use specmpk_trace::{NullSink, PkruCheckKind, TraceEvent, TraceSink};
-
-use crate::config::{FaultMode, SimConfig};
-use crate::predictor::{BranchPredictor, PredictorCheckpoint};
-use crate::prf::{PhysReg, RegFile, RenameCheckpoint};
+use crate::config::SimConfig;
+use crate::stages::{self, PipelineState, StageCtx};
 use crate::stats::{IntervalSample, RenameStall, SimHistograms, SimStats};
-
-/// Monotone dynamic-instruction sequence number (assigned at rename).
-type Seq = u64;
 
 /// How many cycles without a retirement before the core declares deadlock.
 const DEADLOCK_THRESHOLD: u64 = 500_000;
@@ -28,14 +25,16 @@ const DEADLOCK_THRESHOLD: u64 = 500_000;
 pub enum ExitReason {
     /// A `halt` instruction retired.
     Halted,
-    /// A pkey protection fault retired under [`FaultMode::Halt`].
+    /// A pkey protection fault retired under
+    /// [`FaultMode::Halt`](crate::FaultMode::Halt).
     ProtectionFault {
         /// Faulting instruction address.
         pc: u64,
         /// The architectural fault.
         fault: ProtectionFault,
     },
-    /// A page fault retired under [`FaultMode::Halt`].
+    /// A page fault retired under
+    /// [`FaultMode::Halt`](crate::FaultMode::Halt).
     PageFault {
         /// Faulting instruction address.
         pc: u64,
@@ -83,127 +82,6 @@ impl SimResult {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Fetched {
-    pc: u64,
-    instr: Instr,
-    /// The pc fetch continued at after this instruction (the prediction).
-    pred_next: u64,
-    /// PHT index used, for conditional branches.
-    pht_index: Option<usize>,
-    /// Fetch-time predictor snapshot (control instructions only), taken
-    /// *after* this instruction's own speculative history/RAS update.
-    pred_cp: Option<PredictorCheckpoint>,
-    /// Cycle at which this instruction emerges from decode.
-    ready_cycle: u64,
-}
-
-#[derive(Debug, Clone)]
-struct BranchInfo {
-    pred_next: u64,
-    pht_index: Option<usize>,
-    rename_cp: RenameCheckpoint,
-    pkru_cp: PkruCheckpoint,
-    pred_cp: PredictorCheckpoint,
-    /// Resolved direction, for retire-time training.
-    resolved_taken: Option<bool>,
-    resolved: bool,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MemKind {
-    Load,
-    Store,
-    Flush,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum HeadStall {
-    /// Failed the PKRU Load Check (§V-C2) — replay at the AL head.
-    LoadCheckFail,
-    /// Matched a store barred from forwarding — execute at the AL head.
-    NoForwardStore,
-    /// Conservative TLB-miss stall under a disabled window (§V-C5).
-    TlbMiss,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FaultInfo {
-    Page(PageFault),
-    Protection(ProtectionFault),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AlState {
-    /// Waiting in the issue queue.
-    Queued,
-    /// Issued; completion event pending or head-stalled.
-    Issued,
-    /// Done executing (or needs no execution).
-    Completed,
-}
-
-/// Renamed source registers, packed inline. No instruction has more than
-/// two logical sources ([`Instr::source_regs`]), so a heap `Vec` here
-/// would cost an allocation per renamed instruction inside the cycle loop
-/// for nothing.
-#[derive(Debug, Clone, Copy, Default)]
-struct SrcRegs {
-    regs: [PhysReg; 2],
-    len: u8,
-}
-
-impl SrcRegs {
-    #[inline]
-    fn as_slice(&self) -> &[PhysReg] {
-        &self.regs[..usize::from(self.len)]
-    }
-}
-
-#[derive(Debug, Clone)]
-struct AlEntry {
-    seq: Seq,
-    pc: u64,
-    instr: Instr,
-    state: AlState,
-    dest: Option<(Reg, PhysReg, PhysReg)>,
-    srcs: SrcRegs,
-    pkru_source: Option<PkruSource>,
-    pkru_tag: Option<PkruTag>,
-    branch: Option<BranchInfo>,
-    mem_kind: Option<MemKind>,
-    result: Option<u64>,
-    actual_next: Option<u64>,
-    fault: Option<FaultInfo>,
-    head_stall: Option<HeadStall>,
-    /// Cycle at which this instruction renamed (WRPKRU latency histogram).
-    rename_cycle: u64,
-    /// Cycle at which `head_stall` was set (deferred-TLB-delay histogram).
-    stall_cycle: u64,
-    /// Whether this instruction replayed at the AL head (burst histogram).
-    replayed: bool,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct SqEntry {
-    seq: Seq,
-    addr: Option<u64>,
-    width: MemWidth,
-    data: Option<u64>,
-    /// Store-to-load forwarding permitted (the SpecMPK per-entry bit).
-    forward_ok: bool,
-    /// Protection must be re-verified against `ARF_pkru` at retirement.
-    deferred_check: bool,
-    /// Cycle at which the store executed (deferred-TLB-delay histogram).
-    issue_cycle: u64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    at: u64,
-    seq: Seq,
-}
-
 /// The out-of-order core: construct with a [`Program`], then [`run`].
 ///
 /// The core is generic over a [`TraceSink`]; the default [`NullSink`]
@@ -214,31 +92,7 @@ struct Event {
 /// [`run`]: Core::run
 #[derive(Debug)]
 pub struct Core<S: TraceSink = NullSink> {
-    config: SimConfig,
-    mem: MemorySystem,
-    rf: RegFile,
-    engine: PkruEngine,
-    predictor: BranchPredictor,
-    program: Program,
-
-    cycle: u64,
-    next_seq: Seq,
-    fetch_pc: Option<u64>,
-    fetch_busy_until: u64,
-    last_fetch_line: Option<u64>,
-    frontq: VecDeque<Fetched>,
-    al: VecDeque<AlEntry>,
-    iq: Vec<Seq>,
-    lq: Vec<Seq>,
-    sq: Vec<SqEntry>,
-    events: Vec<Event>,
-    /// Scratch buffer for [`Core::writeback`], kept to avoid a per-cycle
-    /// allocation. Always logically empty between cycles.
-    wb_scratch: Vec<Event>,
-    last_retire_cycle: u64,
-    stats: SimStats,
-    exit: Option<ExitReason>,
-
+    state: PipelineState,
     sink: S,
     /// Interval-sampling period in cycles; 0 disables sampling.
     sample_interval: u64,
@@ -246,10 +100,6 @@ pub struct Core<S: TraceSink = NullSink> {
     sample_prev_retired: u64,
     sample_prev_stalls: [u64; 9],
     sample_prev_hist: SimHistograms,
-    /// Length of the current run of consecutively retired instructions
-    /// that each replayed at the AL head (flushed into
-    /// `SimHistograms::load_replay_burst` when the run breaks).
-    replay_run: u64,
 }
 
 impl Core {
@@ -276,44 +126,14 @@ impl<S: TraceSink> Core<S> {
     /// ([`SimConfig::validate`]).
     #[must_use]
     pub fn with_sink(config: SimConfig, program: &Program, sink: S) -> Self {
-        config.validate();
-        let mut mem = MemorySystem::new(config.mem);
-        mem.load_program(program);
-        let mut rf = RegFile::new(config.prf_size);
-        if let Some(stack) = program.segment("stack") {
-            rf.set_committed_value(Reg::SP, stack.end() - 16);
-        }
-        let mut engine = PkruEngine::new(config.policy, config.specmpk);
-        engine.set_committed(config.initial_pkru);
         Core {
-            config,
-            mem,
-            rf,
-            engine,
-            predictor: BranchPredictor::new(config.predictor),
-            program: program.clone(),
-            cycle: 0,
-            next_seq: 0,
-            fetch_pc: Some(program.entry()),
-            fetch_busy_until: 0,
-            last_fetch_line: None,
-            frontq: VecDeque::new(),
-            al: VecDeque::new(),
-            iq: Vec::new(),
-            lq: Vec::new(),
-            sq: Vec::new(),
-            events: Vec::new(),
-            wb_scratch: Vec::new(),
-            last_retire_cycle: 0,
-            stats: SimStats::default(),
-            exit: None,
+            state: PipelineState::new(config, program),
             sink,
             sample_interval: 0,
             sample_last_cycle: 0,
             sample_prev_retired: 0,
             sample_prev_stalls: [0; 9],
             sample_prev_hist: SimHistograms::default(),
-            replay_run: 0,
         }
     }
 
@@ -340,18 +160,18 @@ impl<S: TraceSink> Core<S> {
     /// receiver's reload measurement uses this).
     #[must_use]
     pub fn mem(&self) -> &MemorySystem {
-        &self.mem
+        &self.state.mem
     }
 
     /// Mutable memory access for experiment setup (pre-warming, flushing).
     pub fn mem_mut(&mut self) -> &mut MemorySystem {
-        &mut self.mem
+        &mut self.state.mem
     }
 
     /// Statistics so far.
     #[must_use]
     pub fn stats(&self) -> &SimStats {
-        &self.stats
+        &self.state.stats
     }
 
     /// The committed value of an architectural register.
@@ -360,71 +180,75 @@ impl<S: TraceSink> Core<S> {
         if reg.is_zero() {
             0
         } else {
-            self.rf.committed_value(reg)
+            self.state.rf.committed_value(reg)
         }
     }
 
     /// The committed PKRU.
     #[must_use]
     pub fn pkru(&self) -> Pkru {
-        self.engine.committed()
+        self.state.engine.committed()
     }
 
     /// Runs to completion and returns the result.
     pub fn run(&mut self) -> SimResult {
-        while self.exit.is_none() {
+        while self.state.exit.is_none() {
             self.step();
         }
-        if self.replay_run > 0 {
-            self.stats.hist.load_replay_burst.record(self.replay_run);
-            self.replay_run = 0;
+        if self.state.replay_run > 0 {
+            self.state.stats.hist.load_replay_burst.record(self.state.replay_run);
+            self.state.replay_run = 0;
         }
-        if self.sample_interval > 0 && self.cycle > self.sample_last_cycle {
+        if self.sample_interval > 0 && self.state.cycle > self.sample_last_cycle {
             self.take_sample(); // final partial interval
         }
         let mut regs = [0u64; specmpk_isa::NUM_REGS];
         for r in Reg::all() {
-            regs[r.index()] = self.rf.committed_value(r);
+            regs[r.index()] = self.state.rf.committed_value(r);
         }
-        self.stats.pkru = self.engine.stats();
-        self.stats.mem = self.mem.stats();
+        self.state.stats.pkru = self.state.engine.stats();
+        self.state.stats.mem = self.state.mem.stats();
         SimResult {
-            exit: self.exit.clone().expect("loop exited"),
-            stats: self.stats.clone(),
+            exit: self.state.exit.clone().expect("loop exited"),
+            stats: self.state.stats.clone(),
             regs,
-            pkru: self.engine.committed(),
+            pkru: self.state.engine.committed(),
         }
     }
 
-    /// Advances one cycle.
+    /// Advances one cycle: the stage orchestrator.
     pub fn step(&mut self) {
-        if self.exit.is_some() {
+        let st = &mut self.state;
+        if st.exit.is_some() {
             return;
         }
-        self.cycle += 1;
-        self.stats.cycles = self.cycle;
+        st.cycle += 1;
+        st.stats.cycles = st.cycle;
         // Occupancy is sampled here, at the top of every counted cycle
         // (i.e. the state left by the previous cycle), so the histogram
         // count equals `stats.cycles` exactly even on early-exit cycles.
-        self.stats.hist.rob_occupancy.record(self.al.len() as u64);
-        self.stats.hist.rob_pkru_occupancy.record(self.engine.inflight() as u64);
-        if self.config.max_cycles > 0 && self.cycle > self.config.max_cycles {
-            self.exit = Some(ExitReason::CycleLimit);
+        st.stats.hist.rob_occupancy.record(st.al.len() as u64);
+        st.stats.hist.rob_pkru_occupancy.record(st.engine.inflight() as u64);
+        if st.config.max_cycles > 0 && st.cycle > st.config.max_cycles {
+            st.exit = Some(ExitReason::CycleLimit);
             return;
         }
-        if self.cycle - self.last_retire_cycle > DEADLOCK_THRESHOLD {
-            self.exit = Some(ExitReason::Deadlock { cycle: self.cycle });
+        if st.cycle - st.last_retire_cycle > DEADLOCK_THRESHOLD {
+            st.exit = Some(ExitReason::Deadlock { cycle: st.cycle });
             return;
         }
-        self.retire();
-        if self.exit.is_some() {
+        let cx = &mut StageCtx { sink: &mut self.sink };
+        stages::retire::retire(st, cx);
+        if st.exit.is_some() {
             return;
         }
-        self.writeback();
-        self.issue();
-        self.rename();
-        self.fetch();
-        if self.sample_interval > 0 && self.cycle - self.sample_last_cycle >= self.sample_interval {
+        stages::writeback::writeback(st, cx);
+        stages::issue::issue(st, cx);
+        stages::rename::rename(st, cx);
+        stages::fetch::fetch(st, cx);
+        if self.sample_interval > 0
+            && self.state.cycle - self.sample_last_cycle >= self.sample_interval
+        {
             self.take_sample();
         }
     }
@@ -434,990 +258,22 @@ impl<S: TraceSink> Core<S> {
     fn take_sample(&mut self) {
         let mut stall_cycles = [0u64; 9];
         for (i, cause) in RenameStall::all().into_iter().enumerate() {
-            stall_cycles[i] = self.stats.rename_stall_cycles(cause) - self.sample_prev_stalls[i];
+            stall_cycles[i] =
+                self.state.stats.rename_stall_cycles(cause) - self.sample_prev_stalls[i];
             self.sample_prev_stalls[i] += stall_cycles[i];
         }
-        let retired = self.stats.retired - self.sample_prev_retired;
-        self.sample_prev_retired = self.stats.retired;
-        let len = self.cycle - self.sample_last_cycle;
-        self.sample_last_cycle = self.cycle;
-        let hist = self.stats.hist.diff(&self.sample_prev_hist);
-        self.sample_prev_hist = self.stats.hist.clone();
-        self.stats.samples.push(IntervalSample {
-            cycle: self.cycle,
+        let retired = self.state.stats.retired - self.sample_prev_retired;
+        self.sample_prev_retired = self.state.stats.retired;
+        let len = self.state.cycle - self.sample_last_cycle;
+        self.sample_last_cycle = self.state.cycle;
+        let hist = self.state.stats.hist.diff(&self.sample_prev_hist);
+        self.sample_prev_hist = self.state.stats.hist.clone();
+        self.state.stats.samples.push(IntervalSample {
+            cycle: self.state.cycle,
             len,
             retired,
             stall_cycles,
             hist,
         });
-    }
-
-    // ---------------------------------------------------------- utilities
-
-    fn al_index(&self, seq: Seq) -> Option<usize> {
-        // Seqs are strictly increasing but not contiguous (squashes leave
-        // gaps), so locate by binary search.
-        self.al.binary_search_by_key(&seq, |e| e.seq).ok()
-    }
-
-    fn schedule(&mut self, seq: Seq, latency: u64) {
-        self.events.push(Event { at: self.cycle + latency.max(1), seq });
-    }
-
-    /// Whether the `SpecMpk` policy is active (checks are meaningful).
-    fn spec_fault_check(
-        &mut self,
-        source: PkruSource,
-        pkey: Pkey,
-        kind: AccessKind,
-    ) -> Option<ProtectionFault> {
-        match self.config.policy {
-            WrpkruPolicy::SpecMpk => None,
-            _ => self.engine.fault_check_speculative(source, pkey, kind).err(),
-        }
-    }
-
-    // -------------------------------------------------------------- fetch
-
-    fn fetch(&mut self) {
-        if self.cycle < self.fetch_busy_until {
-            return;
-        }
-        let capacity = self.config.width * 4;
-        for _ in 0..self.config.width {
-            if self.frontq.len() >= capacity {
-                break;
-            }
-            let Some(pc) = self.fetch_pc else { break };
-            let Some(&instr) = self.program.instr_at(pc) else {
-                // Fetch ran off the map (wrong path): stall until redirect.
-                self.fetch_pc = None;
-                break;
-            };
-            // Instruction-cache timing: one access per newly touched line.
-            let line = specmpk_mem::line_base(pc);
-            if self.last_fetch_line != Some(line) {
-                self.last_fetch_line = Some(line);
-                let out = self.mem.inst_timing(pc);
-                if out.level != AccessLevel::L1 {
-                    self.fetch_busy_until =
-                        self.cycle + (out.latency - self.config.mem.hierarchy.l1i.latency);
-                }
-            }
-            let fallthrough = pc + INSTR_BYTES;
-            let mut pht_index = None;
-            let pred_next = match instr {
-                Instr::Branch { target, .. } => {
-                    let (taken, idx) = self.predictor.predict_cond(pc);
-                    pht_index = Some(idx);
-                    if taken {
-                        target
-                    } else {
-                        fallthrough
-                    }
-                }
-                Instr::Jump { target } => target,
-                Instr::Jal { rd, target } => {
-                    if rd == Reg::RA {
-                        self.predictor.ras_push(fallthrough);
-                    }
-                    target
-                }
-                Instr::Jalr { rd, rs } => {
-                    if rd == Reg::ZERO && rs == Reg::RA {
-                        self.predictor.ras_pop()
-                    } else {
-                        if rd == Reg::RA {
-                            self.predictor.ras_push(fallthrough);
-                        }
-                        self.predictor.btb_lookup(pc).unwrap_or(fallthrough)
-                    }
-                }
-                _ => fallthrough,
-            };
-            let pred_cp = instr.is_control().then(|| self.predictor.checkpoint());
-            self.frontq.push_back(Fetched {
-                pc,
-                instr,
-                pred_next,
-                pht_index,
-                pred_cp,
-                ready_cycle: self.cycle + self.config.frontend_depth,
-            });
-            if matches!(instr, Instr::Halt) {
-                // Nothing meaningful follows a halt.
-                self.fetch_pc = None;
-                break;
-            }
-            self.fetch_pc = Some(pred_next);
-            if pred_next != fallthrough {
-                // Taken control flow ends the fetch group.
-                break;
-            }
-        }
-    }
-
-    // ------------------------------------------------------------- rename
-
-    fn rename(&mut self) {
-        let mut renamed = 0usize;
-        let mut block: Option<RenameStall> = None;
-        while renamed < self.config.width {
-            let Some(front) = self.frontq.front() else {
-                block = block.or(Some(RenameStall::FrontendEmpty));
-                break;
-            };
-            if front.ready_cycle > self.cycle {
-                block = block.or(Some(RenameStall::FrontendEmpty));
-                break;
-            }
-            // Serialized-WRPKRU barrier: while one is in flight nothing
-            // younger may rename.
-            if self.config.policy == WrpkruPolicy::Serialized && self.engine.wrpkru_inflight() {
-                block = Some(RenameStall::WrpkruSerialize);
-                break;
-            }
-            let f = front.clone();
-            let class = f.instr.class();
-            match class {
-                InstrClass::Wrpkru if !self.engine.can_rename_wrpkru(self.al.len()) => {
-                    block = Some(match self.config.policy {
-                        WrpkruPolicy::Serialized => RenameStall::WrpkruSerialize,
-                        _ => {
-                            self.engine.note_rob_full_stall();
-                            RenameStall::RobPkruFull
-                        }
-                    });
-                    break;
-                }
-                InstrClass::Rdpkru if !self.engine.can_rename_rdpkru(self.al.len()) => {
-                    block = Some(RenameStall::RdpkruSerialize);
-                    break;
-                }
-                _ => {}
-            }
-            if self.al.len() >= self.config.active_list_size {
-                block = Some(RenameStall::ActiveListFull);
-                break;
-            }
-            let needs_iq = !matches!(f.instr, Instr::Nop | Instr::Halt);
-            if needs_iq && self.iq.len() >= self.config.issue_queue_size {
-                block = Some(RenameStall::IssueQueueFull);
-                break;
-            }
-            let mem_kind = match f.instr {
-                Instr::Load { .. } => Some(MemKind::Load),
-                Instr::Store { .. } => Some(MemKind::Store),
-                Instr::Clflush { .. } => Some(MemKind::Flush),
-                _ => None,
-            };
-            match mem_kind {
-                Some(MemKind::Load | MemKind::Flush)
-                    if self.lq.len() >= self.config.load_queue_size =>
-                {
-                    block = Some(RenameStall::LoadQueueFull);
-                    break;
-                }
-                Some(MemKind::Store) if self.sq.len() >= self.config.store_queue_size => {
-                    block = Some(RenameStall::StoreQueueFull);
-                    break;
-                }
-                _ => {}
-            }
-            let needs_dest = f.instr.dest().is_some();
-            if needs_dest && self.rf.free_count() == 0 {
-                block = Some(RenameStall::PrfFull);
-                break;
-            }
-
-            // All structural checks passed: rename for real.
-            self.frontq.pop_front();
-            let seq = self.next_seq;
-            self.next_seq += 1;
-
-            let (src_regs, n_srcs) = f.instr.source_regs();
-            let mut srcs = SrcRegs::default();
-            for &r in &src_regs[..n_srcs] {
-                srcs.regs[usize::from(srcs.len)] = self.rf.map_source(r);
-                srcs.len += 1;
-            }
-            let pkru_source = match class {
-                InstrClass::Load | InstrClass::Store | InstrClass::Wrpkru | InstrClass::Rdpkru => {
-                    Some(self.engine.rename_pkru_source())
-                }
-                _ => None,
-            };
-            let branch = f.instr.is_control().then(|| BranchInfo {
-                pred_next: f.pred_next,
-                pht_index: f.pht_index,
-                rename_cp: self.rf.checkpoint(),
-                pkru_cp: self.engine.checkpoint(),
-                pred_cp: f
-                    .pred_cp
-                    .clone()
-                    .expect("control instructions carry a fetch-time snapshot"),
-                resolved_taken: None,
-                resolved: false,
-            });
-            let pkru_tag = (class == InstrClass::Wrpkru)
-                .then(|| self.engine.rename_wrpkru().expect("can_rename_wrpkru checked above"));
-            let dest = f.instr.dest().map(|r| {
-                let (new, prev) = self.rf.rename_dest(r).expect("free list checked above");
-                (r, new, prev)
-            });
-            let state = if needs_iq {
-                self.iq.push(seq);
-                AlState::Queued
-            } else {
-                AlState::Completed
-            };
-            match mem_kind {
-                Some(MemKind::Load | MemKind::Flush) => self.lq.push(seq),
-                Some(MemKind::Store) => self.sq.push(SqEntry {
-                    seq,
-                    addr: None,
-                    width: match f.instr {
-                        Instr::Store { width, .. } => width,
-                        _ => unreachable!("store kind implies store instr"),
-                    },
-                    data: None,
-                    forward_ok: true,
-                    deferred_check: false,
-                    issue_cycle: 0,
-                }),
-                _ => {}
-            }
-            if self.sink.enabled() {
-                self.sink.record(TraceEvent::Rename {
-                    seq,
-                    pc: f.pc,
-                    fetch_cycle: f.ready_cycle - self.config.frontend_depth,
-                    cycle: self.cycle,
-                    disasm: f.instr.to_string(),
-                });
-                if let Some(tag) = pkru_tag {
-                    self.sink.record(TraceEvent::RobPkruAlloc {
-                        seq,
-                        cycle: self.cycle,
-                        tag: tag.raw(),
-                    });
-                }
-            }
-            self.al.push_back(AlEntry {
-                seq,
-                pc: f.pc,
-                instr: f.instr,
-                state,
-                dest,
-                srcs,
-                pkru_source,
-                pkru_tag,
-                branch,
-                mem_kind,
-                result: None,
-                actual_next: None,
-                fault: None,
-                head_stall: None,
-                rename_cycle: self.cycle,
-                stall_cycle: 0,
-                replayed: false,
-            });
-            renamed += 1;
-        }
-        if let Some(cause) = block {
-            for _ in renamed..self.config.width {
-                self.stats.note_rename_slot_stall(cause);
-            }
-            if renamed == 0 {
-                self.stats.note_rename_stall_cycle(cause);
-            }
-        }
-    }
-
-    // -------------------------------------------------------------- issue
-
-    fn issue(&mut self) {
-        let mut alu_free = self.config.alu_units;
-        let mut load_free = self.config.load_ports;
-        let mut store_free = self.config.store_ports;
-        let mut branch_free = self.config.branch_units;
-        let mut issued_total = 0usize;
-
-        // IQ is naturally in seq (age) order: oldest-first select. Walk it
-        // by index, removing issued entries in place, rather than cloning
-        // the queue every cycle (nothing below pushes to the IQ — only
-        // rename does).
-        let mut i = 0;
-        while i < self.iq.len() {
-            if issued_total >= self.config.width {
-                break;
-            }
-            let seq = self.iq[i];
-            i += 1;
-            let Some(idx) = self.al_index(seq) else { continue };
-            let entry = &self.al[idx];
-            debug_assert_eq!(entry.state, AlState::Queued);
-            // Functional-unit availability.
-            let unit = match entry.instr.class() {
-                InstrClass::Alu | InstrClass::Wrpkru | InstrClass::Rdpkru => &mut alu_free,
-                InstrClass::Branch => &mut branch_free,
-                InstrClass::Load => &mut load_free,
-                InstrClass::Store => &mut store_free,
-                InstrClass::Halt => continue,
-            };
-            if *unit == 0 {
-                continue;
-            }
-            // Register sources ready?
-            if !entry.srcs.as_slice().iter().all(|&p| self.rf.is_ready(p)) {
-                continue;
-            }
-            // PKRU source ready (orders memory ops and WRPKRUs behind all
-            // prior WRPKRUs — SpecMPK design principles 1 & 2)?
-            if let Some(src) = entry.pkru_source {
-                if !self.engine.source_ready(src) {
-                    continue;
-                }
-            }
-            // Loads additionally wait until all older store addresses are
-            // known (conservative memory-dependence handling).
-            if matches!(entry.mem_kind, Some(MemKind::Load))
-                && self.sq.iter().any(|s| s.seq < seq && s.addr.is_none())
-            {
-                continue;
-            }
-            // `clflush` is ordered with respect to older stores to the same
-            // line (x86 SDM): it waits until any such store has drained
-            // from the store queue, so a store→clflush sequence really
-            // leaves the line uncached.
-            if let Instr::Clflush { offset, .. } = entry.instr {
-                let addr =
-                    self.rf.read(entry.srcs.as_slice()[0]).wrapping_add(offset as i64 as u64);
-                let line = specmpk_mem::line_base(addr);
-                if self.sq.iter().any(|s| {
-                    s.seq < seq && s.addr.is_none_or(|a| specmpk_mem::line_base(a) == line)
-                }) {
-                    continue;
-                }
-            }
-            if self.execute_at_issue(idx) {
-                *unit -= 1;
-                issued_total += 1;
-                i -= 1;
-                self.iq.remove(i);
-                if self.sink.enabled() {
-                    self.sink.record(TraceEvent::Issue { seq, cycle: self.cycle });
-                }
-            }
-        }
-    }
-
-    /// Executes the instruction's issue-time work. Returns `false` if it
-    /// could not issue after all (kept in the IQ).
-    fn execute_at_issue(&mut self, idx: usize) -> bool {
-        let entry = &self.al[idx];
-        let seq = entry.seq;
-        let instr = entry.instr;
-        let pkru_source = entry.pkru_source;
-        let pc = entry.pc;
-        // Sources were verified ready by the issue scan; read them now
-        // (into a fixed pair — this runs for every issued instruction).
-        let mut vals = [0u64; 2];
-        for (v, &p) in vals.iter_mut().zip(entry.srcs.as_slice()) {
-            *v = self.rf.read(p);
-        }
-        let read = |i: usize| vals[i];
-
-        match instr {
-            Instr::Alu { op, src2, .. } => {
-                let a = read(0);
-                let b = match src2 {
-                    Operand::Reg(_) => read(1),
-                    Operand::Imm(imm) => imm as i64 as u64,
-                };
-                let latency =
-                    if op == specmpk_isa::AluOp::Mul { self.config.mul_latency } else { 1 };
-                let e = &mut self.al[idx];
-                e.result = Some(op.eval(a, b));
-                e.state = AlState::Issued;
-                self.schedule(seq, latency);
-                true
-            }
-            Instr::Li { imm, .. } => {
-                let e = &mut self.al[idx];
-                e.result = Some(imm as u64);
-                e.state = AlState::Issued;
-                self.schedule(seq, 1);
-                true
-            }
-            Instr::Branch { cond, target, .. } => {
-                let taken = cond.eval(read(0), read(1));
-                let e = &mut self.al[idx];
-                e.actual_next = Some(if taken { target } else { pc + INSTR_BYTES });
-                if let Some(b) = e.branch.as_mut() {
-                    b.resolved_taken = Some(taken);
-                }
-                e.state = AlState::Issued;
-                self.schedule(seq, 1);
-                true
-            }
-            Instr::Jump { target } => {
-                let e = &mut self.al[idx];
-                e.actual_next = Some(target);
-                e.state = AlState::Issued;
-                self.schedule(seq, 1);
-                true
-            }
-            Instr::Jal { target, .. } => {
-                let e = &mut self.al[idx];
-                e.actual_next = Some(target);
-                e.result = Some(pc + INSTR_BYTES);
-                e.state = AlState::Issued;
-                self.schedule(seq, 1);
-                true
-            }
-            Instr::Jalr { .. } => {
-                let target = read(0);
-                let e = &mut self.al[idx];
-                e.actual_next = Some(target);
-                e.result = Some(pc + INSTR_BYTES);
-                e.state = AlState::Issued;
-                self.schedule(seq, 1);
-                true
-            }
-            Instr::Wrpkru => {
-                let value = Pkru::from_bits(read(0) as u32);
-                let tag = self.al[idx].pkru_tag.expect("WRPKRU has a tag");
-                self.engine.execute_wrpkru(tag, value);
-                let e = &mut self.al[idx];
-                e.state = AlState::Issued;
-                self.schedule(seq, 1);
-                true
-            }
-            Instr::Rdpkru => {
-                let source = pkru_source.expect("RDPKRU has a PKRU source");
-                let value = self.engine.resolve_value(source);
-                let e = &mut self.al[idx];
-                e.result = Some(u64::from(value.bits()));
-                e.state = AlState::Issued;
-                self.schedule(seq, 1);
-                true
-            }
-            Instr::Clflush { offset, .. } => {
-                let addr = read(0).wrapping_add(offset as i64 as u64);
-                self.mem.flush_line(addr);
-                let e = &mut self.al[idx];
-                e.state = AlState::Issued;
-                self.schedule(seq, 1);
-                true
-            }
-            Instr::Load { offset, width, .. } => {
-                let addr = read(0).wrapping_add(offset as i64 as u64);
-                self.issue_load(idx, addr, width)
-            }
-            Instr::Store { offset, width, .. } => {
-                let data = read(0);
-                let addr = read(1).wrapping_add(offset as i64 as u64);
-                self.issue_store(idx, addr, width, data)
-            }
-            Instr::Nop | Instr::Halt => unreachable!("never enter the IQ"),
-        }
-    }
-
-    fn issue_load(&mut self, idx: usize, addr: u64, width: MemWidth) -> bool {
-        let seq = self.al[idx].seq;
-        let source = self.al[idx].pkru_source.expect("loads carry a PKRU source");
-
-        // 1. Translation probe (no microarchitectural update yet).
-        let probe = self.mem.translate(addr, AccessKind::Read, false);
-        let translation = match probe {
-            Err(fault) => {
-                let e = &mut self.al[idx];
-                e.fault = Some(FaultInfo::Page(fault));
-                e.result = Some(0);
-                e.state = AlState::Issued;
-                self.schedule(seq, 1);
-                return true;
-            }
-            Ok(t) => t,
-        };
-        // 2. Conservative TLB-miss stall (§V-C5).
-        if !translation.tlb_hit && self.engine.tlb_miss_must_stall() {
-            self.stats.tlb_miss_stalls += 1;
-            let cycle = self.cycle;
-            let e = &mut self.al[idx];
-            e.head_stall = Some(HeadStall::TlbMiss);
-            e.stall_cycle = cycle;
-            e.result = Some(addr); // stash the address for the replay
-            e.state = AlState::Issued;
-            return true;
-        }
-        let pkey = translation.pkey;
-        // 3. PKRU Load Check (§V-C2).
-        let load_ok = self.engine.load_check(pkey);
-        if self.sink.enabled() {
-            self.sink.record(TraceEvent::PkruCheck {
-                seq,
-                cycle: self.cycle,
-                kind: PkruCheckKind::Load,
-                passed: load_ok,
-            });
-        }
-        if !load_ok {
-            self.stats.load_replays += 1;
-            let e = &mut self.al[idx];
-            e.head_stall = Some(HeadStall::LoadCheckFail);
-            e.result = Some(addr);
-            e.state = AlState::Issued;
-            return true;
-        }
-        // 4. Speculative fault determination (NonSecure / Serialized).
-        if let Some(fault) = self.spec_fault_check(source, pkey, AccessKind::Read) {
-            let e = &mut self.al[idx];
-            e.fault = Some(FaultInfo::Protection(fault));
-            e.result = Some(0);
-            e.state = AlState::Issued;
-            self.schedule(seq, 1);
-            return true;
-        }
-        // 5. Store-queue search (youngest older overlapping store).
-        let line = |a: u64, w: MemWidth| (a, a + w.bytes());
-        let (ls, le) = line(addr, width);
-        let conflict = self
-            .sq
-            .iter()
-            .rev()
-            .find(|s| {
-                s.seq < seq
-                    && s.addr.is_some_and(|a| {
-                        let (ss, se) = line(a, s.width);
-                        ss < le && ls < se
-                    })
-            })
-            .copied();
-        if let Some(s) = conflict {
-            let exact_cover = s.addr == Some(addr) && s.width.bytes() >= width.bytes();
-            let forward_data = if exact_cover && s.forward_ok { s.data } else { None };
-            if let Some(data) = forward_data {
-                // Store-to-load forwarding.
-                self.stats.forwards += 1;
-                let t = self.mem.translate(addr, AccessKind::Read, true).expect("probe succeeded");
-                let e = &mut self.al[idx];
-                e.result = Some(width.truncate(data));
-                e.state = AlState::Issued;
-                self.schedule(seq, 1 + t.latency);
-            } else {
-                // Barred from forwarding (PKRU Store Check) or partial
-                // overlap: execute when this load reaches the AL head.
-                self.stats.forward_blocked_loads += 1;
-                let e = &mut self.al[idx];
-                e.head_stall = Some(HeadStall::NoForwardStore);
-                e.result = Some(addr);
-                e.state = AlState::Issued;
-            }
-            return true;
-        }
-        // 6. Memory access: TLB update, cache access, functional read.
-        let t = self.mem.translate(addr, AccessKind::Read, true).expect("probe succeeded");
-        let out = self.mem.data_timing(addr);
-        let value = width.truncate(self.mem.read(addr, width.bytes()));
-        let e = &mut self.al[idx];
-        e.result = Some(value);
-        e.state = AlState::Issued;
-        self.schedule(seq, 1 + t.latency + out.latency);
-        true
-    }
-
-    fn issue_store(&mut self, idx: usize, addr: u64, width: MemWidth, data: u64) -> bool {
-        let seq = self.al[idx].seq;
-        let source = self.al[idx].pkru_source.expect("stores carry a PKRU source");
-        let sq_pos = self.sq.iter().position(|s| s.seq == seq).expect("store has an SQ slot");
-
-        let probe = self.mem.translate(addr, AccessKind::Write, false);
-        let (forward_ok, deferred_check, fault) = match probe {
-            Err(f) => (false, false, Some(FaultInfo::Page(f))),
-            Ok(t) => {
-                if !t.tlb_hit && self.engine.tlb_miss_must_stall() {
-                    self.stats.tlb_miss_stalls += 1;
-                    (false, true, None)
-                } else {
-                    let pkey = t.pkey;
-                    let spec_fault = self
-                        .spec_fault_check(source, pkey, AccessKind::Write)
-                        .map(FaultInfo::Protection);
-                    let pass = self.engine.store_check(pkey);
-                    if self.sink.enabled() {
-                        self.sink.record(TraceEvent::PkruCheck {
-                            seq,
-                            cycle: self.cycle,
-                            kind: PkruCheckKind::Store,
-                            passed: pass,
-                        });
-                    }
-                    if pass {
-                        // TLB state may update (PKRU Store Check succeeded).
-                        let _ = self.mem.translate(addr, AccessKind::Write, true);
-                    }
-                    (pass, !pass, spec_fault)
-                }
-            }
-        };
-        let cycle = self.cycle;
-        let s = &mut self.sq[sq_pos];
-        s.addr = Some(addr);
-        s.data = Some(width.truncate(data));
-        s.forward_ok = forward_ok && fault.is_none();
-        s.deferred_check = deferred_check;
-        s.issue_cycle = cycle;
-        let e = &mut self.al[idx];
-        e.fault = fault;
-        e.result = Some(addr);
-        e.state = AlState::Issued;
-        self.schedule(seq, 1);
-        true
-    }
-
-    // ---------------------------------------------------------- writeback
-
-    fn writeback(&mut self) {
-        // Reuse one scratch buffer across cycles instead of allocating a
-        // fresh Vec per cycle; `take` sidesteps the borrow of `self` while
-        // the loop body mutates the core.
-        let mut due = std::mem::take(&mut self.wb_scratch);
-        due.clear();
-        let cycle = self.cycle;
-        self.events.retain(|e| {
-            if e.at <= cycle {
-                due.push(*e);
-                false
-            } else {
-                true
-            }
-        });
-        due.sort_by_key(|e| e.seq);
-        for &ev in &due {
-            let Some(idx) = self.al_index(ev.seq) else { continue };
-            if self.al[idx].state != AlState::Issued {
-                continue;
-            }
-            // Write the destination register.
-            if let (Some((_, phys, _)), Some(value)) = (self.al[idx].dest, self.al[idx].result) {
-                self.rf.write(phys, value);
-            }
-            self.al[idx].state = AlState::Completed;
-            if self.sink.enabled() {
-                self.sink.record(TraceEvent::Complete { seq: ev.seq, cycle: self.cycle });
-            }
-            // Branch resolution.
-            if self.al[idx].instr.is_control() {
-                self.resolve_branch(ev.seq);
-            }
-        }
-        self.wb_scratch = due;
-    }
-
-    fn resolve_branch(&mut self, seq: Seq) {
-        let Some(idx) = self.al_index(seq) else { return };
-        let entry = &mut self.al[idx];
-        let actual_next = entry.actual_next.expect("control resolved at issue");
-        let info = entry.branch.as_mut().expect("control has branch info");
-        info.resolved = true;
-        let predicted = info.pred_next;
-        let pc = entry.pc;
-        let instr = entry.instr;
-
-        // Train the BTB with the resolved target of non-return indirect
-        // jumps (even on the wrong path — the BTB is performance state).
-        if let Instr::Jalr { rd, rs } = instr {
-            if !(rd == Reg::ZERO && rs == Reg::RA) {
-                self.predictor.btb_update(pc, actual_next);
-            }
-        }
-        if predicted != actual_next {
-            self.stats.mispredicts += 1;
-            self.squash_after(seq, actual_next);
-        }
-    }
-
-    /// Squashes everything younger than `seq` and redirects fetch.
-    fn squash_after(&mut self, seq: Seq, redirect_to: u64) {
-        let idx = self.al_index(seq).expect("squashing branch is in flight");
-        let info = self.al[idx].branch.clone().expect("branch info");
-        self.stats.hist.squash_depth.record((self.al.len() - idx - 1) as u64);
-        // Drop younger AL entries, freeing their resources (reverse order).
-        while self.al.len() > idx + 1 {
-            let victim = self.al.pop_back().expect("len > idx+1");
-            if let Some((_, new, _)) = victim.dest {
-                self.rf.release(new);
-            }
-            if self.sink.enabled() {
-                if let Some(tag) = victim.pkru_tag {
-                    self.sink.record(TraceEvent::RobPkruFree {
-                        seq: victim.seq,
-                        cycle: self.cycle,
-                        tag: tag.raw(),
-                    });
-                }
-                self.sink.record(TraceEvent::Squash { seq: victim.seq, cycle: self.cycle });
-            }
-            self.stats.squashed += 1;
-        }
-        let cut = self.al[idx].seq;
-        self.iq.retain(|&s| s <= cut);
-        self.lq.retain(|&s| s <= cut);
-        self.sq.retain(|s| s.seq <= cut);
-        self.events.retain(|e| e.seq <= cut);
-        self.frontq.clear();
-        // Restore speculative state from the branch's checkpoints, then
-        // re-apply the branch's own effects (its checkpoint was taken
-        // *before* it renamed).
-        self.rf.restore(&info.rename_cp);
-        if let Some((reg, new, _)) = self.al[idx].dest {
-            // Re-install the branch's own destination mapping (jal link).
-            let _ = reg;
-            let _ = new;
-            // The rename checkpoint was taken before the branch renamed its
-            // destination, so put the mapping back.
-            self.rf.restore_mapping(reg, new);
-        }
-        self.engine.restore(info.pkru_cp);
-        self.predictor.restore(&info.pred_cp);
-        // The restored history contains the *predicted* direction of this
-        // branch; patch in the resolved one.
-        if let Some(taken) = info.resolved_taken {
-            self.predictor.set_last_history_bit(taken);
-        }
-        // Record the corrected fall-through so retire does not re-squash.
-        if let Some(b) = self.al[idx].branch.as_mut() {
-            b.pred_next = redirect_to;
-        }
-        self.fetch_pc = Some(redirect_to);
-        self.last_fetch_line = None;
-        self.fetch_busy_until = self.cycle + 1;
-    }
-
-    // -------------------------------------------------------------- retire
-
-    fn retire(&mut self) {
-        let mut retired_now = 0usize;
-        while retired_now < self.config.width {
-            let Some(head) = self.al.front() else { break };
-            let seq = head.seq;
-
-            // Head-stalled memory instructions replay now (§V-C2/C4/C5).
-            if head.state == AlState::Issued && head.head_stall.is_some() {
-                self.replay_load_at_head();
-                break; // replay takes time; nothing retires this cycle
-            }
-            if head.state != AlState::Completed {
-                break;
-            }
-            let head = self.al.front().expect("checked").clone();
-
-            // Branch direction training happens at retirement.
-            if let Some(info) = &head.branch {
-                if let (Some(idx), Some(taken)) = (info.pht_index, info.resolved_taken) {
-                    self.predictor.train_by_index(idx, taken);
-                }
-            }
-
-            // Raise any recorded fault precisely.
-            if let Some(fault) = head.fault {
-                self.raise_fault(head.pc, fault);
-                return;
-            }
-
-            match head.instr {
-                Instr::Halt => {
-                    self.stats.retired += 1;
-                    if self.sink.enabled() {
-                        self.sink.record(TraceEvent::Retire { seq, cycle: self.cycle });
-                    }
-                    self.exit = Some(ExitReason::Halted);
-                    return;
-                }
-                Instr::Wrpkru => {
-                    self.engine.retire_wrpkru();
-                    self.stats.retired_wrpkru += 1;
-                    self.stats.hist.wrpkru_latency.record(self.cycle - head.rename_cycle);
-                    if self.sink.enabled() {
-                        let tag = head.pkru_tag.expect("WRPKRU has a tag");
-                        self.sink.record(TraceEvent::RobPkruFree {
-                            seq,
-                            cycle: self.cycle,
-                            tag: tag.raw(),
-                        });
-                    }
-                }
-                Instr::Store { width, .. } => {
-                    if !self.retire_store(&head, width) {
-                        return; // store faulted at head
-                    }
-                    self.stats.retired_stores += 1;
-                }
-                Instr::Load { .. } => self.stats.retired_loads += 1,
-                Instr::Branch { .. } => self.stats.retired_branches += 1,
-                _ => {}
-            }
-            if head.replayed {
-                self.replay_run += 1;
-            } else if self.replay_run > 0 {
-                self.stats.hist.load_replay_burst.record(self.replay_run);
-                self.replay_run = 0;
-            }
-            if let Some((reg, new, _prev)) = head.dest {
-                self.rf.commit(reg, new);
-            }
-            if matches!(head.mem_kind, Some(MemKind::Load | MemKind::Flush)) {
-                self.lq.retain(|&s| s != seq);
-            }
-            if self.sink.enabled() {
-                self.sink.record(TraceEvent::Retire { seq, cycle: self.cycle });
-            }
-            self.al.pop_front();
-            self.stats.retired += 1;
-            self.last_retire_cycle = self.cycle;
-            retired_now += 1;
-            if self.config.max_instructions > 0
-                && self.stats.retired >= self.config.max_instructions
-            {
-                self.exit = Some(ExitReason::InstrLimit);
-                return;
-            }
-        }
-    }
-
-    /// Performs a store's retirement-time work: deferred protection check,
-    /// functional write, cache footprint. Returns `false` if it faulted.
-    fn retire_store(&mut self, head: &AlEntry, width: MemWidth) -> bool {
-        let sq_head = self.sq.first().copied().expect("retiring store has SQ head");
-        debug_assert_eq!(sq_head.seq, head.seq);
-        let addr = sq_head.addr.expect("store executed before retiring");
-        if sq_head.deferred_check {
-            // Re-verify against the committed PKRU (§V-C4), walking the TLB
-            // now if needed (§V-C5 deferred fill).
-            self.stats.hist.deferred_tlb_delay.record(self.cycle - sq_head.issue_cycle);
-            if self.sink.enabled() {
-                self.sink
-                    .record(TraceEvent::DeferredTlbUpdate { seq: head.seq, cycle: self.cycle });
-            }
-            match self.mem.translate(addr, AccessKind::Write, true) {
-                Err(fault) => {
-                    self.raise_fault(head.pc, FaultInfo::Page(fault));
-                    return false;
-                }
-                Ok(t) => {
-                    if let Err(fault) = self.engine.fault_check_committed(t.pkey, AccessKind::Write)
-                    {
-                        self.raise_fault(head.pc, FaultInfo::Protection(fault));
-                        return false;
-                    }
-                }
-            }
-        }
-        let data = sq_head.data.expect("store data captured at issue");
-        self.mem.write(addr, width.bytes(), data);
-        let _ = self.mem.data_timing(addr);
-        self.sq.remove(0);
-        true
-    }
-
-    /// Replays the head-stalled load at the Active-List head: precise
-    /// protection check against `ARF_pkru`, then a real (non-speculative)
-    /// memory access whose latency stalls retirement.
-    fn replay_load_at_head(&mut self) {
-        let head = self.al.front().expect("caller checked").clone();
-        let seq = head.seq;
-        let addr = head.result.expect("address stashed at first issue");
-        let width = match head.instr {
-            Instr::Load { width, .. } => width,
-            _ => unreachable!("only loads head-stall"),
-        };
-        if self.sink.enabled() {
-            self.sink.record(TraceEvent::LoadReplay { seq, cycle: self.cycle });
-            if head.head_stall == Some(HeadStall::TlbMiss) {
-                // The walk below is the §V-C5 deferred TLB fill.
-                self.sink.record(TraceEvent::DeferredTlbUpdate { seq, cycle: self.cycle });
-            }
-        }
-        if head.head_stall == Some(HeadStall::TlbMiss) {
-            self.stats.hist.deferred_tlb_delay.record(self.cycle - head.stall_cycle);
-        }
-        self.al.front_mut().expect("caller checked").replayed = true;
-        match self.mem.translate(addr, AccessKind::Read, true) {
-            Err(fault) => {
-                let e = self.al.front_mut().expect("head");
-                e.fault = Some(FaultInfo::Page(fault));
-                e.result = Some(0);
-                e.head_stall = None;
-                e.state = AlState::Completed;
-                if let Some((_, phys, _)) = e.dest {
-                    self.rf.write(phys, 0);
-                }
-            }
-            Ok(t) => {
-                if let Err(fault) = self.engine.fault_check_committed(t.pkey, AccessKind::Read) {
-                    let e = self.al.front_mut().expect("head");
-                    e.fault = Some(FaultInfo::Protection(fault));
-                    e.result = Some(0);
-                    e.head_stall = None;
-                    e.state = AlState::Completed;
-                    if let Some((_, phys, _)) = e.dest {
-                        self.rf.write(phys, 0);
-                    }
-                } else {
-                    // Non-speculative execution: TLB updated above, cache
-                    // accessed now (the paper's deferred state update).
-                    let out = self.mem.data_timing(addr);
-                    let value = width.truncate(self.mem.read(addr, width.bytes()));
-                    let e = self.al.front_mut().expect("head");
-                    e.result = Some(value);
-                    e.head_stall = None;
-                    self.schedule(seq, 1 + t.latency + out.latency);
-                }
-            }
-        }
-    }
-
-    fn raise_fault(&mut self, pc: u64, fault: FaultInfo) {
-        match fault {
-            FaultInfo::Protection(_) => self.stats.protection_faults += 1,
-            FaultInfo::Page(_) => self.stats.page_faults += 1,
-        }
-        match self.config.fault_mode {
-            FaultMode::Halt => {
-                self.exit = Some(match fault {
-                    FaultInfo::Protection(f) => ExitReason::ProtectionFault { pc, fault: f },
-                    FaultInfo::Page(f) => ExitReason::PageFault { pc, fault: f },
-                });
-            }
-            FaultMode::TrapAndContinue => {
-                // Precise trap: flush the pipeline and resume after the
-                // faulting instruction (the Kard-style handler "resolves"
-                // the fault, §IX-D).
-                self.full_flush();
-                self.fetch_pc = Some(pc + INSTR_BYTES);
-                self.last_retire_cycle = self.cycle;
-            }
-        }
-    }
-
-    /// Flushes all speculative state (fault trap path).
-    fn full_flush(&mut self) {
-        if self.sink.enabled() {
-            for e in &self.al {
-                self.sink.record(TraceEvent::Squash { seq: e.seq, cycle: self.cycle });
-            }
-        }
-        self.al.clear();
-        self.iq.clear();
-        self.lq.clear();
-        self.sq.clear();
-        self.events.clear();
-        self.frontq.clear();
-        self.rf.flush_to_committed();
-        self.engine.flush_speculative();
-        self.last_fetch_line = None;
-        self.fetch_busy_until = self.cycle + 1;
     }
 }

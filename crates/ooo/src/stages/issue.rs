@@ -1,0 +1,365 @@
+//! Issue: oldest-first select over the issue queue and issue-time
+//! execution, including the PKRU load/store checks (§V-C2).
+
+use specmpk_isa::{Instr, InstrClass, MemWidth, Operand};
+use specmpk_mpk::{AccessKind, Pkru};
+use specmpk_trace::{PkruCheckKind, TraceEvent, TraceSink};
+
+use super::{AlState, FaultInfo, HeadStall, MemKind, PipelineState, StageCtx};
+
+pub(crate) fn issue<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
+    let mut alu_free = st.config.alu_units;
+    let mut load_free = st.config.load_ports;
+    let mut store_free = st.config.store_ports;
+    let mut branch_free = st.config.branch_units;
+    let mut issued_total = 0usize;
+
+    // IQ is naturally in seq (age) order: oldest-first select. Walk it
+    // by index, removing issued entries in place, rather than cloning
+    // the queue every cycle (nothing below pushes to the IQ — only
+    // rename does).
+    let mut i = 0;
+    while i < st.iq.len() {
+        if issued_total >= st.config.width {
+            break;
+        }
+        let seq = st.iq[i];
+        i += 1;
+        let Some(idx) = st.al_index(seq) else { continue };
+        let entry = &st.al[idx];
+        debug_assert_eq!(entry.state, AlState::Queued);
+        // Functional-unit availability.
+        let unit = match entry.instr.class() {
+            InstrClass::Alu | InstrClass::Wrpkru | InstrClass::Rdpkru => &mut alu_free,
+            InstrClass::Branch => &mut branch_free,
+            InstrClass::Load => &mut load_free,
+            InstrClass::Store => &mut store_free,
+            InstrClass::Halt => continue,
+        };
+        if *unit == 0 {
+            continue;
+        }
+        // Register sources ready?
+        if !entry.srcs.as_slice().iter().all(|&p| st.rf.is_ready(p)) {
+            continue;
+        }
+        // PKRU source ready (orders memory ops and WRPKRUs behind all
+        // prior WRPKRUs — SpecMPK design principles 1 & 2)?
+        if let Some(src) = entry.pkru_source {
+            if !st.engine.source_ready(src) {
+                continue;
+            }
+        }
+        // Loads additionally wait until all older store addresses are
+        // known (conservative memory-dependence handling).
+        if matches!(entry.mem_kind, Some(MemKind::Load))
+            && st.sq.iter().any(|s| s.seq < seq && s.addr.is_none())
+        {
+            continue;
+        }
+        // `clflush` is ordered with respect to older stores to the same
+        // line (x86 SDM): it waits until any such store has drained
+        // from the store queue, so a store→clflush sequence really
+        // leaves the line uncached.
+        if let Instr::Clflush { offset, .. } = entry.instr {
+            let addr = st.rf.read(entry.srcs.as_slice()[0]).wrapping_add(offset as i64 as u64);
+            let line = specmpk_mem::line_base(addr);
+            if st
+                .sq
+                .iter()
+                .any(|s| s.seq < seq && s.addr.is_none_or(|a| specmpk_mem::line_base(a) == line))
+            {
+                continue;
+            }
+        }
+        if execute_at_issue(st, cx, idx) {
+            *unit -= 1;
+            issued_total += 1;
+            i -= 1;
+            st.iq.remove(i);
+            if cx.sink.enabled() {
+                cx.sink.record(TraceEvent::Issue { seq, cycle: st.cycle });
+            }
+        }
+    }
+}
+
+/// Executes the instruction's issue-time work. Returns `false` if it
+/// could not issue after all (kept in the IQ).
+fn execute_at_issue<S: TraceSink>(
+    st: &mut PipelineState,
+    cx: &mut StageCtx<'_, S>,
+    idx: usize,
+) -> bool {
+    let entry = &st.al[idx];
+    let seq = entry.seq;
+    let instr = entry.instr;
+    let pkru_source = entry.pkru_source;
+    let pc = entry.pc;
+    // Sources were verified ready by the issue scan; read them now
+    // (into a fixed pair — this runs for every issued instruction).
+    let mut vals = [0u64; 2];
+    for (v, &p) in vals.iter_mut().zip(entry.srcs.as_slice()) {
+        *v = st.rf.read(p);
+    }
+    let read = |i: usize| vals[i];
+
+    match instr {
+        Instr::Alu { op, src2, .. } => {
+            let a = read(0);
+            let b = match src2 {
+                Operand::Reg(_) => read(1),
+                Operand::Imm(imm) => imm as i64 as u64,
+            };
+            let latency = if op == specmpk_isa::AluOp::Mul { st.config.mul_latency } else { 1 };
+            let e = &mut st.al[idx];
+            e.result = Some(op.eval(a, b));
+            e.state = AlState::Issued;
+            st.schedule(seq, latency);
+            true
+        }
+        Instr::Li { imm, .. } => {
+            let e = &mut st.al[idx];
+            e.result = Some(imm as u64);
+            e.state = AlState::Issued;
+            st.schedule(seq, 1);
+            true
+        }
+        Instr::Branch { cond, target, .. } => {
+            let taken = cond.eval(read(0), read(1));
+            let e = &mut st.al[idx];
+            e.actual_next = Some(if taken { target } else { pc + specmpk_isa::INSTR_BYTES });
+            if let Some(b) = e.branch.as_mut() {
+                b.resolved_taken = Some(taken);
+            }
+            e.state = AlState::Issued;
+            st.schedule(seq, 1);
+            true
+        }
+        Instr::Jump { target } => {
+            let e = &mut st.al[idx];
+            e.actual_next = Some(target);
+            e.state = AlState::Issued;
+            st.schedule(seq, 1);
+            true
+        }
+        Instr::Jal { target, .. } => {
+            let e = &mut st.al[idx];
+            e.actual_next = Some(target);
+            e.result = Some(pc + specmpk_isa::INSTR_BYTES);
+            e.state = AlState::Issued;
+            st.schedule(seq, 1);
+            true
+        }
+        Instr::Jalr { .. } => {
+            let target = read(0);
+            let e = &mut st.al[idx];
+            e.actual_next = Some(target);
+            e.result = Some(pc + specmpk_isa::INSTR_BYTES);
+            e.state = AlState::Issued;
+            st.schedule(seq, 1);
+            true
+        }
+        Instr::Wrpkru => {
+            let value = Pkru::from_bits(read(0) as u32);
+            let tag = st.al[idx].pkru_tag.expect("WRPKRU has a tag");
+            st.engine.execute_wrpkru(tag, value);
+            let e = &mut st.al[idx];
+            e.state = AlState::Issued;
+            st.schedule(seq, 1);
+            true
+        }
+        Instr::Rdpkru => {
+            let source = pkru_source.expect("RDPKRU has a PKRU source");
+            let value = st.engine.resolve_value(source);
+            let e = &mut st.al[idx];
+            e.result = Some(u64::from(value.bits()));
+            e.state = AlState::Issued;
+            st.schedule(seq, 1);
+            true
+        }
+        Instr::Clflush { offset, .. } => {
+            let addr = read(0).wrapping_add(offset as i64 as u64);
+            st.mem.flush_line(addr);
+            let e = &mut st.al[idx];
+            e.state = AlState::Issued;
+            st.schedule(seq, 1);
+            true
+        }
+        Instr::Load { offset, width, .. } => {
+            let addr = read(0).wrapping_add(offset as i64 as u64);
+            issue_load(st, cx, idx, addr, width)
+        }
+        Instr::Store { offset, width, .. } => {
+            let data = read(0);
+            let addr = read(1).wrapping_add(offset as i64 as u64);
+            issue_store(st, cx, idx, addr, width, data)
+        }
+        Instr::Nop | Instr::Halt => unreachable!("never enter the IQ"),
+    }
+}
+
+fn issue_load<S: TraceSink>(
+    st: &mut PipelineState,
+    cx: &mut StageCtx<'_, S>,
+    idx: usize,
+    addr: u64,
+    width: MemWidth,
+) -> bool {
+    let seq = st.al[idx].seq;
+    let source = st.al[idx].pkru_source.expect("loads carry a PKRU source");
+
+    // 1. Translation probe (no microarchitectural update yet).
+    let probe = st.mem.translate(addr, AccessKind::Read, false);
+    let translation = match probe {
+        Err(fault) => {
+            let e = &mut st.al[idx];
+            e.fault = Some(FaultInfo::Page(fault));
+            e.result = Some(0);
+            e.state = AlState::Issued;
+            st.schedule(seq, 1);
+            return true;
+        }
+        Ok(t) => t,
+    };
+    // 2. Conservative TLB-miss stall (§V-C5).
+    if !translation.tlb_hit && st.engine.tlb_miss_must_stall() {
+        st.stats.tlb_miss_stalls += 1;
+        let cycle = st.cycle;
+        let e = &mut st.al[idx];
+        e.head_stall = Some(HeadStall::TlbMiss);
+        e.stall_cycle = cycle;
+        e.result = Some(addr); // stash the address for the replay
+        e.state = AlState::Issued;
+        return true;
+    }
+    let pkey = translation.pkey;
+    // 3. PKRU Load Check (§V-C2).
+    let load_ok = st.engine.load_check(pkey);
+    if cx.sink.enabled() {
+        cx.sink.record(TraceEvent::PkruCheck {
+            seq,
+            cycle: st.cycle,
+            kind: PkruCheckKind::Load,
+            passed: load_ok,
+        });
+    }
+    if !load_ok {
+        st.stats.load_replays += 1;
+        let e = &mut st.al[idx];
+        e.head_stall = Some(HeadStall::LoadCheckFail);
+        e.result = Some(addr);
+        e.state = AlState::Issued;
+        return true;
+    }
+    // 4. Speculative fault determination (NonSecure / Serialized).
+    if let Some(fault) = st.spec_fault_check(source, pkey, AccessKind::Read) {
+        let e = &mut st.al[idx];
+        e.fault = Some(FaultInfo::Protection(fault));
+        e.result = Some(0);
+        e.state = AlState::Issued;
+        st.schedule(seq, 1);
+        return true;
+    }
+    // 5. Store-queue search (youngest older overlapping store).
+    let line = |a: u64, w: MemWidth| (a, a + w.bytes());
+    let (ls, le) = line(addr, width);
+    let conflict = st
+        .sq
+        .iter()
+        .rev()
+        .find(|s| {
+            s.seq < seq
+                && s.addr.is_some_and(|a| {
+                    let (ss, se) = line(a, s.width);
+                    ss < le && ls < se
+                })
+        })
+        .copied();
+    if let Some(s) = conflict {
+        let exact_cover = s.addr == Some(addr) && s.width.bytes() >= width.bytes();
+        let forward_data = if exact_cover && s.forward_ok { s.data } else { None };
+        if let Some(data) = forward_data {
+            // Store-to-load forwarding.
+            st.stats.forwards += 1;
+            let t = st.mem.translate(addr, AccessKind::Read, true).expect("probe succeeded");
+            let e = &mut st.al[idx];
+            e.result = Some(width.truncate(data));
+            e.state = AlState::Issued;
+            st.schedule(seq, 1 + t.latency);
+        } else {
+            // Barred from forwarding (PKRU Store Check) or partial
+            // overlap: execute when this load reaches the AL head.
+            st.stats.forward_blocked_loads += 1;
+            let e = &mut st.al[idx];
+            e.head_stall = Some(HeadStall::NoForwardStore);
+            e.result = Some(addr);
+            e.state = AlState::Issued;
+        }
+        return true;
+    }
+    // 6. Memory access: TLB update, cache access, functional read.
+    let t = st.mem.translate(addr, AccessKind::Read, true).expect("probe succeeded");
+    let out = st.mem.data_timing(addr);
+    let value = width.truncate(st.mem.read(addr, width.bytes()));
+    let e = &mut st.al[idx];
+    e.result = Some(value);
+    e.state = AlState::Issued;
+    st.schedule(seq, 1 + t.latency + out.latency);
+    true
+}
+
+fn issue_store<S: TraceSink>(
+    st: &mut PipelineState,
+    cx: &mut StageCtx<'_, S>,
+    idx: usize,
+    addr: u64,
+    width: MemWidth,
+    data: u64,
+) -> bool {
+    let seq = st.al[idx].seq;
+    let source = st.al[idx].pkru_source.expect("stores carry a PKRU source");
+    let sq_pos = st.sq.iter().position(|s| s.seq == seq).expect("store has an SQ slot");
+
+    let probe = st.mem.translate(addr, AccessKind::Write, false);
+    let (forward_ok, deferred_check, fault) = match probe {
+        Err(f) => (false, false, Some(FaultInfo::Page(f))),
+        Ok(t) => {
+            if !t.tlb_hit && st.engine.tlb_miss_must_stall() {
+                st.stats.tlb_miss_stalls += 1;
+                (false, true, None)
+            } else {
+                let pkey = t.pkey;
+                let spec_fault =
+                    st.spec_fault_check(source, pkey, AccessKind::Write).map(FaultInfo::Protection);
+                let pass = st.engine.store_check(pkey);
+                if cx.sink.enabled() {
+                    cx.sink.record(TraceEvent::PkruCheck {
+                        seq,
+                        cycle: st.cycle,
+                        kind: PkruCheckKind::Store,
+                        passed: pass,
+                    });
+                }
+                if pass {
+                    // TLB state may update (PKRU Store Check succeeded).
+                    let _ = st.mem.translate(addr, AccessKind::Write, true);
+                }
+                (pass, !pass, spec_fault)
+            }
+        }
+    };
+    let cycle = st.cycle;
+    let s = &mut st.sq[sq_pos];
+    s.addr = Some(addr);
+    s.data = Some(width.truncate(data));
+    s.forward_ok = forward_ok && fault.is_none();
+    s.deferred_check = deferred_check;
+    s.issue_cycle = cycle;
+    let e = &mut st.al[idx];
+    e.fault = fault;
+    e.result = Some(addr);
+    e.state = AlState::Issued;
+    st.schedule(seq, 1);
+    true
+}

@@ -1,0 +1,265 @@
+//! The pipeline stages, one module per stage, plus the state they share.
+//!
+//! Each stage is a free function over the explicit [`PipelineState`] (every
+//! architectural and microarchitectural structure of the core) and a
+//! per-cycle [`StageCtx`] (the trace sink). [`Core::step`] calls them in
+//! retire → writeback → issue → rename → fetch order, so information flows
+//! at most one stage per cycle and a squash raised at writeback redirects
+//! fetch on the next cycle.
+//!
+//! [`Core::step`]: crate::Core::step
+
+pub(crate) mod fetch;
+pub(crate) mod issue;
+pub(crate) mod rename;
+pub(crate) mod retire;
+pub(crate) mod squash;
+pub(crate) mod writeback;
+
+use std::collections::VecDeque;
+
+use specmpk_core::{PkruCheckpoint, PkruEngine, PkruSource, PkruTag};
+use specmpk_isa::{Instr, MemWidth, Program, Reg};
+use specmpk_mem::{MemorySystem, PageFault};
+use specmpk_mpk::{AccessKind, Pkey, ProtectionFault};
+use specmpk_trace::TraceSink;
+
+use crate::config::SimConfig;
+use crate::pipeline::ExitReason;
+use crate::predictor::{BranchPredictor, PredictorCheckpoint};
+use crate::prf::{PhysReg, RegFile, RenameCheckpoint};
+use crate::stats::SimStats;
+
+/// Monotone dynamic-instruction sequence number (assigned at rename).
+pub(crate) type Seq = u64;
+
+#[derive(Debug, Clone)]
+pub(crate) struct Fetched {
+    pub(crate) pc: u64,
+    pub(crate) instr: Instr,
+    /// The pc fetch continued at after this instruction (the prediction).
+    pub(crate) pred_next: u64,
+    /// PHT index used, for conditional branches.
+    pub(crate) pht_index: Option<usize>,
+    /// Fetch-time predictor snapshot (control instructions only), taken
+    /// *after* this instruction's own speculative history/RAS update.
+    pub(crate) pred_cp: Option<PredictorCheckpoint>,
+    /// Cycle at which this instruction emerges from decode.
+    pub(crate) ready_cycle: u64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct BranchInfo {
+    pub(crate) pred_next: u64,
+    pub(crate) pht_index: Option<usize>,
+    pub(crate) rename_cp: RenameCheckpoint,
+    pub(crate) pkru_cp: PkruCheckpoint,
+    pub(crate) pred_cp: PredictorCheckpoint,
+    /// Resolved direction, for retire-time training.
+    pub(crate) resolved_taken: Option<bool>,
+    pub(crate) resolved: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MemKind {
+    Load,
+    Store,
+    Flush,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HeadStall {
+    /// Failed the PKRU Load Check (§V-C2) — replay at the AL head.
+    LoadCheckFail,
+    /// Matched a store barred from forwarding — execute at the AL head.
+    NoForwardStore,
+    /// Conservative TLB-miss stall under a disabled window (§V-C5).
+    TlbMiss,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultInfo {
+    Page(PageFault),
+    Protection(ProtectionFault),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AlState {
+    /// Waiting in the issue queue.
+    Queued,
+    /// Issued; completion event pending or head-stalled.
+    Issued,
+    /// Done executing (or needs no execution).
+    Completed,
+}
+
+/// Renamed source registers, packed inline. No instruction has more than
+/// two logical sources ([`Instr::source_regs`]), so a heap `Vec` here
+/// would cost an allocation per renamed instruction inside the cycle loop
+/// for nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SrcRegs {
+    pub(crate) regs: [PhysReg; 2],
+    pub(crate) len: u8,
+}
+
+impl SrcRegs {
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[PhysReg] {
+        &self.regs[..usize::from(self.len)]
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct AlEntry {
+    pub(crate) seq: Seq,
+    pub(crate) pc: u64,
+    pub(crate) instr: Instr,
+    pub(crate) state: AlState,
+    pub(crate) dest: Option<(Reg, PhysReg, PhysReg)>,
+    pub(crate) srcs: SrcRegs,
+    pub(crate) pkru_source: Option<PkruSource>,
+    pub(crate) pkru_tag: Option<PkruTag>,
+    pub(crate) branch: Option<BranchInfo>,
+    pub(crate) mem_kind: Option<MemKind>,
+    pub(crate) result: Option<u64>,
+    pub(crate) actual_next: Option<u64>,
+    pub(crate) fault: Option<FaultInfo>,
+    pub(crate) head_stall: Option<HeadStall>,
+    /// Cycle at which this instruction renamed (WRPKRU latency histogram).
+    pub(crate) rename_cycle: u64,
+    /// Cycle at which `head_stall` was set (deferred-TLB-delay histogram).
+    pub(crate) stall_cycle: u64,
+    /// Whether this instruction replayed at the AL head (burst histogram).
+    pub(crate) replayed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SqEntry {
+    pub(crate) seq: Seq,
+    pub(crate) addr: Option<u64>,
+    pub(crate) width: MemWidth,
+    pub(crate) data: Option<u64>,
+    /// Store-to-load forwarding permitted (the SpecMPK per-entry bit).
+    pub(crate) forward_ok: bool,
+    /// Protection must be re-verified against `ARF_pkru` at retirement.
+    pub(crate) deferred_check: bool,
+    /// Cycle at which the store executed (deferred-TLB-delay histogram).
+    pub(crate) issue_cycle: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    pub(crate) at: u64,
+    pub(crate) seq: Seq,
+}
+
+/// Per-cycle stage context: everything a stage needs besides the pipeline
+/// state itself. [`Core::step`] builds one per cycle.
+///
+/// [`Core::step`]: crate::Core::step
+pub(crate) struct StageCtx<'a, S: TraceSink> {
+    pub(crate) sink: &'a mut S,
+}
+
+/// Every architectural and microarchitectural structure of the core,
+/// shared by all stage functions. Keeping it separate from the sink lets
+/// the borrow checker hand a stage `&mut PipelineState` and
+/// `&mut StageCtx` simultaneously.
+#[derive(Debug)]
+pub(crate) struct PipelineState {
+    pub(crate) config: SimConfig,
+    pub(crate) mem: MemorySystem,
+    pub(crate) rf: RegFile,
+    pub(crate) engine: PkruEngine,
+    pub(crate) predictor: BranchPredictor,
+    pub(crate) program: Program,
+
+    pub(crate) cycle: u64,
+    pub(crate) next_seq: Seq,
+    pub(crate) fetch_pc: Option<u64>,
+    pub(crate) fetch_busy_until: u64,
+    pub(crate) last_fetch_line: Option<u64>,
+    pub(crate) frontq: VecDeque<Fetched>,
+    pub(crate) al: VecDeque<AlEntry>,
+    pub(crate) iq: Vec<Seq>,
+    pub(crate) lq: Vec<Seq>,
+    pub(crate) sq: Vec<SqEntry>,
+    pub(crate) events: Vec<Event>,
+    /// Scratch buffer for [`writeback`], kept to avoid a per-cycle
+    /// allocation. Always logically empty between cycles.
+    pub(crate) wb_scratch: Vec<Event>,
+    pub(crate) last_retire_cycle: u64,
+    pub(crate) stats: SimStats,
+    pub(crate) exit: Option<ExitReason>,
+    /// Length of the current run of consecutively retired instructions
+    /// that each replayed at the AL head (flushed into
+    /// `SimHistograms::load_replay_burst` when the run breaks).
+    pub(crate) replay_run: u64,
+}
+
+impl PipelineState {
+    /// Builds the reset state for `program` (shared by [`Core::new`] and
+    /// [`Core::with_sink`]).
+    ///
+    /// [`Core::new`]: crate::Core::new
+    /// [`Core::with_sink`]: crate::Core::with_sink
+    pub(crate) fn new(config: SimConfig, program: &Program) -> Self {
+        config.validate();
+        let mut mem = MemorySystem::new(config.mem);
+        mem.load_program(program);
+        let mut rf = RegFile::new(config.prf_size);
+        if let Some(stack) = program.segment("stack") {
+            rf.set_committed_value(Reg::SP, stack.end() - 16);
+        }
+        let mut engine = PkruEngine::new(config.policy, config.specmpk);
+        engine.set_committed(config.initial_pkru);
+        PipelineState {
+            config,
+            mem,
+            rf,
+            engine,
+            predictor: BranchPredictor::new(config.predictor),
+            program: program.clone(),
+            cycle: 0,
+            next_seq: 0,
+            fetch_pc: Some(program.entry()),
+            fetch_busy_until: 0,
+            last_fetch_line: None,
+            frontq: VecDeque::new(),
+            al: VecDeque::new(),
+            iq: Vec::new(),
+            lq: Vec::new(),
+            sq: Vec::new(),
+            events: Vec::new(),
+            wb_scratch: Vec::new(),
+            last_retire_cycle: 0,
+            stats: SimStats::default(),
+            exit: None,
+            replay_run: 0,
+        }
+    }
+
+    // ---------------------------------------------------------- utilities
+
+    pub(crate) fn al_index(&self, seq: Seq) -> Option<usize> {
+        // Seqs are strictly increasing but not contiguous (squashes leave
+        // gaps), so locate by binary search.
+        self.al.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
+    pub(crate) fn schedule(&mut self, seq: Seq, latency: u64) {
+        self.events.push(Event { at: self.cycle + latency.max(1), seq });
+    }
+
+    /// Speculative fault determination, delegated to the policy (SpecMPK
+    /// never faults speculatively; NonSecure checks the renamed PKRU).
+    pub(crate) fn spec_fault_check(
+        &self,
+        source: PkruSource,
+        pkey: Pkey,
+        kind: AccessKind,
+    ) -> Option<ProtectionFault> {
+        self.engine.fault_check_speculative(source, pkey, kind).err()
+    }
+}

@@ -1,0 +1,190 @@
+//! Rename: structural-hazard checks, register/PKRU renaming, Active-List
+//! allocation — and the per-cycle CPI-stack attribution audit.
+
+use specmpk_isa::{Instr, InstrClass};
+use specmpk_trace::{TraceEvent, TraceSink};
+
+use super::{AlEntry, AlState, MemKind, PipelineState, SqEntry, SrcRegs, StageCtx};
+use crate::stats::RenameStall;
+
+pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
+    // Debug-build audit: every rename slot this cycle must end up either
+    // renamed or attributed to exactly one stall cause, so a stage split
+    // can never silently double-count or drop a CPI-stack contribution.
+    #[cfg(debug_assertions)]
+    let slot_stalls_before = st.stats.rename_slot_stalls_total();
+
+    let mut renamed = 0usize;
+    let mut block: Option<RenameStall> = None;
+    while renamed < st.config.width {
+        let Some(front) = st.frontq.front() else {
+            block = block.or(Some(RenameStall::FrontendEmpty));
+            break;
+        };
+        if front.ready_cycle > st.cycle {
+            block = block.or(Some(RenameStall::FrontendEmpty));
+            break;
+        }
+        // Serializing-policy barrier: while a WRPKRU is in flight nothing
+        // younger may rename.
+        if st.engine.rename_barrier_active() {
+            block = Some(RenameStall::WrpkruSerialize);
+            break;
+        }
+        let f = front.clone();
+        let class = f.instr.class();
+        match class {
+            InstrClass::Wrpkru if !st.engine.can_rename_wrpkru(st.al.len()) => {
+                block = Some(if st.engine.wrpkru_rename_serializes() {
+                    RenameStall::WrpkruSerialize
+                } else {
+                    st.engine.note_rob_full_stall();
+                    RenameStall::RobPkruFull
+                });
+                break;
+            }
+            InstrClass::Rdpkru if !st.engine.can_rename_rdpkru(st.al.len()) => {
+                block = Some(RenameStall::RdpkruSerialize);
+                break;
+            }
+            _ => {}
+        }
+        if st.al.len() >= st.config.active_list_size {
+            block = Some(RenameStall::ActiveListFull);
+            break;
+        }
+        let needs_iq = !matches!(f.instr, Instr::Nop | Instr::Halt);
+        if needs_iq && st.iq.len() >= st.config.issue_queue_size {
+            block = Some(RenameStall::IssueQueueFull);
+            break;
+        }
+        let mem_kind = match f.instr {
+            Instr::Load { .. } => Some(MemKind::Load),
+            Instr::Store { .. } => Some(MemKind::Store),
+            Instr::Clflush { .. } => Some(MemKind::Flush),
+            _ => None,
+        };
+        match mem_kind {
+            Some(MemKind::Load | MemKind::Flush) if st.lq.len() >= st.config.load_queue_size => {
+                block = Some(RenameStall::LoadQueueFull);
+                break;
+            }
+            Some(MemKind::Store) if st.sq.len() >= st.config.store_queue_size => {
+                block = Some(RenameStall::StoreQueueFull);
+                break;
+            }
+            _ => {}
+        }
+        let needs_dest = f.instr.dest().is_some();
+        if needs_dest && st.rf.free_count() == 0 {
+            block = Some(RenameStall::PrfFull);
+            break;
+        }
+
+        // All structural checks passed: rename for real.
+        st.frontq.pop_front();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+
+        let (src_regs, n_srcs) = f.instr.source_regs();
+        let mut srcs = SrcRegs::default();
+        for &r in &src_regs[..n_srcs] {
+            srcs.regs[usize::from(srcs.len)] = st.rf.map_source(r);
+            srcs.len += 1;
+        }
+        let pkru_source = match class {
+            InstrClass::Load | InstrClass::Store | InstrClass::Wrpkru | InstrClass::Rdpkru => {
+                Some(st.engine.rename_pkru_source())
+            }
+            _ => None,
+        };
+        let branch = f.instr.is_control().then(|| super::BranchInfo {
+            pred_next: f.pred_next,
+            pht_index: f.pht_index,
+            rename_cp: st.rf.checkpoint(),
+            pkru_cp: st.engine.checkpoint(),
+            pred_cp: f.pred_cp.clone().expect("control instructions carry a fetch-time snapshot"),
+            resolved_taken: None,
+            resolved: false,
+        });
+        let pkru_tag = (class == InstrClass::Wrpkru)
+            .then(|| st.engine.rename_wrpkru().expect("can_rename_wrpkru checked above"));
+        let dest = f.instr.dest().map(|r| {
+            let (new, prev) = st.rf.rename_dest(r).expect("free list checked above");
+            (r, new, prev)
+        });
+        let state = if needs_iq {
+            st.iq.push(seq);
+            AlState::Queued
+        } else {
+            AlState::Completed
+        };
+        match mem_kind {
+            Some(MemKind::Load | MemKind::Flush) => st.lq.push(seq),
+            Some(MemKind::Store) => st.sq.push(SqEntry {
+                seq,
+                addr: None,
+                width: match f.instr {
+                    Instr::Store { width, .. } => width,
+                    _ => unreachable!("store kind implies store instr"),
+                },
+                data: None,
+                forward_ok: true,
+                deferred_check: false,
+                issue_cycle: 0,
+            }),
+            _ => {}
+        }
+        if cx.sink.enabled() {
+            cx.sink.record(TraceEvent::Rename {
+                seq,
+                pc: f.pc,
+                fetch_cycle: f.ready_cycle - st.config.frontend_depth,
+                cycle: st.cycle,
+                disasm: f.instr.to_string(),
+            });
+            if let Some(tag) = pkru_tag {
+                cx.sink.record(TraceEvent::RobPkruAlloc { seq, cycle: st.cycle, tag: tag.raw() });
+            }
+        }
+        st.al.push_back(AlEntry {
+            seq,
+            pc: f.pc,
+            instr: f.instr,
+            state,
+            dest,
+            srcs,
+            pkru_source,
+            pkru_tag,
+            branch,
+            mem_kind,
+            result: None,
+            actual_next: None,
+            fault: None,
+            head_stall: None,
+            rename_cycle: st.cycle,
+            stall_cycle: 0,
+            replayed: false,
+        });
+        renamed += 1;
+    }
+    if let Some(cause) = block {
+        for _ in renamed..st.config.width {
+            st.stats.note_rename_slot_stall(cause);
+        }
+        if renamed == 0 {
+            st.stats.note_rename_stall_cycle(cause);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    {
+        let attributed = st.stats.rename_slot_stalls_total() - slot_stalls_before;
+        debug_assert_eq!(
+            renamed as u64 + attributed,
+            st.config.width as u64,
+            "cycle {}: rename CPI-stack causes must sum to the rename width",
+            st.cycle
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Retire: in-order commit from the Active-List head, head-stall replay
+//! (§V-C2/C4/C5), deferred store checks, and precise fault delivery.
+
+use specmpk_isa::{Instr, MemWidth, INSTR_BYTES};
+use specmpk_mpk::AccessKind;
+use specmpk_trace::{TraceEvent, TraceSink};
+
+use super::{squash, AlEntry, AlState, FaultInfo, HeadStall, MemKind, PipelineState, StageCtx};
+use crate::config::FaultMode;
+use crate::pipeline::ExitReason;
+
+pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
+    let mut retired_now = 0usize;
+    while retired_now < st.config.width {
+        let Some(head) = st.al.front() else { break };
+        let seq = head.seq;
+
+        // Head-stalled memory instructions replay now (§V-C2/C4/C5).
+        if head.state == AlState::Issued && head.head_stall.is_some() {
+            replay_load_at_head(st, cx);
+            break; // replay takes time; nothing retires this cycle
+        }
+        if head.state != AlState::Completed {
+            break;
+        }
+        let head = st.al.front().expect("checked").clone();
+
+        // Branch direction training happens at retirement.
+        if let Some(info) = &head.branch {
+            if let (Some(idx), Some(taken)) = (info.pht_index, info.resolved_taken) {
+                st.predictor.train_by_index(idx, taken);
+            }
+        }
+
+        // Raise any recorded fault precisely.
+        if let Some(fault) = head.fault {
+            raise_fault(st, cx, head.pc, fault);
+            return;
+        }
+
+        match head.instr {
+            Instr::Halt => {
+                st.stats.retired += 1;
+                if cx.sink.enabled() {
+                    cx.sink.record(TraceEvent::Retire { seq, cycle: st.cycle });
+                }
+                st.exit = Some(ExitReason::Halted);
+                return;
+            }
+            Instr::Wrpkru => {
+                st.engine.retire_wrpkru();
+                st.stats.retired_wrpkru += 1;
+                st.stats.hist.wrpkru_latency.record(st.cycle - head.rename_cycle);
+                if cx.sink.enabled() {
+                    let tag = head.pkru_tag.expect("WRPKRU has a tag");
+                    cx.sink.record(TraceEvent::RobPkruFree {
+                        seq,
+                        cycle: st.cycle,
+                        tag: tag.raw(),
+                    });
+                }
+            }
+            Instr::Store { width, .. } => {
+                if !retire_store(st, cx, &head, width) {
+                    return; // store faulted at head
+                }
+                st.stats.retired_stores += 1;
+            }
+            Instr::Load { .. } => st.stats.retired_loads += 1,
+            Instr::Branch { .. } => st.stats.retired_branches += 1,
+            _ => {}
+        }
+        if head.replayed {
+            st.replay_run += 1;
+        } else if st.replay_run > 0 {
+            st.stats.hist.load_replay_burst.record(st.replay_run);
+            st.replay_run = 0;
+        }
+        if let Some((reg, new, _prev)) = head.dest {
+            st.rf.commit(reg, new);
+        }
+        if matches!(head.mem_kind, Some(MemKind::Load | MemKind::Flush)) {
+            st.lq.retain(|&s| s != seq);
+        }
+        if cx.sink.enabled() {
+            cx.sink.record(TraceEvent::Retire { seq, cycle: st.cycle });
+        }
+        st.al.pop_front();
+        st.stats.retired += 1;
+        st.last_retire_cycle = st.cycle;
+        retired_now += 1;
+        if st.config.max_instructions > 0 && st.stats.retired >= st.config.max_instructions {
+            st.exit = Some(ExitReason::InstrLimit);
+            return;
+        }
+    }
+}
+
+/// Performs a store's retirement-time work: deferred protection check,
+/// functional write, cache footprint. Returns `false` if it faulted.
+fn retire_store<S: TraceSink>(
+    st: &mut PipelineState,
+    cx: &mut StageCtx<'_, S>,
+    head: &AlEntry,
+    width: MemWidth,
+) -> bool {
+    let sq_head = st.sq.first().copied().expect("retiring store has SQ head");
+    debug_assert_eq!(sq_head.seq, head.seq);
+    let addr = sq_head.addr.expect("store executed before retiring");
+    if sq_head.deferred_check {
+        // Re-verify against the committed PKRU (§V-C4), walking the TLB
+        // now if needed (§V-C5 deferred fill).
+        st.stats.hist.deferred_tlb_delay.record(st.cycle - sq_head.issue_cycle);
+        if cx.sink.enabled() {
+            cx.sink.record(TraceEvent::DeferredTlbUpdate { seq: head.seq, cycle: st.cycle });
+        }
+        match st.mem.translate(addr, AccessKind::Write, true) {
+            Err(fault) => {
+                raise_fault(st, cx, head.pc, FaultInfo::Page(fault));
+                return false;
+            }
+            Ok(t) => {
+                if let Err(fault) = st.engine.fault_check_committed(t.pkey, AccessKind::Write) {
+                    raise_fault(st, cx, head.pc, FaultInfo::Protection(fault));
+                    return false;
+                }
+            }
+        }
+    }
+    let data = sq_head.data.expect("store data captured at issue");
+    st.mem.write(addr, width.bytes(), data);
+    let _ = st.mem.data_timing(addr);
+    st.sq.remove(0);
+    true
+}
+
+/// Replays the head-stalled load at the Active-List head: precise
+/// protection check against `ARF_pkru`, then a real (non-speculative)
+/// memory access whose latency stalls retirement.
+fn replay_load_at_head<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
+    let head = st.al.front().expect("caller checked").clone();
+    let seq = head.seq;
+    let addr = head.result.expect("address stashed at first issue");
+    let width = match head.instr {
+        Instr::Load { width, .. } => width,
+        _ => unreachable!("only loads head-stall"),
+    };
+    if cx.sink.enabled() {
+        cx.sink.record(TraceEvent::LoadReplay { seq, cycle: st.cycle });
+        if head.head_stall == Some(HeadStall::TlbMiss) {
+            // The walk below is the §V-C5 deferred TLB fill.
+            cx.sink.record(TraceEvent::DeferredTlbUpdate { seq, cycle: st.cycle });
+        }
+    }
+    if head.head_stall == Some(HeadStall::TlbMiss) {
+        st.stats.hist.deferred_tlb_delay.record(st.cycle - head.stall_cycle);
+    }
+    st.al.front_mut().expect("caller checked").replayed = true;
+    match st.mem.translate(addr, AccessKind::Read, true) {
+        Err(fault) => {
+            let e = st.al.front_mut().expect("head");
+            e.fault = Some(FaultInfo::Page(fault));
+            e.result = Some(0);
+            e.head_stall = None;
+            e.state = AlState::Completed;
+            if let Some((_, phys, _)) = e.dest {
+                st.rf.write(phys, 0);
+            }
+        }
+        Ok(t) => {
+            if let Err(fault) = st.engine.fault_check_committed(t.pkey, AccessKind::Read) {
+                let e = st.al.front_mut().expect("head");
+                e.fault = Some(FaultInfo::Protection(fault));
+                e.result = Some(0);
+                e.head_stall = None;
+                e.state = AlState::Completed;
+                if let Some((_, phys, _)) = e.dest {
+                    st.rf.write(phys, 0);
+                }
+            } else {
+                // Non-speculative execution: TLB updated above, cache
+                // accessed now (the paper's deferred state update).
+                let out = st.mem.data_timing(addr);
+                let value = width.truncate(st.mem.read(addr, width.bytes()));
+                let e = st.al.front_mut().expect("head");
+                e.result = Some(value);
+                e.head_stall = None;
+                st.schedule(seq, 1 + t.latency + out.latency);
+            }
+        }
+    }
+}
+
+pub(crate) fn raise_fault<S: TraceSink>(
+    st: &mut PipelineState,
+    cx: &mut StageCtx<'_, S>,
+    pc: u64,
+    fault: FaultInfo,
+) {
+    match fault {
+        FaultInfo::Protection(_) => st.stats.protection_faults += 1,
+        FaultInfo::Page(_) => st.stats.page_faults += 1,
+    }
+    match st.config.fault_mode {
+        FaultMode::Halt => {
+            st.exit = Some(match fault {
+                FaultInfo::Protection(f) => ExitReason::ProtectionFault { pc, fault: f },
+                FaultInfo::Page(f) => ExitReason::PageFault { pc, fault: f },
+            });
+        }
+        FaultMode::TrapAndContinue => {
+            // Precise trap: flush the pipeline and resume after the
+            // faulting instruction (the Kard-style handler "resolves"
+            // the fault, §IX-D).
+            squash::full_flush(st, cx);
+            st.fetch_pc = Some(pc + INSTR_BYTES);
+            st.last_retire_cycle = st.cycle;
+        }
+    }
+}

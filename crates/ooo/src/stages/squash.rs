@@ -1,0 +1,86 @@
+//! Recovery: branch-misprediction squash and the full pipeline flush.
+
+use specmpk_trace::{TraceEvent, TraceSink};
+
+use super::{PipelineState, Seq, StageCtx};
+
+/// Squashes everything younger than `seq` and redirects fetch.
+pub(crate) fn squash_after<S: TraceSink>(
+    st: &mut PipelineState,
+    cx: &mut StageCtx<'_, S>,
+    seq: Seq,
+    redirect_to: u64,
+) {
+    let idx = st.al_index(seq).expect("squashing branch is in flight");
+    let info = st.al[idx].branch.clone().expect("branch info");
+    st.stats.hist.squash_depth.record((st.al.len() - idx - 1) as u64);
+    // Drop younger AL entries, freeing their resources (reverse order).
+    while st.al.len() > idx + 1 {
+        let victim = st.al.pop_back().expect("len > idx+1");
+        if let Some((_, new, _)) = victim.dest {
+            st.rf.release(new);
+        }
+        if cx.sink.enabled() {
+            if let Some(tag) = victim.pkru_tag {
+                cx.sink.record(TraceEvent::RobPkruFree {
+                    seq: victim.seq,
+                    cycle: st.cycle,
+                    tag: tag.raw(),
+                });
+            }
+            cx.sink.record(TraceEvent::Squash { seq: victim.seq, cycle: st.cycle });
+        }
+        st.stats.squashed += 1;
+    }
+    let cut = st.al[idx].seq;
+    st.iq.retain(|&s| s <= cut);
+    st.lq.retain(|&s| s <= cut);
+    st.sq.retain(|s| s.seq <= cut);
+    st.events.retain(|e| e.seq <= cut);
+    st.frontq.clear();
+    // Restore speculative state from the branch's checkpoints, then
+    // re-apply the branch's own effects (its checkpoint was taken
+    // *before* it renamed).
+    st.rf.restore(&info.rename_cp);
+    if let Some((reg, new, _)) = st.al[idx].dest {
+        // Re-install the branch's own destination mapping (jal link).
+        let _ = reg;
+        let _ = new;
+        // The rename checkpoint was taken before the branch renamed its
+        // destination, so put the mapping back.
+        st.rf.restore_mapping(reg, new);
+    }
+    st.engine.restore(info.pkru_cp);
+    st.predictor.restore(&info.pred_cp);
+    // The restored history contains the *predicted* direction of this
+    // branch; patch in the resolved one.
+    if let Some(taken) = info.resolved_taken {
+        st.predictor.set_last_history_bit(taken);
+    }
+    // Record the corrected fall-through so retire does not re-squash.
+    if let Some(b) = st.al[idx].branch.as_mut() {
+        b.pred_next = redirect_to;
+    }
+    st.fetch_pc = Some(redirect_to);
+    st.last_fetch_line = None;
+    st.fetch_busy_until = st.cycle + 1;
+}
+
+/// Flushes all speculative state (fault trap path).
+pub(crate) fn full_flush<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
+    if cx.sink.enabled() {
+        for e in &st.al {
+            cx.sink.record(TraceEvent::Squash { seq: e.seq, cycle: st.cycle });
+        }
+    }
+    st.al.clear();
+    st.iq.clear();
+    st.lq.clear();
+    st.sq.clear();
+    st.events.clear();
+    st.frontq.clear();
+    st.rf.flush_to_committed();
+    st.engine.flush_speculative();
+    st.last_fetch_line = None;
+    st.fetch_busy_until = st.cycle + 1;
+}

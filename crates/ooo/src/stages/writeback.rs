@@ -1,0 +1,67 @@
+//! Writeback: drain due completion events, write destination registers,
+//! and resolve control flow (triggering a squash on misprediction).
+
+use specmpk_isa::{Instr, Reg};
+use specmpk_trace::{TraceEvent, TraceSink};
+
+use super::{squash, AlState, PipelineState, Seq, StageCtx};
+
+pub(crate) fn writeback<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
+    // Reuse one scratch buffer across cycles instead of allocating a
+    // fresh Vec per cycle; `take` sidesteps the borrow of the state while
+    // the loop body mutates it.
+    let mut due = std::mem::take(&mut st.wb_scratch);
+    due.clear();
+    let cycle = st.cycle;
+    st.events.retain(|e| {
+        if e.at <= cycle {
+            due.push(*e);
+            false
+        } else {
+            true
+        }
+    });
+    due.sort_by_key(|e| e.seq);
+    for &ev in &due {
+        let Some(idx) = st.al_index(ev.seq) else { continue };
+        if st.al[idx].state != AlState::Issued {
+            continue;
+        }
+        // Write the destination register.
+        if let (Some((_, phys, _)), Some(value)) = (st.al[idx].dest, st.al[idx].result) {
+            st.rf.write(phys, value);
+        }
+        st.al[idx].state = AlState::Completed;
+        if cx.sink.enabled() {
+            cx.sink.record(TraceEvent::Complete { seq: ev.seq, cycle: st.cycle });
+        }
+        // Branch resolution.
+        if st.al[idx].instr.is_control() {
+            resolve_branch(st, cx, ev.seq);
+        }
+    }
+    st.wb_scratch = due;
+}
+
+fn resolve_branch<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>, seq: Seq) {
+    let Some(idx) = st.al_index(seq) else { return };
+    let entry = &mut st.al[idx];
+    let actual_next = entry.actual_next.expect("control resolved at issue");
+    let info = entry.branch.as_mut().expect("control has branch info");
+    info.resolved = true;
+    let predicted = info.pred_next;
+    let pc = entry.pc;
+    let instr = entry.instr;
+
+    // Train the BTB with the resolved target of non-return indirect
+    // jumps (even on the wrong path — the BTB is performance state).
+    if let Instr::Jalr { rd, rs } = instr {
+        if !(rd == Reg::ZERO && rs == Reg::RA) {
+            st.predictor.btb_update(pc, actual_next);
+        }
+    }
+    if predicted != actual_next {
+        st.stats.mispredicts += 1;
+        squash::squash_after(st, cx, seq, actual_next);
+    }
+}

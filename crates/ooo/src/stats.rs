@@ -273,6 +273,15 @@ impl SimStats {
         self.rename_slot_stalls[cause.index()]
     }
 
+    /// Total unused rename slots across all causes. Together with the
+    /// renamed-instruction count this accounts for every rename slot of
+    /// every cycle (the CPI-stack invariant the rename stage asserts in
+    /// debug builds).
+    #[must_use]
+    pub fn rename_slot_stalls_total(&self) -> u64 {
+        self.rename_slot_stalls.iter().sum()
+    }
+
     /// Fraction of all cycles fully stalled at rename for `cause`.
     #[must_use]
     pub fn rename_stall_fraction(&self, cause: RenameStall) -> f64 {

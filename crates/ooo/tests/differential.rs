@@ -5,7 +5,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use specmpk_core::WrpkruPolicy;
+use specmpk_core::{registry, PolicyRef};
 use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg};
 use specmpk_mpk::{Pkey, Pkru};
 use specmpk_ooo::interp::{Interp, InterpExit};
@@ -154,7 +154,7 @@ fn generate(seed: u64) -> Program {
 
 fn assert_same_state(
     seed: u64,
-    policy: WrpkruPolicy,
+    policy: PolicyRef,
     result: &specmpk_ooo::SimResult,
     reference: &specmpk_ooo::interp::InterpResult,
 ) {
@@ -180,7 +180,7 @@ fn random_programs_match_reference_under_all_policies() {
             InterpExit::Halted,
             "seed {seed}: generator produced a non-halting or faulting program"
         );
-        for policy in WrpkruPolicy::all() {
+        for policy in registry::all() {
             let mut core = Core::new(SimConfig::with_policy(policy), &program);
             let result = core.run();
             assert_same_state(seed, policy, &result, &reference);
@@ -202,10 +202,10 @@ fn random_programs_match_across_rob_pkru_sizes() {
         let program = generate(seed);
         let reference = Interp::new(&program, Pkru::ALL_ACCESS).run(5_000_000);
         for size in [1usize, 2, 4, 8] {
-            let config = SimConfig::with_policy(WrpkruPolicy::SpecMpk).with_rob_pkru_size(size);
+            let config = SimConfig::with_policy(PolicyRef::SPEC_MPK).with_rob_pkru_size(size);
             let mut core = Core::new(config, &program);
             let result = core.run();
-            assert_same_state(seed, WrpkruPolicy::SpecMpk, &result, &reference);
+            assert_same_state(seed, PolicyRef::SPEC_MPK, &result, &reference);
         }
     }
 }
@@ -226,7 +226,7 @@ mod proptest_differential {
             let program = generate(seed);
             let reference = Interp::new(&program, Pkru::ALL_ACCESS).run(5_000_000);
             prop_assume!(reference.exit == InterpExit::Halted);
-            for policy in WrpkruPolicy::all() {
+            for policy in registry::all() {
                 let mut core = Core::new(SimConfig::with_policy(policy), &program);
                 let result = core.run();
                 prop_assert_eq!(&result.exit, &ExitReason::Halted, "seed {} {}", seed, policy);

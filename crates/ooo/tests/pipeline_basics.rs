@@ -1,6 +1,6 @@
 //! End-to-end correctness tests for the out-of-order core.
 
-use specmpk_core::WrpkruPolicy;
+use specmpk_core::{registry, PolicyRef};
 use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg};
 use specmpk_mpk::{Pkey, Pkru};
 use specmpk_ooo::{Core, ExitReason, FaultMode, SimConfig};
@@ -13,14 +13,14 @@ fn program(asm: Assembler, segments: Vec<DataSegment>) -> Program {
     p
 }
 
-fn run_with(policy: WrpkruPolicy, p: &Program) -> (specmpk_ooo::SimResult, Core) {
+fn run_with(policy: PolicyRef, p: &Program) -> (specmpk_ooo::SimResult, Core) {
     let mut core = Core::new(SimConfig::with_policy(policy), p);
     let r = core.run();
     (r, core)
 }
 
 fn run(p: &Program) -> specmpk_ooo::SimResult {
-    run_with(WrpkruPolicy::SpecMpk, p).0
+    run_with(PolicyRef::SPEC_MPK, p).0
 }
 
 #[test]
@@ -162,7 +162,7 @@ fn all_policies_agree_on_architectural_results() {
     let p = program(asm, vec![seg]);
 
     let mut outcomes = Vec::new();
-    for policy in WrpkruPolicy::all() {
+    for policy in registry::all() {
         let (r, _) = run_with(policy, &p);
         assert_eq!(r.exit, ExitReason::Halted, "{policy}");
         outcomes.push((policy, r.reg(Reg::T1), r.pkru()));
@@ -181,7 +181,7 @@ fn wrpkru_protection_fault_on_architectural_path() {
     asm.load(Reg::T1, Reg::T0, 0, MemWidth::D);
     asm.halt();
     let p = program(asm, vec![seg]);
-    for policy in WrpkruPolicy::all() {
+    for policy in registry::all() {
         let (r, _) = run_with(policy, &p);
         match r.exit {
             ExitReason::ProtectionFault { fault, .. } => {
@@ -203,7 +203,7 @@ fn trap_and_continue_skips_faulting_instruction() {
     asm.li(Reg::T2, 55); // must still execute
     asm.halt();
     let p = program(asm, vec![seg]);
-    let mut config = SimConfig::with_policy(WrpkruPolicy::SpecMpk);
+    let mut config = SimConfig::with_policy(PolicyRef::SPEC_MPK);
     config.fault_mode = FaultMode::TrapAndContinue;
     let mut core = Core::new(config, &p);
     let r = core.run();
@@ -227,8 +227,8 @@ fn serialized_policy_reports_rename_stalls() {
     asm.halt();
     let p = program(asm, vec![]);
 
-    let (ser, _) = run_with(WrpkruPolicy::Serialized, &p);
-    let (spec, _) = run_with(WrpkruPolicy::SpecMpk, &p);
+    let (ser, _) = run_with(PolicyRef::SERIALIZED, &p);
+    let (spec, _) = run_with(PolicyRef::SPEC_MPK, &p);
     assert!(ser.stats.wrpkru_stall_fraction() > 0.1, "{}", ser.stats.wrpkru_stall_fraction());
     assert_eq!(spec.stats.rename_stall_cycles(specmpk_ooo::RenameStall::WrpkruSerialize), 0);
     assert!(
@@ -272,7 +272,7 @@ fn rob_pkru_sensitivity_smaller_is_never_faster() {
 
     let mut cycles = Vec::new();
     for size in [2usize, 4, 8] {
-        let config = SimConfig::with_policy(WrpkruPolicy::SpecMpk).with_rob_pkru_size(size);
+        let config = SimConfig::with_policy(PolicyRef::SPEC_MPK).with_rob_pkru_size(size);
         let mut core = Core::new(config, &p);
         let r = core.run();
         assert_eq!(r.exit, ExitReason::Halted);

@@ -2,7 +2,7 @@
 //! stalls, RDPKRU semantics, deep speculation, TLB-deferral paths, and
 //! fault precision.
 
-use specmpk_core::WrpkruPolicy;
+use specmpk_core::{registry, PolicyRef};
 use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg};
 use specmpk_mpk::{Pkey, Pkru};
 use specmpk_ooo::{Core, ExitReason, RenameStall, SimConfig};
@@ -27,7 +27,7 @@ fn rdpkru_reads_committed_pkru_under_every_policy() {
     asm.alu(AluOp::Add, Reg::S1, Reg::EAX, Operand::Imm(0));
     asm.halt();
     let p = program(asm, vec![]);
-    for policy in WrpkruPolicy::all() {
+    for policy in registry::all() {
         let mut core = Core::new(SimConfig::with_policy(policy), &p);
         let r = core.run();
         assert_eq!(r.exit, ExitReason::Halted, "{policy}");
@@ -57,7 +57,7 @@ fn rdpkru_in_a_loop_tracks_updates() {
     asm.branch(BranchCond::Lt, Reg::S0, Reg::S1, top);
     asm.halt();
     let p = program(asm, vec![]);
-    for policy in WrpkruPolicy::all() {
+    for policy in registry::all() {
         let mut core = Core::new(SimConfig::with_policy(policy), &p);
         let r = core.run();
         assert_eq!(r.exit, ExitReason::Halted, "{policy}");
@@ -195,7 +195,7 @@ fn tlb_miss_stall_path_counts_and_recovers() {
         name: "pages".into(),
     };
     let p = program(asm, vec![seg]);
-    let mut core = Core::new(SimConfig::with_policy(WrpkruPolicy::SpecMpk), &p);
+    let mut core = Core::new(SimConfig::with_policy(PolicyRef::SPEC_MPK), &p);
     let r = core.run();
     assert_eq!(r.exit, ExitReason::Halted);
     assert_eq!(r.reg(Reg::S2), (0..24u64).sum::<u64>());
@@ -204,7 +204,7 @@ fn tlb_miss_stall_path_counts_and_recovers() {
         "cold pages under a disabled window must take the conservative stall"
     );
     // NonSecure never takes that stall.
-    let mut core = Core::new(SimConfig::with_policy(WrpkruPolicy::NonSecureSpec), &p);
+    let mut core = Core::new(SimConfig::with_policy(PolicyRef::NONSECURE_SPEC), &p);
     let r2 = core.run();
     assert_eq!(r2.stats.tlb_miss_stalls, 0);
     assert_eq!(r2.reg(Reg::S2), r.reg(Reg::S2));
@@ -223,7 +223,7 @@ fn fault_pc_is_precise() {
     asm.store(Reg::T0, Reg::T0, 0, MemWidth::D);
     asm.halt();
     let p = program(asm, vec![DataSegment::zeroed("s", 0x8000, 4096, key)]);
-    for policy in WrpkruPolicy::all() {
+    for policy in registry::all() {
         let mut core = Core::new(SimConfig::with_policy(policy), &p);
         match core.run().exit {
             ExitReason::ProtectionFault { pc, .. } => assert_eq!(pc, fault_pc, "{policy}"),
@@ -248,7 +248,7 @@ fn faulting_wrong_path_loads_never_raise() {
     asm.li(Reg::S0, 7);
     asm.halt();
     let p = program(asm, vec![seg]);
-    for policy in WrpkruPolicy::all() {
+    for policy in registry::all() {
         let mut core = Core::new(SimConfig::with_policy(policy), &p);
         let r = core.run();
         assert_eq!(r.exit, ExitReason::Halted, "{policy}: wrong-path fault must not raise");
@@ -271,7 +271,7 @@ fn computed_wrpkru_value_respected() {
     asm.load(Reg::T2, Reg::T1, 0, MemWidth::D); // must fault
     asm.halt();
     let p = program(asm, vec![seg]);
-    for policy in WrpkruPolicy::all() {
+    for policy in registry::all() {
         let mut core = Core::new(SimConfig::with_policy(policy), &p);
         match core.run().exit {
             ExitReason::ProtectionFault { fault, .. } => assert_eq!(fault.pkey(), key, "{policy}"),
@@ -298,7 +298,7 @@ fn back_to_back_wrpkru_bursts_exceeding_rob_pkru() {
     asm.alu(AluOp::Add, Reg::S0, Reg::EAX, Operand::Imm(0));
     asm.halt();
     let p = program(asm, vec![]);
-    let mut core = Core::new(SimConfig::with_policy(WrpkruPolicy::SpecMpk), &p);
+    let mut core = Core::new(SimConfig::with_policy(PolicyRef::SPEC_MPK), &p);
     let r = core.run();
     assert_eq!(r.exit, ExitReason::Halted);
     assert_eq!(r.reg(Reg::S0), u64::from(15u32 << 4));

@@ -3,9 +3,9 @@
 //! The build container cannot reach crates.io, so this local crate
 //! re-implements the slice of proptest's API that the workspace's property
 //! tests use: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`],
-//! [`prop_oneof!`], [`Just`], [`any`], range and tuple strategies,
+//! [`prop_oneof!`], `Just`, `any`, range and tuple strategies,
 //! `prop::collection::vec`, `prop::sample::select`, and
-//! [`ProptestConfig`]'s `cases` knob.
+//! [`ProptestConfig`](test_runner::ProptestConfig)'s `cases` knob.
 //!
 //! Differences from upstream, by design:
 //!
@@ -97,7 +97,7 @@ pub mod test_runner {
 }
 
 pub mod collection {
-    //! `prop::collection` subset: the [`vec`] combinator and [`SizeRange`].
+    //! `prop::collection` subset: the [`vec()`] combinator and [`SizeRange`].
 
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;

@@ -9,6 +9,7 @@
 #   test-ws     cargo test -q --workspace (every crate, incl. property tests)
 #   fmt         cargo fmt --check          (skipped when rustfmt is absent)
 #   clippy      cargo clippy -D warnings   (skipped when clippy is absent)
+#   doc         cargo doc --no-deps with RUSTDOCFLAGS='-D warnings'
 #   experiments fast-subset experiment bins under the pinned budgets below
 #   report      specmpk-report --check baselines/ — regression gate
 #
@@ -101,6 +102,8 @@ if cargo clippy --version >/dev/null 2>&1; then
 else
     echo "SKIP clippy (clippy not installed)"
 fi
+
+stage doc env RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
 stage experiments run_experiments
 stage report run_report

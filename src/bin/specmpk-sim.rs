@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use specmpk::attacks::{run_attack, spectre_bti, spectre_v1, store_forward_overflow};
-use specmpk::core_model::WrpkruPolicy;
+use specmpk::core_model::{registry, PolicyRef};
 use specmpk::ooo::{Core, SimConfig, SimStats};
 use specmpk::trace::{Json, PipeTracer};
 use specmpk::workloads::{standard_suite, Protection, Workload};
@@ -25,6 +25,7 @@ struct Args {
     instructions: u64,
     rob_pkru: usize,
     list: bool,
+    list_policies: bool,
     stats_json: Option<PathBuf>,
     trace: Option<PathBuf>,
     trace_interval: u64,
@@ -41,9 +42,10 @@ USAGE:
 
 OPTIONS:
     --list               list the 16 suite workloads and exit
+    --list-policies      list the registered WRPKRU policies and exit
     --workload NAME      substring of a suite workload name (e.g. 'omnetpp_r')
     --attack KIND        run a PoC instead of a workload
-    --policy P           WRPKRU microarchitecture (default: all)
+    --policy P           a registered policy key, or 'all' (default: all)
     --protection S       'scheme' (the workload's own, default), 'none', 'nop'
     --instructions N     retired-instruction budget (default 500000)
     --rob-pkru N         ROB_pkru entries for SpecMPK (default 8)
@@ -64,6 +66,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         instructions: 500_000,
         rob_pkru: 8,
         list: false,
+        list_policies: false,
         stats_json: None,
         trace: None,
         trace_interval: 0,
@@ -72,6 +75,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--list" => args.list = true,
+            "--list-policies" => args.list_policies = true,
             "--workload" => args.workload = Some(value("--workload")?),
             "--attack" => args.attack = Some(value("--attack")?),
             "--policy" => args.policy = value("--policy")?,
@@ -98,17 +102,16 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     Ok(args)
 }
 
-fn policies(spec: &str) -> Result<Vec<WrpkruPolicy>, String> {
-    Ok(match spec {
-        "all" => WrpkruPolicy::all().to_vec(),
-        "serialized" => vec![WrpkruPolicy::Serialized],
-        "nonsecure" => vec![WrpkruPolicy::NonSecureSpec],
-        "specmpk" => vec![WrpkruPolicy::SpecMpk],
-        other => return Err(format!("unknown policy '{other}'")),
+fn policies(spec: &str) -> Result<Vec<PolicyRef>, String> {
+    if spec == "all" {
+        return Ok(registry::all().to_vec());
+    }
+    registry::by_name(spec).map(|p| vec![p]).ok_or_else(|| {
+        format!("unknown policy '{spec}' (registered: {})", registry::keys().join(", "))
     })
 }
 
-fn print_stats(policy: WrpkruPolicy, stats: &SimStats, baseline_ipc: f64) {
+fn print_stats(policy: PolicyRef, stats: &SimStats, baseline_ipc: f64) {
     println!(
         "{:<20} IPC {:>6.3}  ({:>+6.2}% vs first)  cycles {:>10}  WRPKRU/k {:>6.2}  \
          MPKI {:>5.2}  replays {:>5}",
@@ -122,24 +125,15 @@ fn print_stats(policy: WrpkruPolicy, stats: &SimStats, baseline_ipc: f64) {
     );
 }
 
-/// Stable lowercase key for a policy, used in file names and JSON.
-fn policy_key(policy: WrpkruPolicy) -> &'static str {
-    match policy {
-        WrpkruPolicy::Serialized => "serialized",
-        WrpkruPolicy::NonSecureSpec => "nonsecure",
-        WrpkruPolicy::SpecMpk => "specmpk",
-    }
-}
-
 /// The per-policy trace path: the given path as-is for a single-policy
-/// run, `<path>.<policy>` when several policies share one invocation.
-fn trace_path(base: &Path, policy: WrpkruPolicy, n_policies: usize) -> PathBuf {
+/// run, `<path>.<policy key>` when several policies share one invocation.
+fn trace_path(base: &Path, policy: PolicyRef, n_policies: usize) -> PathBuf {
     if n_policies == 1 {
         base.to_path_buf()
     } else {
         let mut name = base.as_os_str().to_owned();
         name.push(".");
-        name.push(policy_key(policy));
+        name.push(policy.key());
         PathBuf::from(name)
     }
 }
@@ -180,7 +174,7 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
         };
         let base = *baseline.get_or_insert(result.stats.ipc());
         print_stats(policy, &result.stats, base);
-        per_policy.set(policy_key(policy), result.stats.to_json());
+        per_policy.set(policy.key(), result.stats.to_json());
     }
     if let Some(path) = &args.stats_json {
         let artifact = Json::object()
@@ -230,6 +224,12 @@ fn main() -> ExitCode {
                 specmpk::workloads::Scheme::Cpi => Protection::Cpi,
             };
             println!("{:<24} {:?}", w.name(), scheme);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.list_policies {
+        for policy in registry::all() {
+            println!("{:<12} {}", policy.key(), policy);
         }
         return ExitCode::SUCCESS;
     }
