@@ -1,22 +1,37 @@
-//! Guard bench for the tracing subsystem's zero-cost claim.
+//! Guard bench for the observability subsystem's zero-cost claim.
 //!
-//! Three variants simulate the same WRPKRU-dense workload:
+//! Five variants simulate the same WRPKRU-dense workload:
 //!
 //! * **`seed_untraced`** — `Core::new`, the seed's code path (which is
 //!   itself `Core::with_sink(.., NullSink)` after the refactor);
 //! * **`null_sink`** — `Core::with_sink(.., NullSink)` spelled explicitly,
-//!   so a regression in the generic path shows up even if `new` changes;
+//!   so a regression in the generic path shows up even if `new` changes.
+//!   With `SPECMPK_PROFILE` unset this also carries the *disabled*
+//!   profiler (one predictable branch per stage) and no journal — the
+//!   configuration every experiment and CI run uses;
 //! * **`pipe_tracer`** — full per-instruction Konata recording, as an
-//!   upper bound on what enabling tracing costs.
+//!   upper bound on what enabling tracing costs;
+//! * **`journal_sink`** — the ring-buffered micro-event journal
+//!   (`--journal`), which records only sparse events and should sit far
+//!   below `pipe_tracer`;
+//! * **`profiler_on`** — host stage-profiling enabled (`--profile`),
+//!   pricing the two `Instant::now` reads per stage per cycle.
 //!
-//! Acceptance criterion: `null_sink` within 2% of `seed_untraced`.
-//! `NullSink::enabled()` is a constant `false`, so every event-construction
-//! site folds away and the two should be statistically indistinguishable.
+//! Acceptance criterion: `null_sink` within 2% of `seed_untraced` (the
+//! disabled-observability no-op guard). The enabled-mode variants are
+//! recorded honestly in the saved baseline TSV rather than gated — they
+//! are opt-in costs.
+//!
+//! Save a baseline with
+//! `cargo bench -p specmpk-bench --bench trace_overhead -- --save-baseline main`
+//! (written to `benches/baselines/main.tsv`, which is committed).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use specmpk_bench::{dense_workload, simulate_n, simulate_with_sink, BENCH_INSTR};
+use specmpk_bench::{
+    dense_workload, simulate_n, simulate_profiled, simulate_with_sink, BENCH_INSTR,
+};
 use specmpk_core::WrpkruPolicy;
-use specmpk_trace::{NullSink, PipeTracer};
+use specmpk_trace::{Journal, NullSink, PipeTracer};
 
 fn trace_overhead(c: &mut Criterion) {
     let program = dense_workload().build_protected();
@@ -31,8 +46,27 @@ fn trace_overhead(c: &mut Criterion) {
     group.bench_function("pipe_tracer", |b| {
         b.iter(|| simulate_with_sink(&program, policy, BENCH_INSTR, PipeTracer::default()).cycles)
     });
+    group.bench_function("journal_sink", |b| {
+        b.iter(|| simulate_with_sink(&program, policy, BENCH_INSTR, Journal::default()).cycles)
+    });
+    group.bench_function("profiler_on", |b| {
+        b.iter(|| simulate_profiled(&program, policy, BENCH_INSTR).cycles)
+    });
     group.finish();
 }
 
-criterion_group!(benches, trace_overhead);
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .baseline_dir("benches/baselines")
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = trace_overhead
+}
 criterion_main!(benches);

@@ -57,6 +57,20 @@ pub fn simulate_with_sink<S: TraceSink>(
     core.run().stats
 }
 
+/// Simulates `program` under `policy` with host stage-profiling forced
+/// on (the `--profile` / `SPECMPK_PROFILE=1` path).
+///
+/// Used by the `trace_overhead` bench to price the enabled profiler: two
+/// `Instant::now` reads per pipeline stage per cycle.
+#[must_use]
+pub fn simulate_profiled(program: &Program, policy: WrpkruPolicy, n: u64) -> SimStats {
+    let mut config = SimConfig::with_policy(policy);
+    config.max_instructions = n;
+    let mut core = Core::new(config, program);
+    core.set_profiling(true);
+    core.run().stats
+}
+
 /// A small, WRPKRU-dense workload (the suite's omnetpp-SS) for benches.
 #[must_use]
 pub fn dense_workload() -> Workload {

@@ -42,4 +42,5 @@ fn main() {
     println!();
     exp::print_hw_overhead();
     artifact::write("hw_overhead", exp::hw_overhead_json());
+    artifact::write_host_profile("all");
 }

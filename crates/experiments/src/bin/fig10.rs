@@ -4,4 +4,5 @@ fn main() {
     let rows = fig10_data(instr_budget());
     print_fig10(&rows);
     artifact::write("fig10", artifact::rows(&rows, Fig10Row::to_json));
+    artifact::write_host_profile("fig10");
 }

@@ -4,4 +4,5 @@ fn main() {
     let rows = fig11_data(instr_budget());
     print_fig11(&rows);
     artifact::write("fig11", artifact::rows(&rows, Fig11Row::to_json));
+    artifact::write_host_profile("fig11");
 }

@@ -4,4 +4,5 @@ fn main() {
     let series = fig13_data();
     print_fig13(&series);
     artifact::write("fig13", artifact::rows(&series, Fig13Series::to_json));
+    artifact::write_host_profile("fig13");
 }

@@ -4,4 +4,5 @@ fn main() {
     let rows = fig3_data(instr_budget());
     print_fig3(&rows);
     artifact::write("fig3", artifact::rows(&rows, Fig3Row::to_json));
+    artifact::write_host_profile("fig3");
 }

@@ -4,4 +4,5 @@ fn main() {
     let rows = fig4_data(fig4_kinstr());
     print_fig4(&rows);
     artifact::write("fig4", artifact::rows(&rows, Fig4Row::to_json));
+    artifact::write_host_profile("fig4");
 }

@@ -4,4 +4,5 @@ fn main() {
     let rows = fig9_data(instr_budget());
     print_fig9(&rows);
     artifact::write("fig9", artifact::rows(&rows, Fig9Row::to_json));
+    artifact::write_host_profile("fig9");
 }

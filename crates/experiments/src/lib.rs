@@ -21,8 +21,8 @@
 use specmpk_core::{hardware_cost, PolicyRef, SpecMpkConfig};
 use specmpk_isa::Program;
 use specmpk_ooo::{Core, RenameStall, SimConfig, SimStats};
-use specmpk_par::par_map;
-use specmpk_trace::{Histogram, Json};
+use specmpk_par::par_map_labeled;
+use specmpk_trace::{phase_time, Histogram, Journal, Json};
 use specmpk_workloads::{standard_suite, Protection, Workload};
 
 pub use specmpk_attacks as attacks;
@@ -64,6 +64,26 @@ pub mod artifact {
     /// Maps `rows` through `f` into a JSON array.
     pub fn rows<T>(rows: &[T], f: impl Fn(&T) -> Json) -> Json {
         Json::Arr(rows.iter().map(f).collect())
+    }
+
+    /// Writes the accumulated host-phase profile (if `SPECMPK_PROFILE`
+    /// is on and any phase recorded samples) to
+    /// `<output_dir>/host_profile/<name>.json`.
+    ///
+    /// The regression gate only scans the *direct* `*.json` children of
+    /// the output directory, so this subdirectory never perturbs the
+    /// gated artifact set — profiling on/off leaves it byte-identical.
+    pub fn write_host_profile(name: &str) {
+        let Some(phases) = specmpk_trace::phases_json() else { return };
+        let dir = output_dir().join("host_profile");
+        let path = dir.join(format!("{name}.json"));
+        let data = Json::object().with("experiment", name).with("phases", phases);
+        let outcome =
+            std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, data.dump()));
+        match outcome {
+            Ok(()) => eprintln!("[artifact] wrote {}", path.display()),
+            Err(e) => eprintln!("[artifact] could not write {}: {e}", path.display()),
+        }
     }
 }
 
@@ -115,6 +135,36 @@ pub fn run_policy_with_rob(
     core.run().stats
 }
 
+/// Runs `program` under `policy` with a micro-event [`Journal`]
+/// attached, returning the stats and the journal's JSONL text.
+///
+/// The simulator is cycle-deterministic, so for a fixed (program,
+/// policy, budget) the returned JSONL is byte-identical across runs,
+/// worker counts, and machines — the jobs-determinism test leans on
+/// this to prove the observability layer never perturbs results.
+#[must_use]
+pub fn run_policy_journaled(
+    program: &Program,
+    policy: impl Into<PolicyRef>,
+    max_instructions: u64,
+) -> (SimStats, String) {
+    let mut config = SimConfig::with_policy(policy);
+    config.max_instructions = max_instructions;
+    let mut core = Core::with_sink(config, program, Journal::default());
+    let stats = core.run().stats;
+    (stats, core.into_sink().to_jsonl())
+}
+
+/// Labeled per-workload codegen cells: `"<fig>/codegen/<workload>"`.
+fn codegen_cells(fig: &str, suite: &[Workload]) -> Vec<(String, usize)> {
+    (0..suite.len()).map(|i| (format!("{fig}/codegen/{}", suite[i].name()), i)).collect()
+}
+
+/// One simulation cell's progress label: `"<fig>/<workload>/<policy>"`.
+fn sim_label(fig: &str, w: &Workload, policy: PolicyRef) -> String {
+    format!("{fig}/{}/{}", w.name(), policy.key())
+}
+
 /// Geometric mean of a non-empty slice.
 #[must_use]
 pub fn geomean(values: &[f64]) -> f64 {
@@ -162,17 +212,23 @@ impl Fig3Row {
 
 /// Computes Fig. 3 for the standard suite.
 ///
-/// Each independent (workload, policy) simulation is one [`par_map`] cell;
-/// rows assemble from the order-preserved results, so the output is
-/// byte-identical at any `SPECMPK_JOBS` setting.
+/// Each independent (workload, policy) simulation is one
+/// [`par_map_labeled`] cell; rows assemble from the order-preserved
+/// results, so the output is byte-identical at any `SPECMPK_JOBS` (and
+/// any `SPECMPK_PROGRESS`/`SPECMPK_PROFILE`) setting.
 #[must_use]
 pub fn fig3_data(max_instructions: u64) -> Vec<Fig3Row> {
     let suite = standard_suite();
-    let programs = par_map((0..suite.len()).collect(), |i| suite[i].build_protected());
-    let cells: Vec<(usize, PolicyRef)> = (0..suite.len())
+    let programs = phase_time("fig3.codegen", || {
+        par_map_labeled(codegen_cells("fig3", &suite), |i| suite[i].build_protected())
+    });
+    let cells: Vec<(String, (usize, PolicyRef))> = (0..suite.len())
         .flat_map(|i| [(i, PolicyRef::SERIALIZED), (i, PolicyRef::NONSECURE_SPEC)])
+        .map(|(i, policy)| (sim_label("fig3", &suite[i], policy), (i, policy)))
         .collect();
-    let stats = par_map(cells, |(i, policy)| run_policy(&programs[i], policy, max_instructions));
+    let stats = phase_time("fig3.sim", || {
+        par_map_labeled(cells, |(i, policy)| run_policy(&programs[i], policy, max_instructions))
+    });
     suite
         .iter()
         .zip(stats.chunks_exact(2))
@@ -259,27 +315,37 @@ pub fn fig4_data(target_kilo_instructions: u32) -> Vec<Fig4Row> {
     let min_iters: u64 = if target < 100_000 { 4 } else { 20 };
     let suite = standard_suite();
     // Phase 1: size each workload's driver from a cheap parallel probe.
-    let iterations = par_map((0..suite.len()).collect(), |i| {
-        let mut profile = suite[i].profile;
-        profile.driver_iterations = probe_iters as u32;
-        let probe = Workload::from_profile(profile);
-        let per_iter =
-            run_policy(&probe.build_unprotected(), PolicyRef::SERIALIZED, 0).retired / probe_iters;
-        (target / per_iter.max(1)).clamp(min_iters, 2000) as u32
+    let probe_cells: Vec<(String, usize)> =
+        (0..suite.len()).map(|i| (format!("fig4/probe/{}", suite[i].name()), i)).collect();
+    let iterations = phase_time("fig4.probe", || {
+        par_map_labeled(probe_cells, |i| {
+            let mut profile = suite[i].profile;
+            profile.driver_iterations = probe_iters as u32;
+            let probe = Workload::from_profile(profile);
+            let per_iter = run_policy(&probe.build_unprotected(), PolicyRef::SERIALIZED, 0).retired
+                / probe_iters;
+            (target / per_iter.max(1)).clamp(min_iters, 2000) as u32
+        })
     });
     // Phase 2: the three binary variants of every workload are independent
     // run-to-completion cells.
-    let cells: Vec<(usize, u8)> = (0..suite.len()).flat_map(|i| [(i, 0), (i, 1), (i, 2)]).collect();
-    let stats = par_map(cells, |(i, variant)| {
-        let mut profile = suite[i].profile;
-        profile.driver_iterations = iterations[i];
-        let w = Workload::from_profile(profile);
-        let program = match variant {
-            0 => w.build_unprotected(),
-            1 => w.build_nop_wrpkru(),
-            _ => w.build_protected(),
-        };
-        run_policy(&program, PolicyRef::SERIALIZED, 0)
+    let variant_names = ["insecure", "nop_wrpkru", "protected"];
+    let cells: Vec<(String, (usize, u8))> = (0..suite.len())
+        .flat_map(|i| [(i, 0u8), (i, 1), (i, 2)])
+        .map(|(i, v)| (format!("fig4/{}/{}", suite[i].name(), variant_names[v as usize]), (i, v)))
+        .collect();
+    let stats = phase_time("fig4.sim", || {
+        par_map_labeled(cells, |(i, variant)| {
+            let mut profile = suite[i].profile;
+            profile.driver_iterations = iterations[i];
+            let w = Workload::from_profile(profile);
+            let program = match variant {
+                0 => w.build_unprotected(),
+                1 => w.build_nop_wrpkru(),
+                _ => w.build_protected(),
+            };
+            run_policy(&program, PolicyRef::SERIALIZED, 0)
+        })
     });
     suite
         .iter()
@@ -369,13 +435,18 @@ impl Fig9Row {
 #[must_use]
 pub fn fig9_data(max_instructions: u64) -> Vec<Fig9Row> {
     let suite = standard_suite();
-    let cells: Vec<(usize, PolicyRef)> = (0..suite.len())
+    let cells: Vec<(String, (usize, PolicyRef))> = (0..suite.len())
         .flat_map(|i| {
             [(i, PolicyRef::SERIALIZED), (i, PolicyRef::SPEC_MPK), (i, PolicyRef::NONSECURE_SPEC)]
         })
+        .map(|(i, policy)| (sim_label("fig9", &suite[i], policy), (i, policy)))
         .collect();
-    let programs = par_map((0..suite.len()).collect(), |i| suite[i].build_protected());
-    let stats = par_map(cells, |(i, policy)| run_policy(&programs[i], policy, max_instructions));
+    let programs = phase_time("fig9.codegen", || {
+        par_map_labeled(codegen_cells("fig9", &suite), |i| suite[i].build_protected())
+    });
+    let stats = phase_time("fig9.sim", || {
+        par_map_labeled(cells, |(i, policy)| run_policy(&programs[i], policy, max_instructions))
+    });
     suite
         .iter()
         .zip(stats.chunks_exact(3))
@@ -454,8 +525,13 @@ impl Fig10Row {
 #[must_use]
 pub fn fig10_data(max_instructions: u64) -> Vec<Fig10Row> {
     let suite = standard_suite();
-    let stats = par_map((0..suite.len()).collect(), |i| {
-        run_policy(&suite[i].build_protected(), PolicyRef::NONSECURE_SPEC, max_instructions)
+    let cells: Vec<(String, usize)> = (0..suite.len())
+        .map(|i| (sim_label("fig10", &suite[i], PolicyRef::NONSECURE_SPEC), i))
+        .collect();
+    let stats = phase_time("fig10.sim", || {
+        par_map_labeled(cells, |i| {
+            run_policy(&suite[i].build_protected(), PolicyRef::NONSECURE_SPEC, max_instructions)
+        })
     });
     suite
         .iter()
@@ -524,7 +600,8 @@ pub fn fig11_data(max_instructions: u64) -> Vec<Fig11Row> {
     let suite = standard_suite();
     // Per workload: serialized baseline, SpecMPK at ROB_pkru ∈ {2, 4, 8},
     // and the NonSecure ceiling — five independent cells.
-    let cells: Vec<(usize, Option<usize>, PolicyRef)> = (0..suite.len())
+    type Cell = (usize, Option<usize>, PolicyRef);
+    let cells: Vec<(String, Cell)> = (0..suite.len())
         .flat_map(|i| {
             [
                 (i, None, PolicyRef::SERIALIZED),
@@ -534,11 +611,22 @@ pub fn fig11_data(max_instructions: u64) -> Vec<Fig11Row> {
                 (i, None, PolicyRef::NONSECURE_SPEC),
             ]
         })
+        .map(|(i, rob, policy)| {
+            let mut label = sim_label("fig11", &suite[i], policy);
+            if let Some(n) = rob {
+                label.push_str(&format!("/rob{n}"));
+            }
+            (label, (i, rob, policy))
+        })
         .collect();
-    let programs = par_map((0..suite.len()).collect(), |i| suite[i].build_protected());
-    let stats = par_map(cells, |(i, rob, policy)| match rob {
-        Some(n) => run_policy_with_rob(&programs[i], policy, n, max_instructions),
-        None => run_policy(&programs[i], policy, max_instructions),
+    let programs = phase_time("fig11.codegen", || {
+        par_map_labeled(codegen_cells("fig11", &suite), |i| suite[i].build_protected())
+    });
+    let stats = phase_time("fig11.sim", || {
+        par_map_labeled(cells, |(i, rob, policy)| match rob {
+            Some(n) => run_policy_with_rob(&programs[i], policy, n, max_instructions),
+            None => run_policy(&programs[i], policy, max_instructions),
+        })
     });
     suite
         .iter()
@@ -604,9 +692,19 @@ impl Fig13Series {
 #[must_use]
 pub fn fig13_data() -> Vec<Fig13Series> {
     let attack = specmpk_attacks::spectre_v1(101, 72);
-    par_map(vec![PolicyRef::NONSECURE_SPEC, PolicyRef::SPEC_MPK], |policy| {
-        let outcome = specmpk_attacks::run_attack(&attack, policy);
-        Fig13Series { policy, latencies: outcome.latencies().to_vec(), hot: outcome.hot_indices() }
+    let cells: Vec<(String, PolicyRef)> = [PolicyRef::NONSECURE_SPEC, PolicyRef::SPEC_MPK]
+        .into_iter()
+        .map(|policy| (format!("fig13/spectre_v1/{}", policy.key()), policy))
+        .collect();
+    phase_time("fig13.sim", || {
+        par_map_labeled(cells, |policy| {
+            let outcome = specmpk_attacks::run_attack(&attack, policy);
+            Fig13Series {
+                policy,
+                latencies: outcome.latencies().to_vec(),
+                hot: outcome.hot_indices(),
+            }
+        })
     })
 }
 

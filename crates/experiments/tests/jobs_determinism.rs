@@ -7,7 +7,10 @@
 //! process-global `SPECMPK_JOBS` variable; the libtest harness would
 //! otherwise interleave it with unrelated tests.
 
-use specmpk_experiments::{artifact, fig10_data};
+use specmpk_core::PolicyRef;
+use specmpk_experiments::{artifact, fig10_data, run_policy_journaled};
+use specmpk_par::par_map_with_jobs;
+use specmpk_workloads::standard_suite;
 
 #[test]
 fn fig10_artifact_is_byte_identical_across_jobs() {
@@ -19,4 +22,27 @@ fn fig10_artifact_is_byte_identical_across_jobs() {
     std::env::remove_var(specmpk_par::JOBS_ENV);
     assert!(!serial.is_empty());
     assert_eq!(serial, parallel, "fig10 artifact differs between SPECMPK_JOBS=1 and 4");
+}
+
+/// The micro-event journal rides inside each simulation cell, so the
+/// per-cell JSONL must be byte-identical whether cells run serially or
+/// across a pool — the observability layer must never perturb (or be
+/// perturbed by) scheduling.
+#[test]
+fn per_cell_journals_are_byte_identical_across_jobs() {
+    let budget = 2_000;
+    let suite = standard_suite();
+    let cells: Vec<usize> = (0..4.min(suite.len())).collect();
+    let run = |jobs: usize| -> Vec<String> {
+        par_map_with_jobs(jobs, cells.clone(), |i| {
+            let program = suite[i].build_protected();
+            let (stats, jsonl) = run_policy_journaled(&program, PolicyRef::SPEC_MPK, budget);
+            assert_eq!(stats.retired, budget, "cell {i} ran to budget");
+            jsonl
+        })
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert!(serial.iter().any(|j| !j.is_empty()), "some cell journaled events");
+    assert_eq!(serial, parallel, "per-cell journals differ between 1 and 4 workers");
 }

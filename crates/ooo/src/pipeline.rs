@@ -11,10 +11,10 @@
 use specmpk_isa::{Program, Reg};
 use specmpk_mem::{MemorySystem, PageFault};
 use specmpk_mpk::{Pkru, ProtectionFault};
-use specmpk_trace::{NullSink, TraceSink};
+use specmpk_trace::{profile_env, NullSink, Profiler, ProgressReporter, TraceSink};
 
 use crate::config::SimConfig;
-use crate::stages::{self, PipelineState, StageCtx};
+use crate::stages::{self, span, PipelineState, StageCtx};
 use crate::stats::{IntervalSample, RenameStall, SimHistograms, SimStats};
 
 /// How many cycles without a retirement before the core declares deadlock.
@@ -100,7 +100,15 @@ pub struct Core<S: TraceSink = NullSink> {
     sample_prev_retired: u64,
     sample_prev_stalls: [u64; 9],
     sample_prev_hist: SimHistograms,
+    /// Live heartbeat telemetry, when enabled (`--progress` or
+    /// `SPECMPK_PROGRESS`).
+    progress: Option<ProgressReporter>,
 }
+
+/// How often (in cycles, as a power-of-two mask) [`Core::run`] polls the
+/// wall clock for a progress heartbeat. ~1 ms of host time at typical
+/// simulation speeds, far below any sensible heartbeat interval.
+const PROGRESS_POLL_MASK: u64 = 0xFFF;
 
 impl Core {
     /// Creates a core with `program` loaded. If the program declares a
@@ -126,15 +134,34 @@ impl<S: TraceSink> Core<S> {
     /// ([`SimConfig::validate`]).
     #[must_use]
     pub fn with_sink(config: SimConfig, program: &Program, sink: S) -> Self {
+        let progress = ProgressReporter::from_env(config.policy.key());
+        let mut state = PipelineState::new(config, program);
+        // Spans are always registered (fixed ids per `stages::span`);
+        // whether they are *timed* follows SPECMPK_PROFILE, overridable
+        // via `set_profiling`.
+        state.stats.host = Profiler::with_spans(span::NAMES, profile_env());
         Core {
-            state: PipelineState::new(config, program),
+            state,
             sink,
             sample_interval: 0,
             sample_last_cycle: 0,
             sample_prev_retired: 0,
             sample_prev_stalls: [0; 9],
             sample_prev_hist: SimHistograms::default(),
+            progress,
         }
+    }
+
+    /// Turns host-side span profiling on or off for this core (the
+    /// env-independent override; `SPECMPK_PROFILE` sets the default).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.state.stats.host.set_enabled(on);
+    }
+
+    /// Replaces the progress reporter (e.g. to label heartbeats with the
+    /// workload name); `None` silences telemetry for this core.
+    pub fn set_progress(&mut self, progress: Option<ProgressReporter>) {
+        self.progress = progress;
     }
 
     /// The attached trace sink.
@@ -192,9 +219,25 @@ impl<S: TraceSink> Core<S> {
 
     /// Runs to completion and returns the result.
     pub fn run(&mut self) -> SimResult {
-        while self.state.exit.is_none() {
-            self.step();
+        let run_t = self.state.stats.host.clock();
+        if self.progress.is_some() {
+            while self.state.exit.is_none() {
+                self.step();
+                if self.state.cycle & PROGRESS_POLL_MASK == 0 {
+                    let (cycle, retired) = (self.state.cycle, self.state.stats.retired);
+                    let budget = self.state.config.max_instructions;
+                    self.progress.as_mut().expect("checked").heartbeat(cycle, retired, budget);
+                }
+            }
+            let (cycle, retired) = (self.state.cycle, self.state.stats.retired);
+            self.progress.as_mut().expect("checked").finish(cycle, retired);
+        } else {
+            while self.state.exit.is_none() {
+                self.step();
+            }
         }
+        self.state.stats.host.stop(span::RUN_TOTAL, run_t);
+        let finish_t = self.state.stats.host.clock();
         if self.state.replay_run > 0 {
             self.state.stats.hist.load_replay_burst.record(self.state.replay_run);
             self.state.replay_run = 0;
@@ -208,6 +251,7 @@ impl<S: TraceSink> Core<S> {
         }
         self.state.stats.pkru = self.state.engine.stats();
         self.state.stats.mem = self.state.mem.stats();
+        self.state.stats.host.stop(span::FINISH, finish_t);
         SimResult {
             exit: self.state.exit.clone().expect("loop exited"),
             stats: self.state.stats.clone(),
@@ -217,11 +261,17 @@ impl<S: TraceSink> Core<S> {
     }
 
     /// Advances one cycle: the stage orchestrator.
+    ///
+    /// When host profiling is on, one clock stamp *laps* through the
+    /// stage calls (a single `Instant::now` per stage boundary); when it
+    /// is off, every lap is one predictable branch and the cycle loop is
+    /// byte-for-byte the seed behavior.
     pub fn step(&mut self) {
         let st = &mut self.state;
         if st.exit.is_some() {
             return;
         }
+        let t = st.stats.host.clock();
         st.cycle += 1;
         st.stats.cycles = st.cycle;
         // Occupancy is sampled here, at the top of every counted cycle
@@ -231,25 +281,35 @@ impl<S: TraceSink> Core<S> {
         st.stats.hist.rob_pkru_occupancy.record(st.engine.inflight() as u64);
         if st.config.max_cycles > 0 && st.cycle > st.config.max_cycles {
             st.exit = Some(ExitReason::CycleLimit);
+            st.stats.host.stop(span::HOUSEKEEPING, t);
             return;
         }
         if st.cycle - st.last_retire_cycle > DEADLOCK_THRESHOLD {
             st.exit = Some(ExitReason::Deadlock { cycle: st.cycle });
+            st.stats.host.stop(span::HOUSEKEEPING, t);
             return;
         }
+        let t = st.stats.host.lap(span::HOUSEKEEPING, t);
         let cx = &mut StageCtx { sink: &mut self.sink };
         stages::retire::retire(st, cx);
+        let t = st.stats.host.lap(span::RETIRE, t);
         if st.exit.is_some() {
             return;
         }
         stages::writeback::writeback(st, cx);
+        let t = st.stats.host.lap(span::WRITEBACK, t);
         stages::issue::issue(st, cx);
+        let t = st.stats.host.lap(span::ISSUE, t);
         stages::rename::rename(st, cx);
+        let t = st.stats.host.lap(span::RENAME, t);
         stages::fetch::fetch(st, cx);
+        st.stats.host.stop(span::FETCH, t);
         if self.sample_interval > 0
             && self.state.cycle - self.sample_last_cycle >= self.sample_interval
         {
+            let t = self.state.stats.host.clock();
             self.take_sample();
+            self.state.stats.host.stop(span::SAMPLE, t);
         }
     }
 

@@ -2,11 +2,11 @@
 
 use specmpk_isa::{Instr, Reg, INSTR_BYTES};
 use specmpk_mem::AccessLevel;
-use specmpk_trace::TraceSink;
+use specmpk_trace::{TraceEvent, TraceSink};
 
 use super::{Fetched, PipelineState, StageCtx};
 
-pub(crate) fn fetch<S: TraceSink>(st: &mut PipelineState, _cx: &mut StageCtx<'_, S>) {
+pub(crate) fn fetch<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
     if st.cycle < st.fetch_busy_until {
         return;
     }
@@ -19,6 +19,13 @@ pub(crate) fn fetch<S: TraceSink>(st: &mut PipelineState, _cx: &mut StageCtx<'_,
         let Some(&instr) = st.program.instr_at(pc) else {
             // Fetch ran off the map (wrong path): stall until redirect.
             st.fetch_pc = None;
+            if cx.sink.enabled() {
+                cx.sink.record(TraceEvent::WrongPathStall {
+                    seq: st.next_seq,
+                    cycle: st.cycle,
+                    pc,
+                });
+            }
             break;
         };
         // Instruction-cache timing: one access per newly touched line.

@@ -3,7 +3,7 @@
 
 use specmpk_isa::{Instr, InstrClass, MemWidth, Operand};
 use specmpk_mpk::{AccessKind, Pkru};
-use specmpk_trace::{PkruCheckKind, TraceEvent, TraceSink};
+use specmpk_trace::{HeadStallKind, PkruCheckKind, TraceEvent, TraceSink};
 
 use super::{AlState, FaultInfo, HeadStall, MemKind, PipelineState, StageCtx};
 
@@ -231,6 +231,13 @@ fn issue_load<S: TraceSink>(
         e.stall_cycle = cycle;
         e.result = Some(addr); // stash the address for the replay
         e.state = AlState::Issued;
+        if cx.sink.enabled() {
+            cx.sink.record(TraceEvent::HeadStall {
+                seq,
+                cycle: st.cycle,
+                kind: HeadStallKind::TlbMiss,
+            });
+        }
         return true;
     }
     let pkey = translation.pkey;
@@ -250,6 +257,13 @@ fn issue_load<S: TraceSink>(
         e.head_stall = Some(HeadStall::LoadCheckFail);
         e.result = Some(addr);
         e.state = AlState::Issued;
+        if cx.sink.enabled() {
+            cx.sink.record(TraceEvent::HeadStall {
+                seq,
+                cycle: st.cycle,
+                kind: HeadStallKind::LoadCheckFail,
+            });
+        }
         return true;
     }
     // 4. Speculative fault determination (NonSecure / Serialized).
@@ -295,6 +309,13 @@ fn issue_load<S: TraceSink>(
             e.head_stall = Some(HeadStall::NoForwardStore);
             e.result = Some(addr);
             e.state = AlState::Issued;
+            if cx.sink.enabled() {
+                cx.sink.record(TraceEvent::HeadStall {
+                    seq,
+                    cycle: st.cycle,
+                    kind: HeadStallKind::NoForwardStore,
+                });
+            }
         }
         return true;
     }

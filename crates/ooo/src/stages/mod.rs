@@ -16,6 +16,53 @@ pub(crate) mod retire;
 pub(crate) mod squash;
 pub(crate) mod writeback;
 
+/// Host-profiling span ids for the core (`host_profile` stats section).
+///
+/// The ids are fixed constants lining up with [`span::NAMES`], which
+/// [`Core::with_sink`] pre-registers in order — so the per-cycle lap
+/// chain indexes spans without any lookup.
+///
+/// [`Core::with_sink`]: crate::Core::with_sink
+pub(crate) mod span {
+    use specmpk_trace::SpanId;
+
+    /// Registration list, in id order.
+    pub(crate) const NAMES: &[&str] = &[
+        "step.housekeeping",
+        "stage.retire",
+        "stage.writeback",
+        "stage.issue",
+        "stage.rename",
+        "stage.fetch",
+        "stage.squash",
+        "sim.sample",
+        "run.finish",
+        "run.total",
+    ];
+
+    /// Cycle bookkeeping at the top of `step` (occupancy histograms,
+    /// cycle/deadlock limit checks).
+    pub(crate) const HOUSEKEEPING: SpanId = SpanId::from_index(0);
+    pub(crate) const RETIRE: SpanId = SpanId::from_index(1);
+    pub(crate) const WRITEBACK: SpanId = SpanId::from_index(2);
+    pub(crate) const ISSUE: SpanId = SpanId::from_index(3);
+    pub(crate) const RENAME: SpanId = SpanId::from_index(4);
+    pub(crate) const FETCH: SpanId = SpanId::from_index(5);
+    /// Squash recovery. Nested inside the stage that triggered it
+    /// (usually `stage.writeback`), so its time is *also* counted there;
+    /// it is broken out to make recovery cost visible on squash-heavy
+    /// workloads.
+    pub(crate) const SQUASH: SpanId = SpanId::from_index(6);
+    /// Interval-sample collection (`--trace-interval`).
+    pub(crate) const SAMPLE: SpanId = SpanId::from_index(7);
+    /// End-of-run finalization (histogram flush, register collection,
+    /// subsystem stats harvest).
+    pub(crate) const FINISH: SpanId = SpanId::from_index(8);
+    /// The whole `run()` stepping loop; the per-stage spans above tile
+    /// it (minus the nested `stage.squash` overlap).
+    pub(crate) const RUN_TOTAL: SpanId = SpanId::from_index(9);
+}
+
 use std::collections::VecDeque;
 
 use specmpk_core::{PkruCheckpoint, PkruEngine, PkruSource, PkruTag};

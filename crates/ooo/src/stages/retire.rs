@@ -74,6 +74,14 @@ pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
             st.replay_run += 1;
         } else if st.replay_run > 0 {
             st.stats.hist.load_replay_burst.record(st.replay_run);
+            if cx.sink.enabled() {
+                // `seq` is the first non-replayed retire after the burst.
+                cx.sink.record(TraceEvent::ReplayBurst {
+                    seq,
+                    cycle: st.cycle,
+                    len: st.replay_run,
+                });
+            }
             st.replay_run = 0;
         }
         if let Some((reg, new, _prev)) = head.dest {

@@ -1,19 +1,34 @@
 //! Recovery: branch-misprediction squash and the full pipeline flush.
 
-use specmpk_trace::{TraceEvent, TraceSink};
+use specmpk_trace::{SquashCause, TraceEvent, TraceSink};
 
-use super::{PipelineState, Seq, StageCtx};
+use super::{span, PipelineState, Seq, StageCtx};
 
 /// Squashes everything younger than `seq` and redirects fetch.
+///
+/// `cause` classifies the recovery for the trace/journal (the stats
+/// histograms are cause-agnostic, as before).
 pub(crate) fn squash_after<S: TraceSink>(
     st: &mut PipelineState,
     cx: &mut StageCtx<'_, S>,
     seq: Seq,
     redirect_to: u64,
+    cause: SquashCause,
 ) {
+    let t0 = st.stats.host.clock();
     let idx = st.al_index(seq).expect("squashing branch is in flight");
     let info = st.al[idx].branch.clone().expect("branch info");
-    st.stats.hist.squash_depth.record((st.al.len() - idx - 1) as u64);
+    let depth = (st.al.len() - idx - 1) as u64;
+    st.stats.hist.squash_depth.record(depth);
+    if cx.sink.enabled() {
+        cx.sink.record(TraceEvent::SquashBatch {
+            seq,
+            cycle: st.cycle,
+            depth,
+            cause,
+            rob: st.al.len() as u64,
+        });
+    }
     // Drop younger AL entries, freeing their resources (reverse order).
     while st.al.len() > idx + 1 {
         let victim = st.al.pop_back().expect("len > idx+1");
@@ -64,11 +79,22 @@ pub(crate) fn squash_after<S: TraceSink>(
     st.fetch_pc = Some(redirect_to);
     st.last_fetch_line = None;
     st.fetch_busy_until = st.cycle + 1;
+    st.stats.host.stop(span::SQUASH, t0);
 }
 
 /// Flushes all speculative state (fault trap path).
 pub(crate) fn full_flush<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
+    let t0 = st.stats.host.clock();
     if cx.sink.enabled() {
+        if let Some(head) = st.al.front() {
+            cx.sink.record(TraceEvent::SquashBatch {
+                seq: head.seq,
+                cycle: st.cycle,
+                depth: st.al.len() as u64,
+                cause: SquashCause::FaultFlush,
+                rob: st.al.len() as u64,
+            });
+        }
         for e in &st.al {
             cx.sink.record(TraceEvent::Squash { seq: e.seq, cycle: st.cycle });
         }
@@ -83,4 +109,5 @@ pub(crate) fn full_flush<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx
     st.engine.flush_speculative();
     st.last_fetch_line = None;
     st.fetch_busy_until = st.cycle + 1;
+    st.stats.host.stop(span::SQUASH, t0);
 }

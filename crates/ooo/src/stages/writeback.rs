@@ -2,7 +2,7 @@
 //! and resolve control flow (triggering a squash on misprediction).
 
 use specmpk_isa::{Instr, Reg};
-use specmpk_trace::{TraceEvent, TraceSink};
+use specmpk_trace::{SquashCause, TraceEvent, TraceSink};
 
 use super::{squash, AlState, PipelineState, Seq, StageCtx};
 
@@ -62,6 +62,15 @@ fn resolve_branch<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>
     }
     if predicted != actual_next {
         st.stats.mispredicts += 1;
-        squash::squash_after(st, cx, seq, actual_next);
+        let cause = match instr {
+            Instr::Branch { .. } => SquashCause::BranchMispredict,
+            Instr::Jalr { rd, rs } if rd == Reg::ZERO && rs == Reg::RA => {
+                SquashCause::ReturnMispredict
+            }
+            Instr::Jalr { .. } => SquashCause::IndirectMispredict,
+            // Direct jumps only redirect on a BTB cold miss.
+            _ => SquashCause::JumpMispredict,
+        };
+        squash::squash_after(st, cx, seq, actual_next, cause);
     }
 }

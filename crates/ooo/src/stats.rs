@@ -2,7 +2,7 @@
 
 use specmpk_core::PkruEngineStats;
 use specmpk_mem::MemStats;
-use specmpk_trace::{Histogram, Json};
+use specmpk_trace::{Histogram, Json, Profiler};
 
 /// Why the rename stage could not process an instruction this cycle.
 ///
@@ -213,6 +213,12 @@ pub struct SimStats {
     /// Interval time-series samples, populated when sampling is enabled
     /// ([`Core::set_sample_interval`](crate::Core::set_sample_interval)).
     pub samples: Vec<IntervalSample>,
+    /// Host-side profiling spans over the pipeline stages, populated when
+    /// profiling is enabled (`SPECMPK_PROFILE` or
+    /// [`Core::set_profiling`](crate::Core::set_profiling)). Serialized
+    /// as the `host_profile` section only when it has samples, so
+    /// artifacts are byte-identical with profiling off.
+    pub host: Profiler,
 }
 
 impl SimStats {
@@ -312,7 +318,7 @@ impl SimStats {
             }
             obj
         };
-        Json::object()
+        let mut out = Json::object()
             .with("cycles", self.cycles)
             .with("retired", self.retired)
             .with("retired_wrpkru", self.retired_wrpkru)
@@ -336,7 +342,13 @@ impl SimStats {
             .with("pkru", self.pkru.to_json())
             .with("mem", self.mem.to_json())
             .with("histograms", self.hist.to_json())
-            .with("samples", Json::Arr(self.samples.iter().map(IntervalSample::to_json).collect()))
+            .with("samples", Json::Arr(self.samples.iter().map(IntervalSample::to_json).collect()));
+        // Only present when profiling actually ran: artifacts stay
+        // byte-identical with observability disabled.
+        if self.host.has_samples() {
+            out.set("host_profile", self.host.to_json());
+        }
+        out
     }
 }
 

@@ -32,10 +32,22 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Environment variable overriding the worker cap (`0` or unparseable
 /// values fall back to the hardware default; `1` forces the serial path).
 pub const JOBS_ENV: &str = "SPECMPK_JOBS";
+
+/// Environment variable enabling per-cell progress lines from
+/// [`par_map_labeled`] (shared with the simulator's heartbeat telemetry;
+/// any value except `0` or the empty string enables it).
+pub const PROGRESS_ENV: &str = "SPECMPK_PROGRESS";
+
+/// Whether [`PROGRESS_ENV`] asks for per-cell progress lines.
+#[must_use]
+pub fn progress_enabled() -> bool {
+    std::env::var_os(PROGRESS_ENV).is_some_and(|v| !v.is_empty() && v != "0")
+}
 
 /// The maximum number of workers a [`par_map`] call may use:
 /// `SPECMPK_JOBS` if set to a positive integer, otherwise
@@ -82,19 +94,75 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    pool_map(jobs, items, |_worker, _index, item| f(item))
+}
+
+/// [`par_map`] over labeled cells, announcing each cell's start and
+/// finish (worker id, label, position, wall-clock milliseconds) on
+/// stderr when [`PROGRESS_ENV`] is set. With telemetry off it is exactly
+/// [`par_map`] minus the labels — same pool, same ordering guarantees,
+/// so artifacts never depend on whether progress was being watched.
+///
+/// # Panics
+///
+/// Panics if `f` panics for any item.
+pub fn par_map_labeled<T, R, F>(items: Vec<(String, T)>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_labeled_with_jobs(max_jobs(), items, f)
+}
+
+/// [`par_map_labeled`] with an explicit worker cap (for tests).
+///
+/// # Panics
+///
+/// Panics if `f` panics for any item.
+pub fn par_map_labeled_with_jobs<T, R, F>(jobs: usize, items: Vec<(String, T)>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if !progress_enabled() {
+        return pool_map(jobs, items, |_worker, _index, (_, item)| f(item));
+    }
+    let total = items.len();
+    pool_map(jobs, items, |worker, index, (label, item)| {
+        eprintln!("[par] w{worker} start {label} ({}/{total})", index + 1);
+        let t0 = Instant::now();
+        let out = f(item);
+        let ms = t0.elapsed().as_millis();
+        eprintln!("[par] w{worker} done  {label} ({}/{total}, {ms} ms)", index + 1);
+        out
+    })
+}
+
+/// The shared pool body: maps `g(worker, index, item)` over `items`,
+/// preserving input order and propagating panics. Worker 0 is the
+/// caller's thread on the serial path.
+fn pool_map<T, R, G>(jobs: usize, items: Vec<T>, g: G) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    G: Fn(usize, usize, T) -> R + Sync,
+{
     let n = items.len();
     let workers = jobs.max(1).min(n);
     if workers <= 1 {
         // The serial path: identical to pre-pool behavior, caller's thread.
-        return items.into_iter().map(f).collect();
+        return items.into_iter().enumerate().map(|(i, item)| g(0, i, item)).collect();
     }
     let queue = Mutex::new(items.into_iter().enumerate());
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let abort = AtomicBool::new(false);
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        let (queue, slots, abort, panic_payload, g) = (&queue, &slots, &abort, &panic_payload, &g);
+        for worker in 0..workers {
+            scope.spawn(move || loop {
                 if abort.load(Ordering::Relaxed) {
                     break;
                 }
@@ -107,7 +175,8 @@ where
                 // workers stop pulling new cells. `AssertUnwindSafe` is
                 // sound here: after a panic no mapped state is observed —
                 // the pool drains and the payload is re-raised below.
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g(worker, i, item)))
+                {
                     Ok(result) => *slots[i].lock().expect("slot lock") = Some(result),
                     Err(payload) => {
                         abort.store(true, Ordering::Relaxed);
@@ -185,5 +254,14 @@ mod tests {
         // 64 requested workers over 2 items must not deadlock or leak.
         let out = par_map_with_jobs(64, vec![1u32, 2], |x| x + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn labeled_map_matches_plain_map() {
+        for jobs in [1usize, 4] {
+            let items: Vec<(String, u64)> = (0..23).map(|i| (format!("cell-{i}"), i)).collect();
+            let out = par_map_labeled_with_jobs(jobs, items, |x| x * 2);
+            assert_eq!(out, (0..23).map(|i| i * 2).collect::<Vec<_>>(), "jobs={jobs}");
+        }
     }
 }

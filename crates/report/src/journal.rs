@@ -1,0 +1,326 @@
+//! Micro-event journal (JSONL) summarization.
+//!
+//! `specmpk-sim --journal` and the [`Journal`](specmpk_trace::Journal)
+//! sink emit one JSON object per micro-architectural event (squash
+//! batches with depth + cause, WRPKRU rename/retire, failed speculative
+//! PKRU checks, head stalls, load-replay bursts, deferred TLB updates).
+//! This module turns that stream into the things a person debugging a
+//! policy actually asks for:
+//!
+//! * an **event histogram** — what the simulation spent its events on;
+//! * a **squash-cause table** — count, mean and max flush depth per cause;
+//! * **hot windows** — the cycle ranges with the densest event activity;
+//! * **causal chains** — WRPKRU rename → squash → replay-burst sequences
+//!   inside a cycle window, the signature of a permission update
+//!   triggering a recovery storm.
+//!
+//! Everything is deterministic for a fixed input: ties sort by name or
+//! cycle, so the rendered summary is byte-stable and golden-testable.
+
+use specmpk_trace::Json;
+
+/// Default cycle window for hot-spot bucketing and chain matching.
+pub const DEFAULT_WINDOW: u64 = 128;
+
+/// Per-cause squash statistics.
+#[derive(Debug, Clone)]
+pub struct CauseStat {
+    /// Cause name as journaled (e.g. `branch_mispredict`).
+    pub cause: String,
+    /// Number of squash batches with this cause.
+    pub count: u64,
+    /// Sum of flush depths across those batches.
+    pub total_depth: u64,
+    /// Deepest single flush.
+    pub max_depth: u64,
+}
+
+impl CauseStat {
+    /// Mean instructions flushed per squash of this cause.
+    #[must_use]
+    pub fn mean_depth(&self) -> f64 {
+        self.total_depth as f64 / self.count.max(1) as f64
+    }
+}
+
+/// One WRPKRU → squash (→ replay burst) causal chain.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// Cycle of the WRPKRU rename that opened the chain.
+    pub wrpkru_cycle: u64,
+    /// Cycle of the squash that followed within the window.
+    pub squash_cycle: u64,
+    /// The squash's journaled cause.
+    pub cause: String,
+    /// Instructions flushed by the squash.
+    pub depth: u64,
+    /// `(cycle, len)` of a replay burst completing the chain, if one
+    /// retired within the window of the squash.
+    pub burst: Option<(u64, u64)>,
+}
+
+/// Everything the `journal` subcommand reports.
+#[derive(Debug, Clone)]
+pub struct JournalSummary {
+    /// Parsed event records.
+    pub events: u64,
+    /// Lines that failed to parse or lacked `event`/`cycle` fields.
+    pub malformed: u64,
+    /// Cycle of the first event (0 when empty).
+    pub first_cycle: u64,
+    /// Cycle of the last event (0 when empty).
+    pub last_cycle: u64,
+    /// `(event kind, count)`, most frequent first (ties by name).
+    pub counts: Vec<(String, u64)>,
+    /// Squash statistics per cause, most frequent first (ties by name).
+    pub causes: Vec<CauseStat>,
+    /// `(window start cycle, events)`, densest first (ties by cycle).
+    pub hot_windows: Vec<(u64, u64)>,
+    /// Detected causal chains in cycle order.
+    pub chains: Vec<Chain>,
+    /// The cycle window the hot spots and chains were computed with.
+    pub window: u64,
+}
+
+impl JournalSummary {
+    /// The dominant squash cause, if any squash was journaled.
+    #[must_use]
+    pub fn top_squash_cause(&self) -> Option<&CauseStat> {
+        self.causes.first()
+    }
+}
+
+fn bump(counts: &mut Vec<(String, u64)>, key: &str) {
+    match counts.iter_mut().find(|(k, _)| k == key) {
+        Some((_, n)) => *n += 1,
+        None => counts.push((key.to_string(), 1)),
+    }
+}
+
+/// Summarizes journal JSONL text with the given cycle `window`
+/// (0 falls back to [`DEFAULT_WINDOW`]).
+#[must_use]
+pub fn summarize(jsonl: &str, window: u64) -> JournalSummary {
+    let window = if window == 0 { DEFAULT_WINDOW } else { window };
+    let mut out = JournalSummary {
+        events: 0,
+        malformed: 0,
+        first_cycle: 0,
+        last_cycle: 0,
+        counts: Vec::new(),
+        causes: Vec::new(),
+        hot_windows: Vec::new(),
+        chains: Vec::new(),
+        window,
+    };
+    // Window-start → event count; the journal is cycle-ordered, so a
+    // sorted Vec keyed by start stays cheap and deterministic.
+    let mut buckets: Vec<(u64, u64)> = Vec::new();
+    let mut last_wrpkru: Option<u64> = None;
+    let mut pending: Option<Chain> = None;
+    for line in jsonl.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(doc) = Json::parse(line) else {
+            out.malformed += 1;
+            continue;
+        };
+        let (Some(event), Some(cycle)) = (
+            doc.get("event").and_then(Json::as_str).map(str::to_owned),
+            doc.get("cycle").and_then(Json::as_u64),
+        ) else {
+            out.malformed += 1;
+            continue;
+        };
+        if out.events == 0 {
+            out.first_cycle = cycle;
+        }
+        out.events += 1;
+        out.last_cycle = cycle;
+        bump(&mut out.counts, &event);
+        let start = cycle / window * window;
+        match buckets.last_mut() {
+            Some((s, n)) if *s == start => *n += 1,
+            _ => buckets.push((start, 1)),
+        }
+        match event.as_str() {
+            "wrpkru_rename" => last_wrpkru = Some(cycle),
+            "squash" => {
+                let cause =
+                    doc.get("cause").and_then(Json::as_str).unwrap_or("unknown").to_string();
+                let depth = doc.get("depth").and_then(Json::as_u64).unwrap_or(0);
+                match out.causes.iter_mut().find(|c| c.cause == cause) {
+                    Some(c) => {
+                        c.count += 1;
+                        c.total_depth += depth;
+                        c.max_depth = c.max_depth.max(depth);
+                    }
+                    None => out.causes.push(CauseStat {
+                        cause: cause.clone(),
+                        count: 1,
+                        total_depth: depth,
+                        max_depth: depth,
+                    }),
+                }
+                if let Some(w) = last_wrpkru {
+                    if cycle.saturating_sub(w) <= window {
+                        if let Some(chain) = pending.take() {
+                            out.chains.push(chain);
+                        }
+                        pending = Some(Chain {
+                            wrpkru_cycle: w,
+                            squash_cycle: cycle,
+                            cause,
+                            depth,
+                            burst: None,
+                        });
+                    }
+                }
+            }
+            "replay_burst" => {
+                let len = doc.get("len").and_then(Json::as_u64).unwrap_or(0);
+                if let Some(chain) = &mut pending {
+                    if cycle.saturating_sub(chain.squash_cycle) <= window {
+                        chain.burst = Some((cycle, len));
+                    }
+                    out.chains.push(pending.take().expect("checked"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(chain) = pending.take() {
+        out.chains.push(chain);
+    }
+    out.counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out.causes.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.cause.cmp(&b.cause)));
+    buckets.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out.hot_windows = buckets;
+    out
+}
+
+/// Renders a summary as a byte-stable plain-text report, listing at most
+/// `top` hot windows and causal chains.
+#[must_use]
+pub fn render(s: &JournalSummary, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "journal: {} events ({} malformed), cycles {}..{}\n",
+        s.events, s.malformed, s.first_cycle, s.last_cycle
+    ));
+    if s.events == 0 {
+        return out;
+    }
+    out.push_str("events:\n");
+    for (kind, n) in &s.counts {
+        out.push_str(&format!("  {kind:<24} {n:>8}\n"));
+    }
+    if !s.causes.is_empty() {
+        out.push_str("squash causes:\n");
+        for c in &s.causes {
+            out.push_str(&format!(
+                "  {:<24} {:>8}  depth mean {:.1} max {}\n",
+                c.cause,
+                c.count,
+                c.mean_depth(),
+                c.max_depth
+            ));
+        }
+    }
+    out.push_str(&format!("hot windows ({} cycles):\n", s.window));
+    for (start, n) in s.hot_windows.iter().take(top) {
+        out.push_str(&format!(
+            "  cycles {:>10}..{:<10} {:>8} events\n",
+            start,
+            start + s.window - 1,
+            n
+        ));
+    }
+    if s.chains.is_empty() {
+        out.push_str("causal chains: none\n");
+    } else {
+        out.push_str(&format!(
+            "causal chains (wrpkru -> squash -> replay burst, {} total):\n",
+            s.chains.len()
+        ));
+        for c in s.chains.iter().take(top) {
+            let burst = c.burst.map_or_else(String::new, |(cycle, len)| {
+                format!(" -> replay burst len {len} @{cycle}")
+            });
+            out.push_str(&format!(
+                "  wrpkru @{} -> squash {} depth {} @{}{}\n",
+                c.wrpkru_cycle, c.cause, c.depth, c.squash_cycle, burst
+            ));
+        }
+    }
+    if let Some(c) = s.top_squash_cause() {
+        out.push_str(&format!("top squash cause: {} ({} squashes)\n", c.cause, c.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+{\"event\":\"wrpkru_rename\",\"cycle\":100,\"seq\":1,\"tag\":0}
+{\"event\":\"squash\",\"cycle\":120,\"seq\":5,\"cause\":\"branch_mispredict\",\"depth\":9,\"rob\":12}
+{\"event\":\"replay_burst\",\"cycle\":150,\"seq\":9,\"len\":4}
+{\"event\":\"squash\",\"cycle\":900,\"seq\":40,\"cause\":\"branch_mispredict\",\"depth\":3,\"rob\":7}
+{\"event\":\"head_stall\",\"cycle\":950,\"seq\":44,\"kind\":\"tlb_miss\"}
+";
+
+    #[test]
+    fn summarize_counts_events_and_causes() {
+        let s = summarize(SAMPLE, 128);
+        assert_eq!(s.events, 5);
+        assert_eq!(s.malformed, 0);
+        assert_eq!(s.first_cycle, 100);
+        assert_eq!(s.last_cycle, 950);
+        assert_eq!(s.counts[0], ("squash".to_string(), 2));
+        let top = s.top_squash_cause().expect("two squashes");
+        assert_eq!(top.cause, "branch_mispredict");
+        assert_eq!(top.count, 2);
+        assert_eq!(top.max_depth, 9);
+    }
+
+    #[test]
+    fn chain_links_wrpkru_to_squash_and_burst() {
+        let s = summarize(SAMPLE, 128);
+        assert_eq!(s.chains.len(), 1);
+        let c = &s.chains[0];
+        assert_eq!(c.wrpkru_cycle, 100);
+        assert_eq!(c.squash_cycle, 120);
+        assert_eq!(c.depth, 9);
+        assert_eq!(c.burst, Some((150, 4)));
+        // The cycle-900 squash is 800 cycles past the WRPKRU: no chain.
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let s = summarize(
+            "not json\n{\"event\":\"squash\",\"cycle\":1,\"cause\":\"x\",\"depth\":2}\n{}\n",
+            0,
+        );
+        assert_eq!(s.events, 1);
+        assert_eq!(s.malformed, 2);
+        assert_eq!(s.window, DEFAULT_WINDOW);
+    }
+
+    #[test]
+    fn render_is_stable_and_names_the_top_cause() {
+        let a = render(&summarize(SAMPLE, 128), 5);
+        let b = render(&summarize(SAMPLE, 128), 5);
+        assert_eq!(a, b);
+        assert!(a.contains("top squash cause: branch_mispredict (2 squashes)"));
+        assert!(a.contains("replay burst len 4 @150"));
+    }
+
+    #[test]
+    fn empty_journal_renders_header_only() {
+        let s = summarize("", 64);
+        assert_eq!(render(&s, 3), "journal: 0 events (0 malformed), cycles 0..0\n");
+    }
+}

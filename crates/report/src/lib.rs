@@ -22,6 +22,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
+pub mod perf;
+
 use specmpk_trace::Json;
 
 /// How a single metric compared against the baseline.

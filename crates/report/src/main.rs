@@ -1,9 +1,15 @@
-//! `specmpk-report`: diff experiment artifacts against saved baselines.
+//! `specmpk-report`: diff experiment artifacts against saved baselines,
+//! and summarize the host-observability outputs.
 //!
 //! ```text
 //! specmpk-report <baseline.json> <current.json> [options]
 //! specmpk-report --save-baseline <dir> [--from <dir>]
 //! specmpk-report --check <dir> [--from <dir>] [options]
+//! specmpk-report journal <journal.jsonl> [--top N] [--window CYCLES]
+//! specmpk-report timing [--out <f>]      (reads "stage|bin <name> <ms>"
+//!                                         lines on stdin)
+//! specmpk-report perf --pr <label> [--append] [--timing <f>]
+//!                     [--bench-tsv <f>] [--out <f>] [--notes <text>]
 //!
 //! options:
 //!   --tolerance <x>        default relative band (default 1e-6)
@@ -43,6 +49,10 @@ fn usage() -> ExitCode {
         "usage: specmpk-report <baseline.json> <current.json> [options]\n\
          \x20      specmpk-report --save-baseline <dir> [--from <dir>]\n\
          \x20      specmpk-report --check <dir> [--from <dir>] [options]\n\
+         \x20      specmpk-report journal <journal.jsonl> [--top N] [--window CYCLES]\n\
+         \x20      specmpk-report timing [--out <f>]   (stdin: 'stage|bin <name> <ms>')\n\
+         \x20      specmpk-report perf --pr <label> [--append] [--timing <f>]\n\
+         \x20                          [--bench-tsv <f>] [--out <f>] [--notes <text>]\n\
          options: --tolerance <x>, --tolerance-file <f>, --ansi,\n\
          \x20        --bench-file <f|->, --from <dir>"
     );
@@ -218,7 +228,148 @@ fn diff(opts: &Options, baseline: &Path, current: &Path) -> Result<ExitCode, Str
     Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
+/// `specmpk-report journal <path> [--top N] [--window CYCLES]`.
+fn run_journal(args: &[String]) -> Result<ExitCode, String> {
+    let mut path: Option<PathBuf> = None;
+    let mut top = 10usize;
+    let mut window = 0u64; // 0 = library default
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            "--window" => {
+                window = it
+                    .next()
+                    .ok_or("--window needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => path = Some(other.into()),
+        }
+    }
+    let path = path.ok_or("journal: expected a JSONL path")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let summary = specmpk_report::journal::summarize(&text, window);
+    print!("{}", specmpk_report::journal::render(&summary, top));
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `specmpk-report timing [--out <path>]`: turns `stage <name> <ms>` /
+/// `bin <name> <ms>` lines on stdin into `timing.json`, so the wall-clock
+/// artifact has a single (Rust) producer instead of hand-rolled shell
+/// JSON in `ci.sh`.
+fn run_timing(args: &[String]) -> Result<ExitCode, String> {
+    let mut out_path = default_from().join("timing.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().ok_or("--out needs a value")?.into(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let mut stages = Json::object();
+    let mut bins = Json::object();
+    let stdin = std::io::read_to_string(std::io::stdin()).map_err(|e| format!("stdin: {e}"))?;
+    for line in stdin.lines() {
+        let mut parts = line.split_whitespace();
+        let (Some(kind), Some(name), Some(ms)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        let ms: u64 = ms.parse().map_err(|e| format!("timing line {line:?}: {e}"))?;
+        match kind {
+            "stage" => stages.set(name, ms),
+            "bin" => bins.set(name, ms),
+            other => return Err(format!("timing line kind {other:?} (want stage|bin)")),
+        }
+    }
+    let doc = Json::object()
+        .with("jobs_env", std::env::var("SPECMPK_JOBS").unwrap_or_default().as_str())
+        .with("stages_ms", stages)
+        .with("experiment_bins_ms", bins);
+    if let Some(dir) = out_path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    std::fs::write(&out_path, doc.dump()).map_err(|e| format!("{}: {e}", out_path.display()))?;
+    println!("wrote {}", out_path.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `specmpk-report perf --pr <label> [--append] [...]`: builds one
+/// `BENCH_perf.json` entry from `timing.json` + the Criterion baseline
+/// TSV, printing it (default) or appending it to the ledger.
+fn run_perf(args: &[String]) -> Result<ExitCode, String> {
+    let mut pr: Option<String> = None;
+    let mut append = false;
+    let mut timing_path = default_from().join("timing.json");
+    let mut tsv_path = PathBuf::from("crates/bench/benches/baselines/main.tsv");
+    let mut out_path = PathBuf::from("BENCH_perf.json");
+    let mut notes = String::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--pr" => pr = Some(value("--pr")?),
+            "--append" => append = true,
+            "--timing" => timing_path = value("--timing")?.into(),
+            "--bench-tsv" => tsv_path = value("--bench-tsv")?.into(),
+            "--out" => out_path = value("--out")?.into(),
+            "--notes" => notes = value("--notes")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let pr = pr.ok_or("perf: --pr <label> is required")?;
+    // Both inputs are optional: a missing file just omits its section.
+    let timing =
+        std::fs::read_to_string(&timing_path).ok().and_then(|text| Json::parse(&text).ok());
+    let tsv = std::fs::read_to_string(&tsv_path).ok();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let jobs_env = std::env::var("SPECMPK_JOBS").unwrap_or_default();
+    let entry = specmpk_report::perf::perf_entry(
+        &pr,
+        cores,
+        &jobs_env,
+        timing.as_ref(),
+        tsv.as_deref(),
+        &notes,
+    );
+    if append {
+        specmpk_report::perf::append_entry(&out_path, entry)?;
+        println!("appended perf entry to {}", out_path.display());
+    } else {
+        print!("{}", entry.dump());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
+    // Subcommand forms first; the flag/positional grammar below handles
+    // the original diff/save/check modes unchanged.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(sub) = argv.first().map(String::as_str) {
+        let dispatched = match sub {
+            "journal" => Some(run_journal(&argv[1..])),
+            "timing" => Some(run_timing(&argv[1..])),
+            "perf" => Some(run_perf(&argv[1..])),
+            _ => None,
+        };
+        if let Some(result) = dispatched {
+            return match result {
+                Ok(code) => code,
+                Err(msg) => {
+                    eprintln!("specmpk-report: {msg}");
+                    ExitCode::from(2)
+                }
+            };
+        }
+    }
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(msg) => {

@@ -1,0 +1,136 @@
+//! `BENCH_perf.json` trajectory entries.
+//!
+//! Each PR that touches performance records one entry: the CI stage and
+//! per-bin wall clocks (from `experiments_output/timing.json`, produced
+//! by `specmpk-report timing`) plus the Criterion medians saved in
+//! `crates/bench/benches/baselines/*.tsv`. Keeping the builder here —
+//! instead of hand-editing the JSON — means every entry has the same
+//! shape and provenance.
+
+use specmpk_trace::Json;
+
+/// Converts a `{"name": ms, ...}` object into `{"name": seconds, ...}`
+/// with millisecond precision, preserving key order.
+fn ms_obj_to_seconds(obj: &Json) -> Json {
+    let Json::Obj(fields) = obj else { return Json::object() };
+    let mut out = Json::object();
+    for (k, v) in fields {
+        if let Some(ms) = v.as_f64() {
+            out.set(k, (ms / 1000.0 * 1000.0).round() / 1000.0);
+        }
+    }
+    out
+}
+
+/// Parses a Criterion baseline TSV (`<bench id>\t<median>` per line)
+/// into a JSON object, keys in file order.
+#[must_use]
+pub fn bench_tsv_to_json(tsv: &str) -> Json {
+    let mut out = Json::object();
+    for line in tsv.lines() {
+        let Some((key, value)) = line.split_once('\t') else { continue };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            // Round to 3 significant decimals past the integer part —
+            // nanosecond medians don't need 15 digits in a ledger.
+            out.set(key, (v * 1000.0).round() / 1000.0);
+        }
+    }
+    out
+}
+
+/// Builds one `BENCH_perf.json` entry.
+///
+/// `timing` is a parsed `timing.json` (`stages_ms` / `experiment_bins_ms`
+/// are re-expressed in seconds); `bench_tsv` is the Criterion baseline
+/// TSV text. Either may be absent; the entry simply omits that section.
+#[must_use]
+pub fn perf_entry(
+    pr: &str,
+    host_cores: usize,
+    jobs_env: &str,
+    timing: Option<&Json>,
+    bench_tsv: Option<&str>,
+    notes: &str,
+) -> Json {
+    let mut entry =
+        Json::object().with("pr", pr).with("host_cores", host_cores).with("jobs_env", jobs_env);
+    if let Some(t) = timing {
+        if let Some(stages) = t.get("stages_ms") {
+            entry.set("stages_s", ms_obj_to_seconds(stages));
+        }
+        if let Some(bins) = t.get("experiment_bins_ms") {
+            entry.set("experiment_bins_s", ms_obj_to_seconds(bins));
+        }
+    }
+    if let Some(tsv) = bench_tsv {
+        entry.set("bench_medians", bench_tsv_to_json(tsv));
+    }
+    if !notes.is_empty() {
+        entry.set("notes", notes);
+    }
+    entry
+}
+
+/// Appends `entry` to the JSON array at `path`, creating the file if
+/// absent. A corrupt or non-array file restarts the ledger rather than
+/// wedging the caller.
+///
+/// # Errors
+///
+/// Returns a description of the write failure.
+pub fn append_entry(path: &std::path::Path, entry: Json) -> Result<(), String> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(Json::Arr(items)) => items,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    entries.push(entry);
+    std::fs::write(path, Json::Arr(entries).dump()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_converts_ms_to_seconds_and_parses_tsv() {
+        let timing = Json::parse(
+            r#"{"jobs_env":"4","stages_ms":{"build":1500,"test-ws":250},"experiment_bins_ms":{"fig3":4150}}"#,
+        )
+        .unwrap();
+        let entry = perf_entry(
+            "obs layer",
+            4,
+            "4",
+            Some(&timing),
+            Some("sim_kips/SpecMPK\t5341314.4423\n"),
+            "",
+        );
+        assert_eq!(entry.get("pr").unwrap().as_str(), Some("obs layer"));
+        assert_eq!(entry.get("stages_s").unwrap().get("build").unwrap().as_f64(), Some(1.5));
+        assert_eq!(
+            entry.get("experiment_bins_s").unwrap().get("fig3").unwrap().as_f64(),
+            Some(4.15)
+        );
+        let medians = entry.get("bench_medians").unwrap();
+        assert_eq!(medians.get("sim_kips/SpecMPK").unwrap().as_f64(), Some(5_341_314.442));
+        assert!(entry.get("notes").is_none());
+    }
+
+    #[test]
+    fn append_creates_and_grows_an_array() {
+        let dir = std::env::temp_dir().join("specmpk_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.json");
+        let _ = std::fs::remove_file(&path);
+        append_entry(&path, Json::object().with("pr", "one")).unwrap();
+        append_entry(&path, Json::object().with("pr", "two")).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Json::Arr(items) = doc else { panic!("array") };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].get("pr").unwrap().as_str(), Some("two"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -169,6 +169,46 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no spaces or trailing newline —
+    /// the JSONL form the event journal emits one record per line.
+    #[must_use]
+    pub fn dump_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&format_number(*n)),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -551,6 +591,18 @@ mod tests {
         for bad in ["{", "[1,", "\"abc", "{\"a\" 1}", "1 2", "{'a': 1}", "nul"] {
             assert!(Json::parse(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn dump_compact_is_single_line_and_parseable() {
+        let j = Json::object()
+            .with("event", "squash")
+            .with("cycle", 100u64)
+            .with("nested", Json::object().with("a", vec![Json::from(1u64), Json::from(2u64)]));
+        let compact = j.dump_compact();
+        assert_eq!(compact, r#"{"event":"squash","cycle":100,"nested":{"a":[1,2]}}"#);
+        assert!(!compact.contains('\n'));
+        assert_eq!(Json::parse(&compact).unwrap(), j);
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Observability for the SpecMPK simulator.
 //!
-//! Two independent pieces, both dependency-free:
+//! Independent pieces, all dependency-free:
 //!
 //! * [`sink`] — the [`TraceSink`] trait the simulator core is generic
-//!   over, the zero-overhead [`NullSink`] default, and the ring-buffered
+//!   over, the zero-overhead [`NullSink`] default, the ring-buffered
 //!   [`PipeTracer`] that renders gem5-O3PipeView text (loadable in the
-//!   Konata pipeline viewer).
+//!   Konata pipeline viewer), and the [`Tee`] combinator fanning one
+//!   event stream out to two sinks.
+//! * [`obs`] — host-side observability: [`Profiler`] scoped-timer spans
+//!   (the `host_profile` stats section), [`ProgressReporter`] heartbeat
+//!   telemetry, and the ring-buffered JSONL micro-event [`Journal`].
 //! * [`json`] — a hand-rolled [`Json`] value/writer/parser used for
 //!   structured stats artifacts (the build runs offline, so no serde).
 //! * [`histogram`] — a log2-bucketed [`Histogram`] with interpolated
@@ -16,10 +20,17 @@
 
 pub mod histogram;
 pub mod json;
+pub mod obs;
 pub mod sink;
 
 pub use histogram::Histogram;
 pub use json::{Json, JsonError};
+pub use obs::{
+    phase_record_ns, phase_time, phases_json, profile_env, progress_interval_from_env, Journal,
+    Profiler, ProgressReporter, SpanId, DEFAULT_JOURNAL_CAPACITY, DEFAULT_PROGRESS_INTERVAL_MS,
+    PROFILE_ENV, PROGRESS_ENV,
+};
 pub use sink::{
-    EventLog, NullSink, PipeTracer, PkruCheckKind, TraceEvent, TraceSink, DEFAULT_TRACE_CAPACITY,
+    EventLog, HeadStallKind, NullSink, PipeTracer, PkruCheckKind, SquashCause, Tee, TraceEvent,
+    TraceSink, DEFAULT_TRACE_CAPACITY,
 };

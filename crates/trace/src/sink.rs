@@ -19,6 +19,65 @@ pub enum PkruCheckKind {
     Store,
 }
 
+/// Why a pipeline squash happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashCause {
+    /// A conditional branch resolved against its prediction.
+    BranchMispredict,
+    /// An indirect jump (`jalr` through a non-return register) resolved
+    /// to a different target than predicted.
+    IndirectMispredict,
+    /// A return (`jalr` through the return-address register) missed in
+    /// the return-address stack.
+    ReturnMispredict,
+    /// A direct jump redirected fetch (taken-jump front-end bubble).
+    JumpMispredict,
+    /// A full pipeline flush at a fault (e.g. a retired-state PKRU
+    /// violation under trap-and-continue).
+    FaultFlush,
+}
+
+impl SquashCause {
+    /// Stable lowercase name used in journal records and report output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SquashCause::BranchMispredict => "branch_mispredict",
+            SquashCause::IndirectMispredict => "indirect_mispredict",
+            SquashCause::ReturnMispredict => "return_mispredict",
+            SquashCause::JumpMispredict => "jump_mispredict",
+            SquashCause::FaultFlush => "fault_flush",
+        }
+    }
+}
+
+/// Why the instruction at the head of the active list could not retire
+/// or issue this cycle (the stall reasons the SpecMPK scheme introduces
+/// or interacts with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadStallKind {
+    /// A load's optimistic PKRU check failed; it must replay at the head
+    /// with the architectural PKRU.
+    LoadCheckFail,
+    /// A load aliased an older store it could not forward from.
+    NoForwardStore,
+    /// A load missed in the TLB and stalls until it reaches the head
+    /// (conservative in-order TLB-miss handling).
+    TlbMiss,
+}
+
+impl HeadStallKind {
+    /// Stable lowercase name used in journal records and report output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HeadStallKind::LoadCheckFail => "load_check_fail",
+            HeadStallKind::NoForwardStore => "no_forward_store",
+            HeadStallKind::TlbMiss => "tlb_miss",
+        }
+    }
+}
+
 /// One observable micro-architectural event.
 ///
 /// Cycle numbers are absolute simulation cycles; `seq` is the rename-time
@@ -113,6 +172,54 @@ pub enum TraceEvent {
         /// Update cycle.
         cycle: u64,
     },
+    /// A recovery event squashing everything younger than `seq`: one
+    /// record per squash (the per-victim [`TraceEvent::Squash`] events
+    /// still follow), carrying the cause and the ROB context.
+    SquashBatch {
+        /// Sequence number of the instruction that triggered recovery
+        /// (the mispredicted branch, or the faulting instruction).
+        seq: u64,
+        /// Squash cycle.
+        cycle: u64,
+        /// Number of younger instructions being squashed.
+        depth: u64,
+        /// Why the squash happened.
+        cause: SquashCause,
+        /// Active-list (ROB) occupancy at the moment of the squash.
+        rob: u64,
+    },
+    /// A run of consecutive head-of-ROB load replays ended; `len` is the
+    /// burst length (the same runs the `load_replay_burst` histogram
+    /// accumulates).
+    ReplayBurst {
+        /// Sequence number of the first non-replayed retire after the
+        /// burst.
+        seq: u64,
+        /// Cycle the burst was observed to end.
+        cycle: u64,
+        /// Number of consecutive replayed loads in the burst.
+        len: u64,
+    },
+    /// A load was forced to wait for the head of the active list.
+    HeadStall {
+        /// Sequence number of the stalling load.
+        seq: u64,
+        /// Cycle the stall was imposed.
+        cycle: u64,
+        /// Why it must wait.
+        kind: HeadStallKind,
+    },
+    /// Fetch ran off the known instruction map on a wrong path and
+    /// stalled until the next redirect.
+    WrongPathStall {
+        /// Rename sequence number the front end had reached (the next
+        /// sequence number to be assigned).
+        seq: u64,
+        /// Cycle fetch gave up.
+        cycle: u64,
+        /// The unmapped program counter fetch stopped at.
+        pc: u64,
+    },
 }
 
 impl TraceEvent {
@@ -129,7 +236,11 @@ impl TraceEvent {
             | TraceEvent::RobPkruFree { seq, .. }
             | TraceEvent::PkruCheck { seq, .. }
             | TraceEvent::LoadReplay { seq, .. }
-            | TraceEvent::DeferredTlbUpdate { seq, .. } => *seq,
+            | TraceEvent::DeferredTlbUpdate { seq, .. }
+            | TraceEvent::SquashBatch { seq, .. }
+            | TraceEvent::ReplayBurst { seq, .. }
+            | TraceEvent::HeadStall { seq, .. }
+            | TraceEvent::WrongPathStall { seq, .. } => *seq,
         }
     }
 }
@@ -355,6 +466,61 @@ impl TraceSink for PipeTracer {
             TraceEvent::DeferredTlbUpdate { seq, cycle } => {
                 self.note(seq, format!("//specmpk:deferred_tlb_update:{cycle}:{seq}"));
             }
+            TraceEvent::SquashBatch { seq, cycle, depth, cause, rob } => {
+                self.note(
+                    seq,
+                    format!(
+                        "//specmpk:squash_batch:{cycle}:{seq}:{}:depth{depth}:rob{rob}",
+                        cause.name()
+                    ),
+                );
+            }
+            TraceEvent::ReplayBurst { seq, cycle, len } => {
+                self.note(seq, format!("//specmpk:replay_burst:{cycle}:{seq}:len{len}"));
+            }
+            TraceEvent::HeadStall { seq, cycle, kind } => {
+                self.note(seq, format!("//specmpk:head_stall:{cycle}:{seq}:{}", kind.name()));
+            }
+            // Wrong-path fetch dead ends carry no in-flight instruction to
+            // attach a note to; the journal is their home.
+            TraceEvent::WrongPathStall { .. } => {}
+        }
+    }
+}
+
+/// Fans one event stream out to two sinks (e.g. a [`PipeTracer`] and a
+/// journal in the same run). Events are cloned only when both sides are
+/// enabled.
+#[derive(Debug, Default)]
+pub struct Tee<A, B> {
+    /// The first receiving sink.
+    pub a: A,
+    /// The second receiving sink.
+    pub b: B,
+}
+
+impl<A, B> Tee<A, B> {
+    /// A tee over the two sinks.
+    pub fn new(a: A, b: B) -> Tee<A, B> {
+        Tee { a, b }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        match (self.a.enabled(), self.b.enabled()) {
+            (true, true) => {
+                self.a.record(event.clone());
+                self.b.record(event);
+            }
+            (true, false) => self.a.record(event),
+            (false, true) => self.b.record(event),
+            (false, false) => {}
         }
     }
 }
@@ -466,5 +632,44 @@ mod tests {
     #[test]
     fn null_sink_reports_disabled() {
         assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn new_event_kinds_attach_notes() {
+        let mut t = PipeTracer::default();
+        drive(&mut t, 3, 0);
+        t.record(TraceEvent::SquashBatch {
+            seq: 3,
+            cycle: 5,
+            depth: 4,
+            cause: SquashCause::ReturnMispredict,
+            rob: 9,
+        });
+        t.record(TraceEvent::HeadStall { seq: 3, cycle: 6, kind: HeadStallKind::NoForwardStore });
+        t.record(TraceEvent::ReplayBurst { seq: 3, cycle: 7, len: 2 });
+        t.record(TraceEvent::Retire { seq: 3, cycle: 9 });
+        let out = t.render();
+        assert!(out.contains("//specmpk:squash_batch:5:3:return_mispredict:depth4:rob9\n"));
+        assert!(out.contains("//specmpk:head_stall:6:3:no_forward_store\n"));
+        assert!(out.contains("//specmpk:replay_burst:7:3:len2\n"));
+    }
+
+    #[test]
+    fn tee_fans_out_to_both_enabled_sinks() {
+        let mut tee = Tee::new(EventLog::with_capacity(0), EventLog::with_capacity(0));
+        assert!(tee.enabled());
+        tee.record(TraceEvent::LoadReplay { seq: 1, cycle: 2 });
+        assert_eq!(tee.a.events().count(), 1);
+        assert_eq!(tee.b.events().count(), 1);
+    }
+
+    #[test]
+    fn tee_with_null_side_only_feeds_the_live_sink() {
+        let mut tee = Tee::new(NullSink, EventLog::with_capacity(0));
+        assert!(tee.enabled());
+        tee.record(TraceEvent::LoadReplay { seq: 1, cycle: 2 });
+        assert_eq!(tee.b.events().count(), 1);
+        let null_tee = Tee::new(NullSink, NullSink);
+        assert!(!null_tee.enabled());
     }
 }

@@ -12,6 +12,9 @@
 #   doc         cargo doc --no-deps with RUSTDOCFLAGS='-D warnings'
 #   experiments fast-subset experiment bins under the pinned budgets below
 #   report      specmpk-report --check baselines/ — regression gate
+#   obs-smoke   short sim with --progress/--profile/--journal on; checks
+#               heartbeat lines, the host_profile stats section, and the
+#               journal summary (specmpk-report journal)
 #
 # The regression gate reruns the fast experiment subset with pinned,
 # shrunken budgets (SPECMPK_INSTR_BUDGET=100000, SPECMPK_FIG4_KINSTR=40 —
@@ -87,6 +90,30 @@ run_report() {
         --check baselines --tolerance-file scripts/tolerances.json
 }
 
+# Exercises the host-observability layer end to end: heartbeat telemetry
+# at a 25 ms interval, host stage profiling into the stats artifact, and
+# the micro-event journal summarized by `specmpk-report journal`. The
+# env vars are scoped to the one sim invocation — the gated experiments
+# stage above runs env-clean, and obs_smoke/ is a subdirectory the
+# report gate never scans.
+run_obs_smoke() {
+    local out=experiments_output/obs_smoke
+    rm -rf "${out}"
+    mkdir -p "${out}"
+    SPECMPK_PROGRESS=25 SPECMPK_PROFILE=1 \
+        cargo run -q --release --bin specmpk-sim -- \
+        --workload omnetpp --policy specmpk --instructions 150000 \
+        --journal "${out}/journal.jsonl" --stats-json "${out}/stats.json" \
+        > /dev/null 2> "${out}/progress.log"
+    grep -q '^\[progress\] .* done:' "${out}/progress.log"
+    grep -q '"host_profile"' "${out}/stats.json"
+    cargo run -q --release -p specmpk-report -- \
+        journal "${out}/journal.jsonl" > "${out}/journal_summary.txt"
+    grep -q '^top squash cause:' "${out}/journal_summary.txt"
+    echo "    obs-smoke: $(grep -c '^\[progress\]' "${out}/progress.log") heartbeat lines, \
+$(wc -l < "${out}/journal.jsonl") journal events"
+}
+
 stage build cargo build --release --workspace
 stage test-root cargo test -q
 stage test-ws cargo test -q --workspace
@@ -107,28 +134,22 @@ stage doc env RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
 stage experiments run_experiments
 stage report run_report
+stage obs-smoke run_obs_smoke
 
 # ------------------------------------------------- timing summary + JSON
+# The shell only measures; `specmpk-report timing` is the single producer
+# of the timing.json schema (shared with `specmpk-report perf`).
 write_timing_json() {
-    local path="experiments_output/timing.json"
-    local i sep
+    local i
     {
-        printf '{\n  "jobs_env": "%s",\n' "${SPECMPK_JOBS:-}"
-        printf '  "stages_ms": {'
-        sep=""
         for i in "${!STAGE_NAMES[@]}"; do
-            printf '%s\n    "%s": %s' "${sep}" "${STAGE_NAMES[$i]}" "${STAGE_MS[$i]}"
-            sep=","
+            echo "stage ${STAGE_NAMES[$i]} ${STAGE_MS[$i]}"
         done
-        printf '\n  },\n  "experiment_bins_ms": {'
-        sep=""
         for i in "${!BIN_NAMES[@]}"; do
-            printf '%s\n    "%s": %s' "${sep}" "${BIN_NAMES[$i]}" "${BIN_MS[$i]}"
-            sep=","
+            echo "bin ${BIN_NAMES[$i]} ${BIN_MS[$i]}"
         done
-        printf '\n  }\n}\n'
-    } > "${path}"
-    echo "wrote ${path}"
+    } | cargo run -q --release -p specmpk-report -- \
+        timing --out experiments_output/timing.json
 }
 
 echo "==> wall-clock summary"

@@ -10,11 +10,15 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use specmpk::attacks::{run_attack, spectre_bti, spectre_v1, store_forward_overflow};
 use specmpk::core_model::{registry, PolicyRef};
 use specmpk::ooo::{Core, SimConfig, SimStats};
-use specmpk::trace::{Json, PipeTracer};
+use specmpk::trace::{
+    progress_interval_from_env, Journal, Json, NullSink, PipeTracer, ProgressReporter, Tee,
+    TraceSink, DEFAULT_PROGRESS_INTERVAL_MS,
+};
 use specmpk::workloads::{standard_suite, Protection, Workload};
 
 struct Args {
@@ -29,6 +33,9 @@ struct Args {
     stats_json: Option<PathBuf>,
     trace: Option<PathBuf>,
     trace_interval: u64,
+    journal: Option<PathBuf>,
+    progress: bool,
+    profile: bool,
 }
 
 fn usage() -> &'static str {
@@ -53,7 +60,16 @@ OPTIONS:
     --trace PATH         write a Konata/O3PipeView pipeline trace; with
                          --policy all the policy name is appended to PATH
     --trace-interval N   sample IPC/stall time series every N cycles into
-                         the JSON artifact (0 = off, default)"
+                         the JSON artifact (0 = off, default)
+    --journal PATH       write a JSONL micro-event journal (squashes,
+                         WRPKRU rename/retire, failed PKRU checks, head
+                         stalls, replay bursts); with --policy all the
+                         policy name is appended to PATH
+    --progress           emit heartbeat telemetry lines on stderr
+                         (SPECMPK_PROGRESS=<ms> sets the interval)
+    --profile            time the pipeline stages on the host and emit a
+                         host_profile stats section (SPECMPK_PROFILE=1
+                         does the same)"
 }
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
@@ -70,6 +86,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         stats_json: None,
         trace: None,
         trace_interval: 0,
+        journal: None,
+        progress: false,
+        profile: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
@@ -95,6 +114,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--trace-interval: {e}"))?;
             }
+            "--journal" => args.journal = Some(value("--journal")?.into()),
+            "--progress" => args.progress = true,
+            "--profile" => args.profile = true,
             "--help" | "-h" => return Err(usage().to_owned()),
             other => return Err(format!("unknown flag {other}\n\n{}", usage())),
         }
@@ -125,9 +147,9 @@ fn print_stats(policy: PolicyRef, stats: &SimStats, baseline_ipc: f64) {
     );
 }
 
-/// The per-policy trace path: the given path as-is for a single-policy
+/// The per-policy artifact path: the given path as-is for a single-policy
 /// run, `<path>.<policy key>` when several policies share one invocation.
-fn trace_path(base: &Path, policy: PolicyRef, n_policies: usize) -> PathBuf {
+fn per_policy_path(base: &Path, policy: PolicyRef, n_policies: usize) -> PathBuf {
     if n_policies == 1 {
         base.to_path_buf()
     } else {
@@ -136,6 +158,32 @@ fn trace_path(base: &Path, policy: PolicyRef, n_policies: usize) -> PathBuf {
         name.push(policy.key());
         PathBuf::from(name)
     }
+}
+
+/// Configures and runs one policy's core over `sink`, honoring the
+/// observability flags, and hands the sink back for rendering.
+fn run_one<S: TraceSink>(
+    args: &Args,
+    config: SimConfig,
+    program: &specmpk::isa::Program,
+    label: &str,
+    sink: S,
+) -> (specmpk::ooo::SimResult, S) {
+    let mut core = Core::with_sink(config, program, sink);
+    core.set_sample_interval(args.trace_interval);
+    if args.profile {
+        core.set_profiling(true);
+    }
+    // --progress forces telemetry on (env default interval); the env
+    // alone also enables it. Either way the heartbeat label names the
+    // workload and policy rather than the policy-only default.
+    let interval = progress_interval_from_env()
+        .or_else(|| args.progress.then(|| Duration::from_millis(DEFAULT_PROGRESS_INTERVAL_MS)));
+    if let Some(interval) = interval {
+        core.set_progress(Some(ProgressReporter::new(label, interval)));
+    }
+    let result = core.run();
+    (result, core.into_sink())
 }
 
 fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
@@ -158,19 +206,33 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
     for &policy in &selected {
         let mut config = SimConfig::with_policy(policy).with_rob_pkru_size(args.rob_pkru);
         config.max_instructions = args.instructions;
-        let result = if let Some(base) = &args.trace {
-            let mut core = Core::with_sink(config, &program, PipeTracer::default());
-            core.set_sample_interval(args.trace_interval);
-            let result = core.run();
-            let path = trace_path(base, policy, selected.len());
-            core.into_sink()
-                .write_to(&path)
-                .map_err(|e| format!("writing {}: {e}", path.display()))?;
-            result
-        } else {
-            let mut core = Core::new(config, &program);
-            core.set_sample_interval(args.trace_interval);
-            core.run()
+        let label = format!("{}/{}", workload.name(), policy.key());
+        let write = |path: &Path, out: std::io::Result<()>| {
+            out.map_err(|e| format!("writing {}: {e}", path.display()))
+        };
+        let result = match (&args.trace, &args.journal) {
+            (Some(trace), Some(journal)) => {
+                let sink = Tee::new(PipeTracer::default(), Journal::default());
+                let (result, sink) = run_one(args, config, &program, &label, sink);
+                let path = per_policy_path(trace, policy, selected.len());
+                write(&path, sink.a.write_to(&path))?;
+                let path = per_policy_path(journal, policy, selected.len());
+                write(&path, sink.b.write_to(&path))?;
+                result
+            }
+            (Some(trace), None) => {
+                let (result, sink) = run_one(args, config, &program, &label, PipeTracer::default());
+                let path = per_policy_path(trace, policy, selected.len());
+                write(&path, sink.write_to(&path))?;
+                result
+            }
+            (None, Some(journal)) => {
+                let (result, sink) = run_one(args, config, &program, &label, Journal::default());
+                let path = per_policy_path(journal, policy, selected.len());
+                write(&path, sink.write_to(&path))?;
+                result
+            }
+            (None, None) => run_one(args, config, &program, &label, NullSink).0,
         };
         let base = *baseline.get_or_insert(result.stats.ipc());
         print_stats(policy, &result.stats, base);
