@@ -15,7 +15,10 @@
 //!   (`--journal`), which records only sparse events and should sit far
 //!   below `pipe_tracer`;
 //! * **`profiler_on`** — host stage-profiling enabled (`--profile`),
-//!   pricing the two `Instant::now` reads per stage per cycle.
+//!   pricing the two `Instant::now` reads per stage per cycle;
+//! * **`guest_profiler_on`** — guest attribution profiling enabled
+//!   (`--profile-guest`), pricing the per-retirement / per-stall-slot /
+//!   per-squash-victim PC-table charges.
 //!
 //! Acceptance criterion: `null_sink` within 2% of `seed_untraced` (the
 //! disabled-observability no-op guard). The enabled-mode variants are
@@ -28,7 +31,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use specmpk_bench::{
-    dense_workload, simulate_n, simulate_profiled, simulate_with_sink, BENCH_INSTR,
+    dense_workload, simulate_guest_profiled, simulate_n, simulate_profiled, simulate_with_sink,
+    BENCH_INSTR,
 };
 use specmpk_core::WrpkruPolicy;
 use specmpk_trace::{Journal, NullSink, PipeTracer};
@@ -51,6 +55,9 @@ fn trace_overhead(c: &mut Criterion) {
     });
     group.bench_function("profiler_on", |b| {
         b.iter(|| simulate_profiled(&program, policy, BENCH_INSTR).cycles)
+    });
+    group.bench_function("guest_profiler_on", |b| {
+        b.iter(|| simulate_guest_profiled(&program, policy, BENCH_INSTR).cycles)
     });
     group.finish();
 }

@@ -71,6 +71,21 @@ pub fn simulate_profiled(program: &Program, policy: WrpkruPolicy, n: u64) -> Sim
     core.run().stats
 }
 
+/// Simulates `program` under `policy` with guest attribution profiling
+/// forced on (the `--profile-guest` / `SPECMPK_GUEST_PROFILE=1` path).
+///
+/// Used by the `trace_overhead` bench to price the enabled guest
+/// profiler: a hash-table charge per retirement, rename-stall slot, and
+/// squash victim.
+#[must_use]
+pub fn simulate_guest_profiled(program: &Program, policy: WrpkruPolicy, n: u64) -> SimStats {
+    let mut config = SimConfig::with_policy(policy);
+    config.max_instructions = n;
+    let mut core = Core::new(config, program);
+    core.set_guest_profiling(true);
+    core.run().stats
+}
+
 /// A small, WRPKRU-dense workload (the suite's omnetpp-SS) for benches.
 #[must_use]
 pub fn dense_workload() -> Workload {

@@ -43,4 +43,5 @@ fn main() {
     exp::print_hw_overhead();
     artifact::write("hw_overhead", exp::hw_overhead_json());
     artifact::write_host_profile("all");
+    artifact::write_guest_profile("all");
 }

@@ -5,4 +5,5 @@ fn main() {
     print_fig10(&rows);
     artifact::write("fig10", artifact::rows(&rows, Fig10Row::to_json));
     artifact::write_host_profile("fig10");
+    artifact::write_guest_profile("fig10");
 }

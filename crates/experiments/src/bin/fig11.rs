@@ -5,4 +5,5 @@ fn main() {
     print_fig11(&rows);
     artifact::write("fig11", artifact::rows(&rows, Fig11Row::to_json));
     artifact::write_host_profile("fig11");
+    artifact::write_guest_profile("fig11");
 }

@@ -5,4 +5,5 @@ fn main() {
     print_fig3(&rows);
     artifact::write("fig3", artifact::rows(&rows, Fig3Row::to_json));
     artifact::write_host_profile("fig3");
+    artifact::write_guest_profile("fig3");
 }

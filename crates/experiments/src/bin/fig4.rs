@@ -5,4 +5,5 @@ fn main() {
     print_fig4(&rows);
     artifact::write("fig4", artifact::rows(&rows, Fig4Row::to_json));
     artifact::write_host_profile("fig4");
+    artifact::write_guest_profile("fig4");
 }

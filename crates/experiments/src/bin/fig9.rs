@@ -5,4 +5,5 @@ fn main() {
     print_fig9(&rows);
     artifact::write("fig9", artifact::rows(&rows, Fig9Row::to_json));
     artifact::write_host_profile("fig9");
+    artifact::write_guest_profile("fig9");
 }

@@ -22,7 +22,7 @@ use specmpk_core::{hardware_cost, PolicyRef, SpecMpkConfig};
 use specmpk_isa::Program;
 use specmpk_ooo::{Core, RenameStall, SimConfig, SimStats};
 use specmpk_par::par_map_labeled;
-use specmpk_trace::{phase_time, Histogram, Journal, Json};
+use specmpk_trace::{guest_profile_env, phase_time, Histogram, Journal, Json};
 use specmpk_workloads::{standard_suite, Protection, Workload};
 
 pub use specmpk_attacks as attacks;
@@ -37,6 +37,7 @@ pub use specmpk_attacks as attacks;
 pub mod artifact {
     use specmpk_trace::Json;
     use std::path::PathBuf;
+    use std::sync::Mutex;
 
     /// The artifact directory: `$SPECMPK_OUTPUT_DIR`, or
     /// `experiments_output/` under the current directory.
@@ -85,6 +86,48 @@ pub mod artifact {
             Err(e) => eprintln!("[artifact] could not write {}: {e}", path.display()),
         }
     }
+
+    /// Guest profiles collected from labeled runs, pending a
+    /// [`write_guest_profile`] drain.
+    static PENDING_GUEST: Mutex<Vec<(String, Json)>> = Mutex::new(Vec::new());
+
+    /// Queues one labeled run's guest profile for the next
+    /// [`write_guest_profile`] call.
+    pub fn record_guest_profile(label: &str, profile: Json) {
+        PENDING_GUEST
+            .lock()
+            .expect("guest-profile collector poisoned")
+            .push((label.into(), profile));
+    }
+
+    /// Drains the collected guest profiles (if `SPECMPK_GUEST_PROFILE`
+    /// enabled any) to `<output_dir>/guest_profile/<name>.json`, sorted
+    /// by run label so the artifact is byte-identical at any
+    /// `SPECMPK_JOBS` setting.
+    ///
+    /// Like `host_profile/`, this subdirectory sits outside the
+    /// regression gate's scanned set, so profiling on/off leaves the
+    /// gated artifacts untouched.
+    pub fn write_guest_profile(name: &str) {
+        let mut runs = std::mem::take(&mut *PENDING_GUEST.lock().expect("collector poisoned"));
+        if runs.is_empty() {
+            return;
+        }
+        runs.sort_by(|a, b| a.0.cmp(&b.0));
+        let rows: Vec<Json> = runs
+            .into_iter()
+            .map(|(label, profile)| Json::object().with("label", label).with("profile", profile))
+            .collect();
+        let dir = output_dir().join("guest_profile");
+        let path = dir.join(format!("{name}.json"));
+        let data = Json::object().with("experiment", name).with("runs", rows);
+        let outcome =
+            std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, data.dump()));
+        match outcome {
+            Ok(()) => eprintln!("[artifact] wrote {}", path.display()),
+            Err(e) => eprintln!("[artifact] could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Default per-run retired-instruction budget for IPC experiments.
@@ -109,6 +152,10 @@ pub fn fig4_kinstr() -> u32 {
 }
 
 /// Runs `program` under `policy` for at most `max_instructions`.
+///
+/// With `SPECMPK_GUEST_PROFILE` set, the run also attributes cycles,
+/// stalls and WRPKRU outcomes to guest PCs (returned in
+/// [`SimStats::guest`]); the default stats JSON is unchanged otherwise.
 #[must_use]
 pub fn run_policy(
     program: &Program,
@@ -118,6 +165,7 @@ pub fn run_policy(
     let mut config = SimConfig::with_policy(policy);
     config.max_instructions = max_instructions;
     let mut core = Core::new(config, program);
+    core.set_guest_profiling(guest_profile_env());
     core.run().stats
 }
 
@@ -132,6 +180,7 @@ pub fn run_policy_with_rob(
     let mut config = SimConfig::with_policy(policy).with_rob_pkru_size(rob_pkru_size);
     config.max_instructions = max_instructions;
     let mut core = Core::new(config, program);
+    core.set_guest_profiling(guest_profile_env());
     core.run().stats
 }
 
@@ -151,8 +200,22 @@ pub fn run_policy_journaled(
     let mut config = SimConfig::with_policy(policy);
     config.max_instructions = max_instructions;
     let mut core = Core::with_sink(config, program, Journal::default());
+    core.set_guest_profiling(guest_profile_env());
     let stats = core.run().stats;
     (stats, core.into_sink().to_jsonl())
+}
+
+/// Queues the guest profiles of labeled runs for the experiment's
+/// `guest_profile/` artifact. The (label, stats) pairing comes from
+/// [`par_map_labeled`]'s order-preserving result, so the recorded set is
+/// identical at any worker count; a no-op unless `SPECMPK_GUEST_PROFILE`
+/// put samples in the stats.
+fn record_guest_profiles(labels: &[String], stats: &[SimStats]) {
+    for (label, s) in labels.iter().zip(stats) {
+        if s.guest.has_samples() {
+            artifact::record_guest_profile(label, s.guest.to_json(&SimStats::stall_names()));
+        }
+    }
 }
 
 /// Labeled per-workload codegen cells: `"<fig>/codegen/<workload>"`.
@@ -226,9 +289,11 @@ pub fn fig3_data(max_instructions: u64) -> Vec<Fig3Row> {
         .flat_map(|i| [(i, PolicyRef::SERIALIZED), (i, PolicyRef::NONSECURE_SPEC)])
         .map(|(i, policy)| (sim_label("fig3", &suite[i], policy), (i, policy)))
         .collect();
+    let labels: Vec<String> = cells.iter().map(|(l, _)| l.clone()).collect();
     let stats = phase_time("fig3.sim", || {
         par_map_labeled(cells, |(i, policy)| run_policy(&programs[i], policy, max_instructions))
     });
+    record_guest_profiles(&labels, &stats);
     suite
         .iter()
         .zip(stats.chunks_exact(2))
@@ -334,6 +399,7 @@ pub fn fig4_data(target_kilo_instructions: u32) -> Vec<Fig4Row> {
         .flat_map(|i| [(i, 0u8), (i, 1), (i, 2)])
         .map(|(i, v)| (format!("fig4/{}/{}", suite[i].name(), variant_names[v as usize]), (i, v)))
         .collect();
+    let labels: Vec<String> = cells.iter().map(|(l, _)| l.clone()).collect();
     let stats = phase_time("fig4.sim", || {
         par_map_labeled(cells, |(i, variant)| {
             let mut profile = suite[i].profile;
@@ -347,6 +413,7 @@ pub fn fig4_data(target_kilo_instructions: u32) -> Vec<Fig4Row> {
             run_policy(&program, PolicyRef::SERIALIZED, 0)
         })
     });
+    record_guest_profiles(&labels, &stats);
     suite
         .iter()
         .zip(stats.chunks_exact(3))
@@ -444,9 +511,11 @@ pub fn fig9_data(max_instructions: u64) -> Vec<Fig9Row> {
     let programs = phase_time("fig9.codegen", || {
         par_map_labeled(codegen_cells("fig9", &suite), |i| suite[i].build_protected())
     });
+    let labels: Vec<String> = cells.iter().map(|(l, _)| l.clone()).collect();
     let stats = phase_time("fig9.sim", || {
         par_map_labeled(cells, |(i, policy)| run_policy(&programs[i], policy, max_instructions))
     });
+    record_guest_profiles(&labels, &stats);
     suite
         .iter()
         .zip(stats.chunks_exact(3))
@@ -528,11 +597,13 @@ pub fn fig10_data(max_instructions: u64) -> Vec<Fig10Row> {
     let cells: Vec<(String, usize)> = (0..suite.len())
         .map(|i| (sim_label("fig10", &suite[i], PolicyRef::NONSECURE_SPEC), i))
         .collect();
+    let labels: Vec<String> = cells.iter().map(|(l, _)| l.clone()).collect();
     let stats = phase_time("fig10.sim", || {
         par_map_labeled(cells, |i| {
             run_policy(&suite[i].build_protected(), PolicyRef::NONSECURE_SPEC, max_instructions)
         })
     });
+    record_guest_profiles(&labels, &stats);
     suite
         .iter()
         .zip(&stats)
@@ -622,12 +693,14 @@ pub fn fig11_data(max_instructions: u64) -> Vec<Fig11Row> {
     let programs = phase_time("fig11.codegen", || {
         par_map_labeled(codegen_cells("fig11", &suite), |i| suite[i].build_protected())
     });
+    let labels: Vec<String> = cells.iter().map(|(l, _)| l.clone()).collect();
     let stats = phase_time("fig11.sim", || {
         par_map_labeled(cells, |(i, rob, policy)| match rob {
             Some(n) => run_policy_with_rob(&programs[i], policy, n, max_instructions),
             None => run_policy(&programs[i], policy, max_instructions),
         })
     });
+    record_guest_profiles(&labels, &stats);
     suite
         .iter()
         .zip(stats.chunks_exact(5))

@@ -158,6 +158,20 @@ impl<S: TraceSink> Core<S> {
         self.state.stats.host.set_enabled(on);
     }
 
+    /// Turns guest-side attribution profiling (per-PC cycle/stall
+    /// accounting and the WRPKRU site table) on or off for this core.
+    /// Off by default; when off every charge point is a dead branch and
+    /// [`SimStats::to_json`] output is byte-identical to the seed.
+    pub fn set_guest_profiling(&mut self, on: bool) {
+        self.state.stats.guest.set_enabled(on);
+    }
+
+    /// Caps the `hot_pcs` list in the guest-profile JSON at `n` entries
+    /// (the table itself always tracks every PC).
+    pub fn set_guest_profile_top_n(&mut self, n: usize) {
+        self.state.stats.guest.set_top_n(n);
+    }
+
     /// Replaces the progress reporter (e.g. to label heartbeats with the
     /// workload name); `None` silences telemetry for this core.
     pub fn set_progress(&mut self, progress: Option<ProgressReporter>) {
@@ -248,6 +262,17 @@ impl<S: TraceSink> Core<S> {
         let mut regs = [0u64; specmpk_isa::NUM_REGS];
         for r in Reg::all() {
             regs[r.index()] = self.state.rf.committed_value(r);
+        }
+        if self.state.stats.guest.enabled() {
+            // Cycles after the last retirement (e.g. a fault-halt exit or
+            // cycle-limit stop) have no retiring PC; charge them to the
+            // last one seen so the attribution stays total.
+            self.state.stats.guest.charge_tail(self.state.cycle - self.state.last_retire_cycle);
+            debug_assert_eq!(
+                self.state.stats.guest.charged_cycles(),
+                self.state.stats.cycles,
+                "guest profile must attribute every simulated cycle to a PC"
+            );
         }
         self.state.stats.pkru = self.state.engine.stats();
         self.state.stats.mem = self.state.mem.stats();

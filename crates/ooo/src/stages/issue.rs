@@ -207,6 +207,7 @@ fn issue_load<S: TraceSink>(
     width: MemWidth,
 ) -> bool {
     let seq = st.al[idx].seq;
+    let pc = st.al[idx].pc;
     let source = st.al[idx].pkru_source.expect("loads carry a PKRU source");
 
     // 1. Translation probe (no microarchitectural update yet).
@@ -249,10 +250,12 @@ fn issue_load<S: TraceSink>(
             cycle: st.cycle,
             kind: PkruCheckKind::Load,
             passed: load_ok,
+            pc,
         });
     }
     if !load_ok {
         st.stats.load_replays += 1;
+        st.stats.guest.charge_load_replay(pc);
         let e = &mut st.al[idx];
         e.head_stall = Some(HeadStall::LoadCheckFail);
         e.result = Some(addr);
@@ -339,6 +342,7 @@ fn issue_store<S: TraceSink>(
     data: u64,
 ) -> bool {
     let seq = st.al[idx].seq;
+    let pc = st.al[idx].pc;
     let source = st.al[idx].pkru_source.expect("stores carry a PKRU source");
     let sq_pos = st.sq.iter().position(|s| s.seq == seq).expect("store has an SQ slot");
 
@@ -360,6 +364,7 @@ fn issue_store<S: TraceSink>(
                         cycle: st.cycle,
                         kind: PkruCheckKind::Store,
                         passed: pass,
+                        pc,
                     });
                 }
                 if pass {

@@ -144,8 +144,16 @@ pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
                 disasm: f.instr.to_string(),
             });
             if let Some(tag) = pkru_tag {
-                cx.sink.record(TraceEvent::RobPkruAlloc { seq, cycle: st.cycle, tag: tag.raw() });
+                cx.sink.record(TraceEvent::RobPkruAlloc {
+                    seq,
+                    cycle: st.cycle,
+                    tag: tag.raw(),
+                    pc: f.pc,
+                });
             }
+        }
+        if pkru_tag.is_some() {
+            st.stats.guest.wrpkru_rename(seq, f.pc);
         }
         st.al.push_back(AlEntry {
             seq,
@@ -174,6 +182,13 @@ pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
         }
         if renamed == 0 {
             st.stats.note_rename_stall_cycle(cause);
+        }
+        if st.stats.guest.enabled() {
+            // The stalling PC is the instruction rename could not accept
+            // (frontend-empty stalls have none and charge the 0 bucket).
+            let pc = st.frontq.front().map_or(0, |f| f.pc);
+            let slots = (st.config.width - renamed) as u64;
+            st.stats.guest.charge_rename_stall(pc, cause.index(), slots);
         }
     }
 

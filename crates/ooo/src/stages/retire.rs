@@ -40,6 +40,11 @@ pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
 
         match head.instr {
             Instr::Halt => {
+                // Halt ends the run inside the retire loop, so it closes
+                // its own retire-to-retire gap here to keep the per-PC
+                // cycle attribution total.
+                st.stats.guest.charge_retire(head.pc, st.cycle - st.last_retire_cycle);
+                st.last_retire_cycle = st.cycle;
                 st.stats.retired += 1;
                 if cx.sink.enabled() {
                     cx.sink.record(TraceEvent::Retire { seq, cycle: st.cycle });
@@ -51,6 +56,9 @@ pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
                 st.engine.retire_wrpkru();
                 st.stats.retired_wrpkru += 1;
                 st.stats.hist.wrpkru_latency.record(st.cycle - head.rename_cycle);
+                // One execution of this permission-update site; the
+                // rename-to-retire latency is its ROB_pkru residency.
+                st.stats.guest.wrpkru_retire(seq, head.pc, st.cycle - head.rename_cycle);
                 if cx.sink.enabled() {
                     let tag = head.pkru_tag.expect("WRPKRU has a tag");
                     cx.sink.record(TraceEvent::RobPkruFree {
@@ -95,6 +103,9 @@ pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
         }
         st.al.pop_front();
         st.stats.retired += 1;
+        // The first retire of a cycle absorbs the whole retire-to-retire
+        // gap; same-cycle retires charge zero.
+        st.stats.guest.charge_retire(head.pc, st.cycle - st.last_retire_cycle);
         st.last_retire_cycle = st.cycle;
         retired_now += 1;
         if st.config.max_instructions > 0 && st.stats.retired >= st.config.max_instructions {
@@ -222,6 +233,10 @@ pub(crate) fn raise_fault<S: TraceSink>(
             // the fault, §IX-D).
             squash::full_flush(st, cx);
             st.fetch_pc = Some(pc + INSTR_BYTES);
+            // The flush resets the deadlock/attribution window without a
+            // retirement; charge the absorbed gap to the faulting PC so
+            // per-PC cycles still sum to the run total.
+            st.stats.guest.charge_cycles(pc, st.cycle - st.last_retire_cycle);
             st.last_retire_cycle = st.cycle;
         }
     }

@@ -20,6 +20,13 @@ pub(crate) fn squash_after<S: TraceSink>(
     let info = st.al[idx].branch.clone().expect("branch info");
     let depth = (st.al.len() - idx - 1) as u64;
     st.stats.hist.squash_depth.record(depth);
+    if st.stats.guest.enabled() {
+        // Charge the batch to its triggering PC, and (before victims are
+        // popped) let the site table attribute it to the youngest
+        // surviving in-flight WRPKRU.
+        st.stats.guest.charge_squash_trigger(st.al[idx].pc);
+        st.stats.guest.note_squash_batch(seq);
+    }
     if cx.sink.enabled() {
         cx.sink.record(TraceEvent::SquashBatch {
             seq,
@@ -44,6 +51,9 @@ pub(crate) fn squash_after<S: TraceSink>(
                 });
             }
             cx.sink.record(TraceEvent::Squash { seq: victim.seq, cycle: st.cycle });
+        }
+        if victim.pkru_tag.is_some() {
+            st.stats.guest.wrpkru_squash(victim.seq, victim.pc, st.cycle - victim.rename_cycle);
         }
         st.stats.squashed += 1;
     }
@@ -97,6 +107,21 @@ pub(crate) fn full_flush<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx
         }
         for e in &st.al {
             cx.sink.record(TraceEvent::Squash { seq: e.seq, cycle: st.cycle });
+        }
+    }
+    if st.stats.guest.enabled() {
+        if let Some(head) = st.al.front() {
+            // The flush squashes everything including the faulting head,
+            // so no in-flight WRPKRU survives to be charged with it —
+            // the batch is still counted, and every in-flight WRPKRU is
+            // retired from the site table as squashed.
+            st.stats.guest.charge_squash_trigger(head.pc);
+            st.stats.guest.note_squash_batch(head.seq);
+        }
+        for e in &st.al {
+            if e.pkru_tag.is_some() {
+                st.stats.guest.wrpkru_squash(e.seq, e.pc, st.cycle - e.rename_cycle);
+            }
         }
     }
     st.al.clear();

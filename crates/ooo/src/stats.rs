@@ -2,7 +2,7 @@
 
 use specmpk_core::PkruEngineStats;
 use specmpk_mem::MemStats;
-use specmpk_trace::{Histogram, Json, Profiler};
+use specmpk_trace::{GuestProfile, Histogram, Json, Profiler};
 
 /// Why the rename stage could not process an instruction this cycle.
 ///
@@ -65,7 +65,10 @@ impl RenameStall {
         }
     }
 
-    fn index(self) -> usize {
+    /// Stable dense index of this cause (the position [`RenameStall::all`]
+    /// lists it at); also the stall-cause slot the guest profiler charges.
+    #[must_use]
+    pub fn index(self) -> usize {
         match self {
             RenameStall::FrontendEmpty => 0,
             RenameStall::ActiveListFull => 1,
@@ -219,6 +222,12 @@ pub struct SimStats {
     /// as the `host_profile` section only when it has samples, so
     /// artifacts are byte-identical with profiling off.
     pub host: Profiler,
+    /// Guest-side attribution profile (per-PC cycles/stalls and WRPKRU
+    /// site costs), populated when guest profiling is enabled
+    /// ([`Core::set_guest_profiling`](crate::Core::set_guest_profiling)).
+    /// Serialized as the `guest_profile` section only when it has
+    /// samples, so artifacts stay byte-identical with profiling off.
+    pub guest: GuestProfile,
 }
 
 impl SimStats {
@@ -348,7 +357,17 @@ impl SimStats {
         if self.host.has_samples() {
             out.set("host_profile", self.host.to_json());
         }
+        if self.guest.has_samples() {
+            out.set("guest_profile", self.guest.to_json(&Self::stall_names()));
+        }
         out
+    }
+
+    /// The 9 rename-stall cause names in [`RenameStall::index`] order —
+    /// the labels the guest profile's per-PC CPI stack uses.
+    #[must_use]
+    pub fn stall_names() -> [&'static str; 9] {
+        RenameStall::all().map(RenameStall::name)
     }
 }
 

@@ -59,6 +59,16 @@ pub struct Chain {
     pub burst: Option<(u64, u64)>,
 }
 
+/// Per-WRPKRU-site activity observed in the journal (keyed by the
+/// `wrpkru_site` field `wrpkru_rename` / `pkru_check_fail` records carry).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteActivity {
+    /// `wrpkru_rename` records from this site.
+    pub renames: u64,
+    /// `pkru_check_fail` records attributed to this site's PKRU value.
+    pub check_fails: u64,
+}
+
 /// Everything the `journal` subcommand reports.
 #[derive(Debug, Clone)]
 pub struct JournalSummary {
@@ -78,6 +88,8 @@ pub struct JournalSummary {
     pub hot_windows: Vec<(u64, u64)>,
     /// Detected causal chains in cycle order.
     pub chains: Vec<Chain>,
+    /// `(site PC, activity)` per journaled WRPKRU site, sorted by PC.
+    pub sites: Vec<(String, SiteActivity)>,
     /// The cycle window the hot spots and chains were computed with.
     pub window: u64,
 }
@@ -111,7 +123,23 @@ pub fn summarize(jsonl: &str, window: u64) -> JournalSummary {
         causes: Vec::new(),
         hot_windows: Vec::new(),
         chains: Vec::new(),
+        sites: Vec::new(),
         window,
+    };
+    let bump_site = |sites: &mut Vec<(String, SiteActivity)>, doc: &Json, fail: bool| {
+        let Some(site) = doc.get("wrpkru_site").and_then(Json::as_str) else { return };
+        let idx = match sites.iter().position(|(s, _)| s == site) {
+            Some(i) => i,
+            None => {
+                sites.push((site.to_string(), SiteActivity::default()));
+                sites.len() - 1
+            }
+        };
+        if fail {
+            sites[idx].1.check_fails += 1;
+        } else {
+            sites[idx].1.renames += 1;
+        }
     };
     // Window-start → event count; the journal is cycle-ordered, so a
     // sorted Vec keyed by start stays cheap and deterministic.
@@ -145,7 +173,11 @@ pub fn summarize(jsonl: &str, window: u64) -> JournalSummary {
             _ => buckets.push((start, 1)),
         }
         match event.as_str() {
-            "wrpkru_rename" => last_wrpkru = Some(cycle),
+            "wrpkru_rename" => {
+                last_wrpkru = Some(cycle);
+                bump_site(&mut out.sites, &doc, false);
+            }
+            "pkru_check_fail" => bump_site(&mut out.sites, &doc, true),
             "squash" => {
                 let cause =
                     doc.get("cause").and_then(Json::as_str).unwrap_or("unknown").to_string();
@@ -197,7 +229,17 @@ pub fn summarize(jsonl: &str, window: u64) -> JournalSummary {
     out.causes.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.cause.cmp(&b.cause)));
     buckets.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     out.hot_windows = buckets;
+    // Site PCs are hex strings from the shared `fmt_pc` formatting; a
+    // numeric sort keeps 0x1008 before 0x10a0 regardless of string width.
+    out.sites.sort_by_key(|(s, _)| parse_pc(s));
     out
+}
+
+/// Parses a `fmt_pc`-formatted hex PC string back to its value (for
+/// numeric sorting and cross-table joins); unparsable strings sort last.
+#[must_use]
+pub fn parse_pc(s: &str) -> u64 {
+    s.strip_prefix("0x").and_then(|h| u64::from_str_radix(h, 16).ok()).unwrap_or(u64::MAX)
 }
 
 /// Renders a summary as a byte-stable plain-text report, listing at most
@@ -225,6 +267,15 @@ pub fn render(s: &JournalSummary, top: usize) -> String {
                 c.count,
                 c.mean_depth(),
                 c.max_depth
+            ));
+        }
+    }
+    if !s.sites.is_empty() {
+        out.push_str("wrpkru sites:\n");
+        for (site, a) in &s.sites {
+            out.push_str(&format!(
+                "  {:<12} renames {:>7}  check fails {:>5}\n",
+                site, a.renames, a.check_fails
             ));
         }
     }

@@ -24,6 +24,7 @@
 
 pub mod journal;
 pub mod perf;
+pub mod profile;
 
 use specmpk_trace::Json;
 

@@ -6,6 +6,8 @@
 //! specmpk-report --save-baseline <dir> [--from <dir>]
 //! specmpk-report --check <dir> [--from <dir>] [options]
 //! specmpk-report journal <journal.jsonl> [--top N] [--window CYCLES]
+//!                        [--sites <profile.json>]
+//! specmpk-report profile <artifact.json> [more.json ...] [--top N]
 //! specmpk-report timing [--out <f>]      (reads "stage|bin <name> <ms>"
 //!                                         lines on stdin)
 //! specmpk-report perf --pr <label> [--append] [--timing <f>]
@@ -50,6 +52,8 @@ fn usage() -> ExitCode {
          \x20      specmpk-report --save-baseline <dir> [--from <dir>]\n\
          \x20      specmpk-report --check <dir> [--from <dir>] [options]\n\
          \x20      specmpk-report journal <journal.jsonl> [--top N] [--window CYCLES]\n\
+         \x20                             [--sites <profile.json>]\n\
+         \x20      specmpk-report profile <artifact.json> [more.json ...] [--top N]\n\
          \x20      specmpk-report timing [--out <f>]   (stdin: 'stage|bin <name> <ms>')\n\
          \x20      specmpk-report perf --pr <label> [--append] [--timing <f>]\n\
          \x20                          [--bench-tsv <f>] [--out <f>] [--notes <text>]\n\
@@ -228,9 +232,11 @@ fn diff(opts: &Options, baseline: &Path, current: &Path) -> Result<ExitCode, Str
     Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
-/// `specmpk-report journal <path> [--top N] [--window CYCLES]`.
+/// `specmpk-report journal <path> [--top N] [--window CYCLES]
+/// [--sites <profile.json>]`.
 fn run_journal(args: &[String]) -> Result<ExitCode, String> {
     let mut path: Option<PathBuf> = None;
+    let mut sites: Option<PathBuf> = None;
     let mut top = 10usize;
     let mut window = 0u64; // 0 = library default
     let mut it = args.iter();
@@ -250,6 +256,7 @@ fn run_journal(args: &[String]) -> Result<ExitCode, String> {
                     .parse()
                     .map_err(|e| format!("--window: {e}"))?;
             }
+            "--sites" => sites = Some(it.next().ok_or("--sites needs a value")?.into()),
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => path = Some(other.into()),
         }
@@ -258,6 +265,62 @@ fn run_journal(args: &[String]) -> Result<ExitCode, String> {
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
     let summary = specmpk_report::journal::summarize(&text, window);
     print!("{}", specmpk_report::journal::render(&summary, top));
+    // The cross-reference rides after the summary so ci.sh's pinned
+    // `^top squash cause:` grep on the plain summary keeps matching.
+    if let Some(sites_path) = sites {
+        let (runs, _) = specmpk_report::profile::extract(&load_json(&sites_path)?);
+        if runs.is_empty() {
+            return Err(format!("{}: no guest_profile sections found", sites_path.display()));
+        }
+        for run in &runs {
+            print!("{}", specmpk_report::profile::render_crossref(&summary, run));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `specmpk-report profile <artifact.json> [more.json ...] [--top N]`:
+/// renders the guest attribution profile(s) — hot-PC tables, WRPKRU site
+/// table (per-run columns when several runs are given), and
+/// collapsed-stack lines folded by the workload's region map.
+fn run_profile(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut top = 20usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => paths.push(other.into()),
+        }
+    }
+    if paths.is_empty() {
+        return Err("profile: expected at least one artifact path".to_string());
+    }
+    let mut runs = Vec::new();
+    let mut regions = Vec::new();
+    for path in &paths {
+        let (mut file_runs, file_regions) = specmpk_report::profile::extract(&load_json(path)?);
+        if paths.len() > 1 {
+            // Disambiguate: the same policy key can appear in every artifact.
+            let stem =
+                path.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+            for run in &mut file_runs {
+                run.label = format!("{stem}:{}", run.label);
+            }
+        }
+        runs.extend(file_runs);
+        if regions.is_empty() {
+            regions = file_regions;
+        }
+    }
+    print!("{}", specmpk_report::profile::render(&runs, &regions, top));
     Ok(ExitCode::SUCCESS)
 }
 
@@ -356,6 +419,7 @@ fn main() -> ExitCode {
     if let Some(sub) = argv.first().map(String::as_str) {
         let dispatched = match sub {
             "journal" => Some(run_journal(&argv[1..])),
+            "profile" => Some(run_profile(&argv[1..])),
             "timing" => Some(run_timing(&argv[1..])),
             "perf" => Some(run_perf(&argv[1..])),
             _ => None,

@@ -1,0 +1,480 @@
+//! Guest attribution profile rendering (`specmpk-report profile`).
+//!
+//! Consumes the `guest_profile` sections that `--profile-guest` /
+//! `SPECMPK_GUEST_PROFILE=1` put into simulator stats artifacts and
+//! `experiments_output/guest_profile/` files, and renders:
+//!
+//! * a **hot-PC table** per run — cycles, cycle share, retirement,
+//!   squash-trigger/replay counts and the rename CPI-stack breakdown;
+//! * a **WRPKRU site table** — executions, squash outcomes, `ROB_pkru`
+//!   residency and retire-latency percentiles per permission-update
+//!   site, with compact per-run columns when several runs are given;
+//! * a **collapsed-stack view** — `label;region cycles` lines folded by
+//!   the workload codegen's region labels (flamegraph-tool compatible),
+//!   with an `[other]` bucket for cycles outside the top-N PC list.
+//!
+//! All tables sort sites and regions deterministically, so output is
+//! byte-stable for fixed inputs.
+
+use specmpk_trace::Json;
+
+use crate::journal::{parse_pc, JournalSummary};
+
+/// One profiled run: a display label and its `guest_profile` JSON.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Display label (`<policy>` for sim artifacts, the experiment cell
+    /// label for `guest_profile/` artifacts).
+    pub label: String,
+    /// The run's `guest_profile` object.
+    pub profile: Json,
+}
+
+/// A named PC range from the workload codegen's region side map.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Region name (`driver`, a function name, or `trap`).
+    pub name: String,
+    /// First PC (inclusive).
+    pub start: u64,
+    /// One past the last PC (exclusive).
+    pub end: u64,
+}
+
+/// Extracts the profiled runs (and region map, if present) from one
+/// artifact. Accepts both shapes:
+///
+/// * a `specmpk-sim --stats-json` artifact — one run per policy whose
+///   stats carry a `guest_profile` section, plus the `regions` array;
+/// * an `experiments_output/guest_profile/<name>.json` artifact — the
+///   label-sorted `runs` list.
+#[must_use]
+pub fn extract(doc: &Json) -> (Vec<Run>, Vec<Region>) {
+    let mut runs = Vec::new();
+    if let Some(rows) = doc.get("runs").and_then(Json::as_arr) {
+        for row in rows {
+            if let (Some(label), Some(profile)) =
+                (row.get("label").and_then(Json::as_str), row.get("profile"))
+            {
+                runs.push(Run { label: label.to_string(), profile: profile.clone() });
+            }
+        }
+    }
+    if let Some(Json::Obj(policies)) = doc.get("policies") {
+        for (key, stats) in policies {
+            if let Some(profile) = stats.get("guest_profile") {
+                runs.push(Run { label: key.clone(), profile: profile.clone() });
+            }
+        }
+    }
+    let mut regions = Vec::new();
+    if let Some(rows) = doc.get("regions").and_then(Json::as_arr) {
+        for row in rows {
+            if let (Some(name), Some(start), Some(end)) = (
+                row.get("name").and_then(Json::as_str),
+                row.get("start").and_then(Json::as_str),
+                row.get("end").and_then(Json::as_str),
+            ) {
+                regions.push(Region {
+                    name: name.to_string(),
+                    start: parse_pc(start),
+                    end: parse_pc(end),
+                });
+            }
+        }
+    }
+    (runs, regions)
+}
+
+/// The region containing `pc`, or `"[unmapped]"`.
+#[must_use]
+pub fn region_name(regions: &[Region], pc: u64) -> &str {
+    regions.iter().find(|r| r.start <= pc && pc < r.end).map_or("[unmapped]", |r| r.name.as_str())
+}
+
+fn u(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn pc_of(row: &Json) -> &str {
+    row.get("pc").and_then(Json::as_str).unwrap_or("?")
+}
+
+/// The rename CPI-stack entries of one hot-PC row, largest first.
+fn stall_stack(row: &Json) -> Vec<(String, u64)> {
+    let Some(Json::Obj(causes)) = row.get("rename_slot_stalls") else { return Vec::new() };
+    let mut stack: Vec<(String, u64)> =
+        causes.iter().map(|(k, v)| (k.clone(), v.as_u64().unwrap_or(0))).collect();
+    stack.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    stack
+}
+
+fn render_hot_pcs(out: &mut String, run: &Run, regions: &[Region], top: usize) {
+    let charged = u(&run.profile, "charged_cycles");
+    out.push_str(&format!(
+        "== {} ==  ({} cycles charged, {} PCs tracked, {} squash batches, {} with WRPKRU)\n",
+        run.label,
+        charged,
+        u(&run.profile, "pcs_tracked"),
+        u(&run.profile, "squash_batches"),
+        u(&run.profile, "squash_batches_with_wrpkru"),
+    ));
+    let Some(rows) = run.profile.get("hot_pcs").and_then(Json::as_arr) else { return };
+    out.push_str(&format!(
+        "  {:<10} {:<14} {:>10} {:>6} {:>9} {:>7} {:>7}  {}\n",
+        "pc", "region", "cycles", "cyc%", "retired", "sq-trig", "replays", "rename stalls"
+    ));
+    for row in rows.iter().take(top) {
+        let cycles = u(row, "cycles");
+        let share = if charged == 0 { 0.0 } else { cycles as f64 / charged as f64 * 100.0 };
+        let stalls = stall_stack(row)
+            .iter()
+            .take(2)
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!(
+            "  {:<10} {:<14} {:>10} {:>5.1}% {:>9} {:>7} {:>7}  {}\n",
+            pc_of(row),
+            region_name(regions, parse_pc(pc_of(row))),
+            cycles,
+            share,
+            u(row, "retired"),
+            u(row, "squash_triggers"),
+            u(row, "load_replays"),
+            stalls
+        ));
+    }
+}
+
+/// Joins the runs' site tables on site PC: every PC that appears in any
+/// run, numerically sorted.
+fn site_pcs(runs: &[Run]) -> Vec<String> {
+    let mut pcs: Vec<String> = Vec::new();
+    for run in runs {
+        let Some(rows) = run.profile.get("wrpkru_sites").and_then(Json::as_arr) else { continue };
+        for row in rows {
+            let pc = pc_of(row);
+            if !pcs.iter().any(|p| p == pc) {
+                pcs.push(pc.to_string());
+            }
+        }
+    }
+    pcs.sort_by_key(|p| parse_pc(p));
+    pcs
+}
+
+fn site_row<'a>(run: &'a Run, pc: &str) -> Option<&'a Json> {
+    run.profile.get("wrpkru_sites")?.as_arr()?.iter().find(|row| pc_of(row) == pc)
+}
+
+fn render_sites(out: &mut String, runs: &[Run], regions: &[Region]) {
+    let pcs = site_pcs(runs);
+    if pcs.is_empty() {
+        out.push_str("wrpkru sites: none\n");
+        return;
+    }
+    if runs.len() == 1 {
+        let run = &runs[0];
+        out.push_str("wrpkru sites:\n");
+        out.push_str(&format!(
+            "  {:<10} {:<14} {:>8} {:>9} {:>7} {:>10} {:>6} {:>6}\n",
+            "site", "region", "exec", "squashed", "caused", "residency", "p50", "p99"
+        ));
+        for pc in &pcs {
+            let Some(row) = site_row(run, pc) else { continue };
+            let lat = row.get("latency");
+            let p = |k: &str| lat.and_then(|l| l.get(k)).and_then(Json::as_u64).unwrap_or(0);
+            out.push_str(&format!(
+                "  {:<10} {:<14} {:>8} {:>9} {:>7} {:>10} {:>6} {:>6}\n",
+                pc,
+                region_name(regions, parse_pc(pc)),
+                u(row, "executions"),
+                u(row, "squashed"),
+                u(row, "squashes_caused"),
+                u(row, "rob_pkru_residency"),
+                p("p50"),
+                p("p99")
+            ));
+        }
+        return;
+    }
+    // Several runs: one compact exec/squashed/caused column per run.
+    out.push_str("wrpkru sites (exec/squashed/caused per run):\n");
+    let width = runs.iter().map(|r| r.label.len()).max().unwrap_or(0).max(14);
+    out.push_str(&format!("  {:<10} {:<14}", "site", "region"));
+    for run in runs {
+        out.push_str(&format!(" {:>width$}", run.label));
+    }
+    out.push('\n');
+    for pc in &pcs {
+        out.push_str(&format!("  {:<10} {:<14}", pc, region_name(regions, parse_pc(pc))));
+        for run in runs {
+            let cell = site_row(run, pc).map_or_else(
+                || "-".to_string(),
+                |row| {
+                    format!(
+                        "{}/{}/{}",
+                        u(row, "executions"),
+                        u(row, "squashed"),
+                        u(row, "squashes_caused")
+                    )
+                },
+            );
+            out.push_str(&format!(" {cell:>width$}"));
+        }
+        out.push('\n');
+    }
+}
+
+/// One run's cycles folded by region: `(region, cycles)` sorted by
+/// cycles descending (ties by name), plus an `[other]` bucket covering
+/// everything the top-N hot-PC list truncated away.
+#[must_use]
+pub fn fold_by_region(run: &Run, regions: &[Region]) -> Vec<(String, u64)> {
+    let mut folded: Vec<(String, u64)> = Vec::new();
+    let mut seen = 0u64;
+    if let Some(rows) = run.profile.get("hot_pcs").and_then(Json::as_arr) {
+        for row in rows {
+            let cycles = u(row, "cycles");
+            seen += cycles;
+            let name = region_name(regions, parse_pc(pc_of(row)));
+            match folded.iter_mut().find(|(n, _)| n == name) {
+                Some((_, c)) => *c += cycles,
+                None => folded.push((name.to_string(), cycles)),
+            }
+        }
+    }
+    let charged = u(&run.profile, "charged_cycles");
+    if charged > seen {
+        folded.push(("[other]".to_string(), charged - seen));
+    }
+    folded.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    folded
+}
+
+fn render_collapsed(out: &mut String, runs: &[Run], regions: &[Region]) {
+    out.push_str("collapsed stacks (label;region cycles):\n");
+    for run in runs {
+        for (region, cycles) in fold_by_region(run, regions) {
+            out.push_str(&format!("{};{region} {cycles}\n", run.label));
+        }
+    }
+}
+
+/// Renders the full profile report for `runs` (hot-PC tables, the
+/// joined WRPKRU site table, collapsed stacks), listing at most `top`
+/// hot PCs per run.
+#[must_use]
+pub fn render(runs: &[Run], regions: &[Region], top: usize) -> String {
+    let mut out = String::new();
+    if runs.is_empty() {
+        out.push_str(
+            "no guest profiles found (run with --profile-guest or SPECMPK_GUEST_PROFILE=1)\n",
+        );
+        return out;
+    }
+    for run in runs {
+        render_hot_pcs(&mut out, run, regions, top);
+    }
+    render_sites(&mut out, runs, regions);
+    render_collapsed(&mut out, runs, regions);
+    out
+}
+
+/// Cross-references a journal summary's squash-cause table and per-site
+/// activity against a guest site profile (both keyed by the shared
+/// `fmt_pc` PC rendering): journaled renames/check-fails next to the
+/// profile's execution/squash attribution per site, and the journal's
+/// squash total next to the profile's batch attribution.
+#[must_use]
+pub fn render_crossref(summary: &JournalSummary, run: &Run) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("site cross-reference (journal vs profile {}):\n", run.label));
+    let mut pcs: Vec<String> = summary.sites.iter().map(|(s, _)| s.clone()).collect();
+    for pc in site_pcs(std::slice::from_ref(run)) {
+        if !pcs.contains(&pc) {
+            pcs.push(pc);
+        }
+    }
+    pcs.sort_by_key(|p| parse_pc(p));
+    out.push_str(&format!(
+        "  {:<10} {:>8} {:>6} | {:>8} {:>9} {:>7}\n",
+        "site", "renames", "fails", "exec", "squashed", "caused"
+    ));
+    for pc in &pcs {
+        let journal = summary.sites.iter().find(|(s, _)| s == pc).map(|(_, a)| a);
+        let (renames, fails) = journal.map_or((0, 0), |a| (a.renames, a.check_fails));
+        let profile = site_row(run, pc);
+        let cell = |key: &str| profile.map_or(0, |row| u(row, key));
+        out.push_str(&format!(
+            "  {:<10} {:>8} {:>6} | {:>8} {:>9} {:>7}\n",
+            pc,
+            renames,
+            fails,
+            cell("executions"),
+            cell("squashed"),
+            cell("squashes_caused"),
+        ));
+    }
+    let journal_squashes: u64 = summary.causes.iter().map(|c| c.count).sum();
+    out.push_str(&format!(
+        "  squash batches: journal {} vs profile {} ({} attributed to in-flight WRPKRU)\n",
+        journal_squashes,
+        u(&run.profile, "squash_batches"),
+        u(&run.profile, "squash_batches_with_wrpkru")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> Json {
+        Json::object()
+            .with("top_n", 32u64)
+            .with("pcs_tracked", 3u64)
+            .with("charged_cycles", 100u64)
+            .with("squash_batches", 2u64)
+            .with("squash_batches_with_wrpkru", 1u64)
+            .with(
+                "hot_pcs",
+                vec![
+                    Json::object()
+                        .with("pc", "0x1010")
+                        .with("retired", 40u64)
+                        .with("cycles", 60u64)
+                        .with("squash_triggers", 1u64)
+                        .with("load_replays", 0u64)
+                        .with("rename_slot_stalls", Json::object().with("frontend_empty", 12u64)),
+                    Json::object()
+                        .with("pc", "0x2000")
+                        .with("retired", 10u64)
+                        .with("cycles", 30u64)
+                        .with("squash_triggers", 0u64)
+                        .with("load_replays", 2u64)
+                        .with("rename_slot_stalls", Json::object()),
+                ],
+            )
+            .with(
+                "wrpkru_sites",
+                vec![Json::object()
+                    .with("pc", "0x1010")
+                    .with("executions", 8u64)
+                    .with("squashed", 2u64)
+                    .with("squashes_caused", 1u64)
+                    .with("rob_pkru_residency", 44u64)
+                    .with(
+                        "latency",
+                        Json::object()
+                            .with("count", 8u64)
+                            .with("sum", 64u64)
+                            .with("min", 4u64)
+                            .with("max", 16u64)
+                            .with("mean", 8.0)
+                            .with("p50", 7u64)
+                            .with("p90", 14u64)
+                            .with("p99", 16u64),
+                    )],
+            )
+    }
+
+    fn sample_regions() -> Vec<Region> {
+        vec![
+            Region { name: "driver".to_string(), start: 0x1000, end: 0x1800 },
+            Region { name: "main".to_string(), start: 0x1800, end: 0x3000 },
+        ]
+    }
+
+    #[test]
+    fn extract_handles_sim_artifact_shape() {
+        let doc = Json::object()
+            .with(
+                "policies",
+                Json::object()
+                    .with("specmpk", Json::object().with("guest_profile", sample_profile()))
+                    .with("serialized", Json::object().with("ipc", 1.0)),
+            )
+            .with(
+                "regions",
+                vec![Json::object()
+                    .with("name", "driver")
+                    .with("start", "0x1000")
+                    .with("end", "0x1800")],
+            );
+        let (runs, regions) = extract(&doc);
+        // Only the policy carrying a guest_profile section becomes a run.
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "specmpk");
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].name, "driver");
+        assert_eq!((regions[0].start, regions[0].end), (0x1000, 0x1800));
+    }
+
+    #[test]
+    fn extract_handles_experiment_artifact_shape() {
+        let doc = Json::object().with("experiment", "fig9").with(
+            "runs",
+            vec![Json::object()
+                .with("label", "fig9/omnetpp/specmpk")
+                .with("profile", sample_profile())],
+        );
+        let (runs, regions) = extract(&doc);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "fig9/omnetpp/specmpk");
+        assert!(regions.is_empty());
+    }
+
+    #[test]
+    fn fold_buckets_regions_and_truncation_remainder() {
+        let run = Run { label: "specmpk".to_string(), profile: sample_profile() };
+        let folded = fold_by_region(&run, &sample_regions());
+        // 0x1010 -> driver (60), 0x2000 -> main (30), 10 cycles unlisted.
+        assert_eq!(
+            folded,
+            vec![("driver".to_string(), 60), ("main".to_string(), 30), ("[other]".to_string(), 10)]
+        );
+    }
+
+    #[test]
+    fn render_is_stable_and_covers_all_sections() {
+        let runs = vec![Run { label: "specmpk".to_string(), profile: sample_profile() }];
+        let regions = sample_regions();
+        let a = render(&runs, &regions, 20);
+        assert_eq!(a, render(&runs, &regions, 20));
+        assert!(a.contains("== specmpk ==  (100 cycles charged"));
+        assert!(a.contains("0x1010"));
+        assert!(a.contains("frontend_empty:12"));
+        assert!(a.contains("wrpkru sites:"));
+        assert!(a.contains("specmpk;driver 60"));
+        assert!(a.contains("specmpk;[other] 10"));
+    }
+
+    #[test]
+    fn multi_run_site_table_uses_per_run_columns() {
+        let runs = vec![
+            Run { label: "serialized".to_string(), profile: sample_profile() },
+            Run { label: "specmpk".to_string(), profile: sample_profile() },
+        ];
+        let out = render(&runs, &[], 20);
+        assert!(out.contains("wrpkru sites (exec/squashed/caused per run):"));
+        assert!(out.contains("8/2/1"));
+        // Region column falls back when no map is available.
+        assert!(out.contains("[unmapped]"));
+    }
+
+    #[test]
+    fn crossref_joins_journal_sites_with_profile_sites() {
+        let jsonl = "\
+{\"event\":\"wrpkru_rename\",\"cycle\":10,\"seq\":1,\"tag\":0,\"wrpkru_site\":\"0x1010\"}\n\
+{\"event\":\"squash\",\"cycle\":20,\"seq\":5,\"cause\":\"pkru_check_fail\",\"depth\":3,\"rob\":7}\n";
+        let summary = crate::journal::summarize(jsonl, 128);
+        let run = Run { label: "specmpk".to_string(), profile: sample_profile() };
+        let out = render_crossref(&summary, &run);
+        assert!(out.contains("site cross-reference (journal vs profile specmpk):"));
+        assert!(out.contains("0x1010"));
+        assert!(out
+            .contains("squash batches: journal 1 vs profile 2 (1 attributed to in-flight WRPKRU)"));
+    }
+}

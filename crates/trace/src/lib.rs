@@ -15,20 +15,25 @@
 //! * [`histogram`] — a log2-bucketed [`Histogram`] with interpolated
 //!   percentiles, backing the simulator's distribution metrics (WRPKRU
 //!   latency, `ROB_pkru` occupancy, squash depth, ...).
+//! * [`guest`] — guest-side attribution: the [`GuestProfile`] per-PC
+//!   cycle/stall table and per-WRPKRU-site cost profiles (the
+//!   `guest_profile` stats section), off by default.
 
 #![forbid(unsafe_code)]
 
+pub mod guest;
 pub mod histogram;
 pub mod json;
 pub mod obs;
 pub mod sink;
 
+pub use guest::{fmt_pc, GuestProfile, DEFAULT_PROFILE_TOP_N, GUEST_PROFILE_ENV, MAX_STALL_CAUSES};
 pub use histogram::Histogram;
 pub use json::{Json, JsonError};
 pub use obs::{
-    phase_record_ns, phase_time, phases_json, profile_env, progress_interval_from_env, Journal,
-    Profiler, ProgressReporter, SpanId, DEFAULT_JOURNAL_CAPACITY, DEFAULT_PROGRESS_INTERVAL_MS,
-    PROFILE_ENV, PROGRESS_ENV,
+    guest_profile_env, phase_record_ns, phase_time, phases_json, profile_env,
+    progress_interval_from_env, Journal, Profiler, ProgressReporter, SpanId,
+    DEFAULT_JOURNAL_CAPACITY, DEFAULT_PROGRESS_INTERVAL_MS, PROFILE_ENV, PROGRESS_ENV,
 };
 pub use sink::{
     EventLog, HeadStallKind, NullSink, PipeTracer, PkruCheckKind, SquashCause, Tee, TraceEvent,

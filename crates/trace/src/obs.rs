@@ -58,6 +58,14 @@ pub fn profile_env() -> bool {
     *ON.get_or_init(|| truthy(std::env::var_os(PROFILE_ENV)))
 }
 
+/// Whether [`GUEST_PROFILE_ENV`](crate::GUEST_PROFILE_ENV) enables guest
+/// attribution profiling. Cached after the first call.
+#[must_use]
+pub fn guest_profile_env() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| truthy(std::env::var_os(crate::guest::GUEST_PROFILE_ENV)))
+}
+
 /// The heartbeat interval [`PROGRESS_ENV`] asks for, if telemetry is
 /// enabled at all. Not cached: tests and the worker pool toggle it.
 #[must_use]
@@ -503,13 +511,17 @@ impl TraceSink for Journal {
                         .with("rob", rob),
                 );
             }
-            TraceEvent::RobPkruAlloc { seq, cycle, tag } => {
-                self.push_json(Journal::record_base("wrpkru_rename", cycle, seq).with("tag", tag));
+            TraceEvent::RobPkruAlloc { seq, cycle, tag, pc } => {
+                self.push_json(
+                    Journal::record_base("wrpkru_rename", cycle, seq)
+                        .with("tag", tag)
+                        .with("wrpkru_site", crate::guest::fmt_pc(pc)),
+                );
             }
             TraceEvent::RobPkruFree { seq, cycle, tag } => {
                 self.push_json(Journal::record_base("wrpkru_free", cycle, seq).with("tag", tag));
             }
-            TraceEvent::PkruCheck { seq, cycle, kind, passed } => {
+            TraceEvent::PkruCheck { seq, cycle, kind, passed, pc } => {
                 // Passing checks happen for nearly every memory access;
                 // only the fails are notable.
                 if !passed {
@@ -518,7 +530,9 @@ impl TraceSink for Journal {
                         PkruCheckKind::Store => "store",
                     };
                     self.push_json(
-                        Journal::record_base("pkru_check_fail", cycle, seq).with("kind", kind),
+                        Journal::record_base("pkru_check_fail", cycle, seq)
+                            .with("kind", kind)
+                            .with("wrpkru_site", crate::guest::fmt_pc(pc)),
                     );
                 }
             }
@@ -624,12 +638,14 @@ mod tests {
             cycle: 102,
             kind: PkruCheckKind::Load,
             passed: true, // pass: dropped
+            pc: 0x2008,
         });
         j.record(TraceEvent::PkruCheck {
             seq: 10,
             cycle: 103,
             kind: PkruCheckKind::Load,
             passed: false,
+            pc: 0x2010,
         });
         j.record(TraceEvent::HeadStall { seq: 10, cycle: 103, kind: HeadStallKind::TlbMiss });
         assert_eq!(j.len(), 3);
@@ -639,7 +655,10 @@ mod tests {
             lines[0],
             r#"{"event":"squash","cycle":100,"seq":7,"cause":"branch_mispredict","depth":12,"rob":30}"#
         );
-        assert_eq!(lines[1], r#"{"event":"pkru_check_fail","cycle":103,"seq":10,"kind":"load"}"#);
+        assert_eq!(
+            lines[1],
+            r#"{"event":"pkru_check_fail","cycle":103,"seq":10,"kind":"load","wrpkru_site":"0x2010"}"#
+        );
         assert_eq!(lines[2], r#"{"event":"head_stall","cycle":103,"seq":10,"kind":"tlb_miss"}"#);
     }
 

@@ -136,6 +136,8 @@ pub enum TraceEvent {
         cycle: u64,
         /// The renamed PKRU tag.
         tag: u64,
+        /// Program counter of the WRPKRU (its permission-update site).
+        pc: u64,
     },
     /// A `ROB_pkru` entry was freed (WRPKRU retired or squashed).
     RobPkruFree {
@@ -156,6 +158,8 @@ pub enum TraceEvent {
         kind: PkruCheckKind,
         /// Whether the access was permitted under the checked PKRU view.
         passed: bool,
+        /// Program counter of the checked memory instruction.
+        pc: u64,
     },
     /// A load at the head of the active list was replayed after its
     /// optimistic PKRU check failed.
@@ -446,13 +450,13 @@ impl TraceSink for PipeTracer {
                 self.note(seq, format!("//specmpk:squash:{cycle}:{seq}"));
                 self.finish(seq, None);
             }
-            TraceEvent::RobPkruAlloc { seq, cycle, tag } => {
+            TraceEvent::RobPkruAlloc { seq, cycle, tag, .. } => {
                 self.note(seq, format!("//specmpk:robpkru_alloc:{cycle}:{seq}:tag{tag}"));
             }
             TraceEvent::RobPkruFree { seq, cycle, tag } => {
                 self.note(seq, format!("//specmpk:robpkru_free:{cycle}:{seq}:tag{tag}"));
             }
-            TraceEvent::PkruCheck { seq, cycle, kind, passed } => {
+            TraceEvent::PkruCheck { seq, cycle, kind, passed, .. } => {
                 let kind = match kind {
                     PkruCheckKind::Load => "load",
                     PkruCheckKind::Store => "store",
@@ -616,12 +620,13 @@ mod tests {
     fn pkru_notes_attach_to_their_instruction() {
         let mut t = PipeTracer::default();
         drive(&mut t, 7, 0);
-        t.record(TraceEvent::RobPkruAlloc { seq: 7, cycle: 2, tag: 3 });
+        t.record(TraceEvent::RobPkruAlloc { seq: 7, cycle: 2, tag: 3, pc: 0x101c });
         t.record(TraceEvent::PkruCheck {
             seq: 7,
             cycle: 3,
             kind: PkruCheckKind::Load,
             passed: false,
+            pc: 0x101c,
         });
         t.record(TraceEvent::Retire { seq: 7, cycle: 9 });
         let out = t.render();

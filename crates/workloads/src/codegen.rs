@@ -2,6 +2,7 @@
 
 use specmpk_isa::{
     AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg, SegmentPerms,
+    INSTR_BYTES,
 };
 use specmpk_mpk::{Pkey, Pkru};
 
@@ -81,6 +82,27 @@ impl Layout {
         let base =
             if protection == Protection::Cpi { self.safe_base } else { self.plain_table_base };
         base + slot as u64 * 8
+    }
+}
+
+/// A contiguous PC range of the generated text with a human-readable
+/// name — the side map `specmpk-report profile` uses to fold per-PC
+/// profiler samples into named workload regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Region name: `"driver"`, an IR function name, or `"trap"`.
+    pub name: String,
+    /// First instruction address (inclusive).
+    pub start: u64,
+    /// One past the last instruction address (exclusive).
+    pub end: u64,
+}
+
+impl Region {
+    /// Whether `pc` falls inside this region.
+    #[must_use]
+    pub fn contains(&self, pc: u64) -> bool {
+        self.start <= pc && pc < self.end
     }
 }
 
@@ -215,6 +237,27 @@ impl<'m> CodeGenerator<'m> {
         let addrs = first.0;
         let (_, program) = self.emit(Some(&addrs));
         program
+    }
+
+    /// Like [`generate`](Self::generate), but also returns the PC-range →
+    /// region-name side map: the driver, each IR function in emission
+    /// order, and the trap block, covering the text segment exactly.
+    #[must_use]
+    pub fn generate_with_regions(&self) -> (Program, Vec<Region>) {
+        let first = self.emit(None);
+        let addrs = first.0;
+        let (addrs, program) = self.emit(Some(&addrs));
+        let text_end = self.layout.text_base + program.len() as u64 * INSTR_BYTES;
+        // The trap block is the last thing emitted: two instructions.
+        let trap_start = text_end - 2 * INSTR_BYTES;
+        let mut regions = Vec::with_capacity(self.module.functions.len() + 2);
+        regions.push(Region { name: "driver".into(), start: self.layout.text_base, end: addrs[0] });
+        for (fidx, func) in self.module.functions.iter().enumerate() {
+            let end = addrs.get(fidx + 1).copied().unwrap_or(trap_start);
+            regions.push(Region { name: func.name.clone(), start: addrs[fidx], end });
+        }
+        regions.push(Region { name: "trap".into(), start: trap_start, end: text_end });
+        (program, regions)
     }
 
     fn protected(&self) -> bool {
@@ -538,6 +581,30 @@ mod tests {
         let p1 = generator.generate();
         let p2 = generator.generate();
         assert_eq!(p1, p2, "generation must be deterministic");
+    }
+
+    #[test]
+    fn region_map_tiles_the_text_segment_exactly() {
+        let mut m = tiny_module(1);
+        m.functions[0].body.push(Stmt::WriteFnPtr { slot: 0, func: 1 });
+        let generator = CodeGenerator::new(&m, Protection::ShadowStack);
+        let (program, regions) = generator.generate_with_regions();
+        assert_eq!(program, generator.generate(), "region pass must not perturb codegen");
+        assert_eq!(regions.first().unwrap().name, "driver");
+        assert_eq!(regions.last().unwrap().name, "trap");
+        let names: Vec<&str> = regions.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["driver", "main", "leaf", "trap"]);
+        // Contiguous, ascending, and covering [text_base, text_end).
+        assert_eq!(regions[0].start, program.text_base());
+        for w in regions.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "regions must tile without gaps");
+            assert!(w[0].start < w[0].end);
+        }
+        let text_end = program.text_base() + program.len() as u64 * specmpk_isa::INSTR_BYTES;
+        assert_eq!(regions.last().unwrap().end, text_end);
+        // Every PC resolves to exactly one region.
+        let pc = regions[1].start;
+        assert_eq!(regions.iter().filter(|r| r.contains(pc)).count(), 1);
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod ir;
 pub mod profile;
 pub mod synth;
 
-pub use codegen::{CodeGenerator, Layout, PkruUpdateStyle, Protection};
+pub use codegen::{CodeGenerator, Layout, PkruUpdateStyle, Protection, Region};
 pub use ir::{ArrayDecl, Expr, Function, Module, Stmt, Var};
 pub use profile::{standard_profiles, standard_suite, Scheme, Workload, WorkloadProfile};

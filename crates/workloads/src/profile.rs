@@ -2,7 +2,7 @@
 
 use specmpk_isa::{Instr, Program};
 
-use crate::codegen::{CodeGenerator, PkruUpdateStyle, Protection};
+use crate::codegen::{CodeGenerator, PkruUpdateStyle, Protection, Region};
 use crate::ir::Module;
 use crate::synth::synthesize;
 
@@ -116,11 +116,25 @@ impl Workload {
         CodeGenerator::new(&self.module, protection).with_pkru_style(style).generate()
     }
 
+    /// Lowers with an explicit protection pass, also returning the
+    /// PC-range → region-name side map for profiler folding.
+    #[must_use]
+    pub fn build_with_regions(&self, protection: Protection) -> (Program, Vec<Region>) {
+        CodeGenerator::new(&self.module, protection).generate_with_regions()
+    }
+
     /// Lowers with the scheme's own protection (the paper's evaluated
     /// binary).
     #[must_use]
     pub fn build_protected(&self) -> Program {
         self.build(self.scheme.protection())
+    }
+
+    /// Like [`build_protected`](Self::build_protected), plus the region
+    /// side map.
+    #[must_use]
+    pub fn build_protected_with_regions(&self) -> (Program, Vec<Region>) {
+        self.build_with_regions(self.scheme.protection())
     }
 
     /// Lowers without any protection (the insecure baseline of Fig. 4).

@@ -14,7 +14,9 @@
 #   report      specmpk-report --check baselines/ — regression gate
 #   obs-smoke   short sim with --progress/--profile/--journal on; checks
 #               heartbeat lines, the host_profile stats section, and the
-#               journal summary (specmpk-report journal)
+#               journal summary (specmpk-report journal); plus a
+#               --profile-guest run rendered by `specmpk-report profile`
+#               (hot-PC rows + WRPKRU site rows must be non-empty)
 #
 # The regression gate reruns the fast experiment subset with pinned,
 # shrunken budgets (SPECMPK_INSTR_BUDGET=100000, SPECMPK_FIG4_KINSTR=40 —
@@ -110,8 +112,23 @@ run_obs_smoke() {
     cargo run -q --release -p specmpk-report -- \
         journal "${out}/journal.jsonl" > "${out}/journal_summary.txt"
     grep -q '^top squash cause:' "${out}/journal_summary.txt"
+    # Guest attribution: a profiled run must yield a non-empty hot-PC
+    # table and WRPKRU site rows, and the journal cross-reference must
+    # join on the shared site PCs.
+    cargo run -q --release --bin specmpk-sim -- \
+        --workload omnetpp --policy specmpk --instructions 150000 \
+        --profile-guest --stats-json "${out}/guest_stats.json" > /dev/null
+    cargo run -q --release -p specmpk-report -- \
+        profile "${out}/guest_stats.json" > "${out}/guest_profile.txt"
+    grep -q '^  0x' "${out}/guest_profile.txt"
+    grep -q '^wrpkru sites:' "${out}/guest_profile.txt"
+    grep -q '^specmpk;' "${out}/guest_profile.txt"
+    cargo run -q --release -p specmpk-report -- \
+        journal "${out}/journal.jsonl" --sites "${out}/guest_stats.json" \
+        | grep -q '^site cross-reference'
     echo "    obs-smoke: $(grep -c '^\[progress\]' "${out}/progress.log") heartbeat lines, \
-$(wc -l < "${out}/journal.jsonl") journal events"
+$(wc -l < "${out}/journal.jsonl") journal events, \
+$(grep -c '^  0x' "${out}/guest_profile.txt") profile rows"
 }
 
 stage build cargo build --release --workspace

@@ -16,8 +16,8 @@ use specmpk::attacks::{run_attack, spectre_bti, spectre_v1, store_forward_overfl
 use specmpk::core_model::{registry, PolicyRef};
 use specmpk::ooo::{Core, SimConfig, SimStats};
 use specmpk::trace::{
-    progress_interval_from_env, Journal, Json, NullSink, PipeTracer, ProgressReporter, Tee,
-    TraceSink, DEFAULT_PROGRESS_INTERVAL_MS,
+    fmt_pc, progress_interval_from_env, Journal, Json, NullSink, PipeTracer, ProgressReporter, Tee,
+    TraceSink, DEFAULT_PROFILE_TOP_N, DEFAULT_PROGRESS_INTERVAL_MS,
 };
 use specmpk::workloads::{standard_suite, Protection, Workload};
 
@@ -36,6 +36,7 @@ struct Args {
     journal: Option<PathBuf>,
     progress: bool,
     profile: bool,
+    profile_guest: Option<usize>,
 }
 
 fn usage() -> &'static str {
@@ -69,7 +70,12 @@ OPTIONS:
                          (SPECMPK_PROGRESS=<ms> sets the interval)
     --profile            time the pipeline stages on the host and emit a
                          host_profile stats section (SPECMPK_PROFILE=1
-                         does the same)"
+                         does the same)
+    --profile-guest[=N]  attribute simulated cycles, rename stalls and
+                         squashes/replays to guest PCs and profile every
+                         WRPKRU site; emits a guest_profile stats section
+                         with the top N PCs (default 32) and embeds the
+                         workload's region map in the JSON artifact"
 }
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
@@ -89,6 +95,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         journal: None,
         progress: false,
         profile: false,
+        profile_guest: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
@@ -117,7 +124,14 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--journal" => args.journal = Some(value("--journal")?.into()),
             "--progress" => args.progress = true,
             "--profile" => args.profile = true,
+            "--profile-guest" => args.profile_guest = Some(DEFAULT_PROFILE_TOP_N),
             "--help" | "-h" => return Err(usage().to_owned()),
+            other if other.starts_with("--profile-guest=") => {
+                let n: usize = other["--profile-guest=".len()..]
+                    .parse()
+                    .map_err(|e| format!("--profile-guest: {e}"))?;
+                args.profile_guest = Some(n);
+            }
             other => return Err(format!("unknown flag {other}\n\n{}", usage())),
         }
     }
@@ -173,6 +187,10 @@ fn run_one<S: TraceSink>(
     core.set_sample_interval(args.trace_interval);
     if args.profile {
         core.set_profiling(true);
+    }
+    if let Some(n) = args.profile_guest {
+        core.set_guest_profiling(true);
+        core.set_guest_profile_top_n(n);
     }
     // --progress forces telemetry on (env default interval); the env
     // alone also enables it. Either way the heartbeat label names the
@@ -239,12 +257,33 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
         per_policy.set(policy.key(), result.stats.to_json());
     }
     if let Some(path) = &args.stats_json {
-        let artifact = Json::object()
+        let mut artifact = Json::object()
             .with("workload", workload.name())
             .with("protection", args.protection.as_str())
             .with("instructions", args.instructions)
             .with("rob_pkru", args.rob_pkru as u64)
             .with("policies", per_policy);
+        if args.profile_guest.is_some() {
+            // The region side map lets `specmpk-report profile` fold the
+            // per-PC tables into named workload regions. Emitted only
+            // under --profile-guest so default artifacts stay byte-stable.
+            let regions = match args.protection.as_str() {
+                // The nop pass rewrites WRPKRUs in place, so the
+                // protected layout's addresses still apply.
+                "scheme" | "nop" => workload.build_protected_with_regions().1,
+                _ => workload.build_with_regions(Protection::None).1,
+            };
+            let rows: Vec<Json> = regions
+                .iter()
+                .map(|r| {
+                    Json::object()
+                        .with("name", r.name.clone())
+                        .with("start", fmt_pc(r.start))
+                        .with("end", fmt_pc(r.end))
+                })
+                .collect();
+            artifact.set("regions", rows);
+        }
         std::fs::write(path, artifact.dump())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
     }

@@ -125,7 +125,7 @@ fn journal_jsonl_schema_golden() {
     // This pins the journal's exact line format: compact single-line
     // JSON, `event`/`cycle`/`seq` first, event-specific fields after.
     let golden = "\
-{\"event\":\"wrpkru_rename\",\"cycle\":4,\"seq\":1,\"tag\":0}
+{\"event\":\"wrpkru_rename\",\"cycle\":4,\"seq\":1,\"tag\":0,\"wrpkru_site\":\"0x1008\"}
 {\"event\":\"wrpkru_free\",\"cycle\":8,\"seq\":1,\"tag\":0}
 ";
     assert_eq!(jsonl, golden);
