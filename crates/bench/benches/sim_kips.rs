@@ -11,11 +11,14 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use specmpk_core::WrpkruPolicy;
 use specmpk_ooo::{Core, SimConfig};
-use specmpk_workloads::standard_suite;
+use specmpk_workloads::{bench_profiles, standard_suite, Workload};
 
 /// Instructions retired per benchmark iteration. Small enough that a
 /// criterion sample finishes quickly, large enough to swamp setup cost.
 const BUDGET: u64 = 20_000;
+
+const POLICIES: [WrpkruPolicy; 3] =
+    [WrpkruPolicy::Serialized, WrpkruPolicy::SpecMpk, WrpkruPolicy::NonSecureSpec];
 
 fn sim_kips(c: &mut Criterion) {
     let workload = standard_suite()
@@ -24,7 +27,7 @@ fn sim_kips(c: &mut Criterion) {
         .expect("suite contains 520.omnetpp_r");
     let program = workload.build_protected();
     let mut group = c.benchmark_group("sim_kips");
-    for policy in [WrpkruPolicy::Serialized, WrpkruPolicy::SpecMpk, WrpkruPolicy::NonSecureSpec] {
+    for policy in POLICIES {
         group.bench_function(format!("{policy}"), |b| {
             b.iter(|| {
                 let mut config = SimConfig::with_policy(policy);
@@ -33,6 +36,24 @@ fn sim_kips(c: &mut Criterion) {
                 core.run().stats.retired
             })
         });
+    }
+    // Fast-path stress profiles: straight-line ALU code (fused
+    // rename+issue) and a big-footprint pointer chase (idle-cycle bulk
+    // advance over cache-miss windows).
+    for profile in bench_profiles() {
+        let name =
+            profile.name.strip_prefix("bench.").expect("bench profiles use the bench. prefix");
+        let program = Workload::from_profile(profile).build_protected();
+        for policy in POLICIES {
+            group.bench_function(format!("{name}/{policy}"), |b| {
+                b.iter(|| {
+                    let mut config = SimConfig::with_policy(policy);
+                    config.max_instructions = BUDGET;
+                    let mut core = Core::new(config, black_box(&program));
+                    core.run().stats.retired
+                })
+            });
+        }
     }
     group.finish();
 }

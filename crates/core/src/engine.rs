@@ -101,6 +101,14 @@ pub struct PkruEngine {
     rmt: Option<PkruTag>,
     counters: DisablingCounters,
     stats: PkruEngineStats,
+    // Precomputed per-pkey check outcomes (bit k set = the check *fails*
+    // for pkey k) plus the TLB-miss stall decision, refreshed at every
+    // state mutation. Sound because policy decisions are required to be
+    // pure functions of the `PolicyView`; this turns the per-access hot
+    // paths into single bit tests with no virtual dispatch.
+    load_fail_mask: u16,
+    store_fail_mask: u16,
+    tlb_stall_cached: bool,
 }
 
 impl PkruEngine {
@@ -110,7 +118,7 @@ impl PkruEngine {
     pub fn new(policy: impl Into<PolicyRef>, config: SpecMpkConfig) -> Self {
         let policy = policy.into();
         let capacity = policy.rob_pkru_capacity(&config);
-        PkruEngine {
+        let mut engine = PkruEngine {
             policy,
             barrier_while_inflight: policy.rename_barrier_while_inflight(),
             checks_can_fail: policy.speculative_checks_can_fail(),
@@ -121,7 +129,39 @@ impl PkruEngine {
             rmt: None,
             counters: DisablingCounters::new(),
             stats: PkruEngineStats::default(),
+            load_fail_mask: 0,
+            store_fail_mask: 0,
+            tlb_stall_cached: false,
+        };
+        engine.refresh_cached_checks();
+        engine
+    }
+
+    /// Recomputes the cached per-pkey check masks and the TLB-miss stall
+    /// decision from the current rename state. Called after every mutation
+    /// of that state (WRPKRU execute/retire/squash, committed-PKRU reset),
+    /// so the hot-path checks below never consult the policy directly.
+    fn refresh_cached_checks(&mut self) {
+        if !self.checks_can_fail {
+            // Static property: no check of this policy ever fails.
+            self.load_fail_mask = 0;
+            self.store_fail_mask = 0;
+            self.tlb_stall_cached = false;
+            return;
         }
+        let (mut load_fail, mut store_fail) = (0u16, 0u16);
+        for pkey in Pkey::all() {
+            let bit = 1u16 << pkey.index();
+            if !self.policy.load_check(self.view(), pkey) {
+                load_fail |= bit;
+            }
+            if !self.policy.store_check(self.view(), pkey) {
+                store_fail |= bit;
+            }
+        }
+        self.load_fail_mask = load_fail;
+        self.store_fail_mask = store_fail;
+        self.tlb_stall_cached = self.policy.tlb_miss_must_stall(self.view());
     }
 
     /// The policy this engine implements.
@@ -152,6 +192,7 @@ impl PkruEngine {
     pub fn set_committed(&mut self, pkru: Pkru) {
         assert!(self.rob.is_empty(), "cannot reset PKRU with WRPKRUs in flight");
         self.arf = pkru;
+        self.refresh_cached_checks();
     }
 
     /// Whether any WRPKRU is in flight. Under the `Serialized` policy the
@@ -206,6 +247,7 @@ impl PkruEngine {
         self.rmt = Some(tag);
         self.stats.wrpkru_renamed += 1;
         self.stats.rob_pkru_high_water = self.stats.rob_pkru_high_water.max(self.rob.len() as u64);
+        self.refresh_cached_checks();
         Some(tag)
     }
 
@@ -249,6 +291,7 @@ impl PkruEngine {
         let wd = value.write_disable_bitmap();
         self.rob.set_value(tag, value, ad, wd);
         self.counters.increment(ad, wd);
+        self.refresh_cached_checks();
     }
 
     /// The **PKRU Load Check** (§V-C2): may a load to a page colored `pkey`
@@ -262,14 +305,11 @@ impl PkruEngine {
     /// unprotected).
     #[inline]
     pub fn load_check(&mut self, pkey: Pkey) -> bool {
-        if !self.checks_can_fail {
-            return true;
-        }
-        let pass = self.policy.load_check(self.view(), pkey);
-        if !pass {
+        let fail = self.load_fail_mask & (1u16 << pkey.index()) != 0;
+        if fail {
             self.stats.load_check_failures += 1;
         }
-        pass
+        !fail
     }
 
     /// The **PKRU Store Check** (§V-C2): may a store to `pkey` forward its
@@ -282,14 +322,11 @@ impl PkruEngine {
     /// squashes), it just may not forward.
     #[inline]
     pub fn store_check(&mut self, pkey: Pkey) -> bool {
-        if !self.checks_can_fail {
-            return true;
-        }
-        let pass = self.policy.store_check(self.view(), pkey);
-        if !pass {
+        let fail = self.store_fail_mask & (1u16 << pkey.index()) != 0;
+        if fail {
             self.stats.store_check_failures += 1;
         }
-        pass
+        !fail
     }
 
     /// Whether a memory access that *misses the TLB* must stall to the
@@ -299,7 +336,7 @@ impl PkruEngine {
     #[must_use]
     #[inline]
     pub fn tlb_miss_must_stall(&self) -> bool {
-        self.checks_can_fail && self.policy.tlb_miss_must_stall(self.view())
+        self.tlb_stall_cached
     }
 
     /// Speculative fault determination, delegated to the policy:
@@ -369,6 +406,7 @@ impl PkruEngine {
         }
         self.stats.wrpkru_retired += 1;
         self.policy.on_retire_wrpkru(value);
+        self.refresh_cached_checks();
         value
     }
 
@@ -390,6 +428,7 @@ impl PkruEngine {
         self.stats.wrpkru_squashed += (before - self.rob.len()) as u64;
         self.rmt = checkpoint.rmt;
         self.policy.on_restore();
+        self.refresh_cached_checks();
     }
 
     /// Discards *all* speculative PKRU state — used on a full pipeline
@@ -405,11 +444,18 @@ impl PkruEngine {
         self.stats.wrpkru_squashed += (before - self.rob.len()) as u64;
         self.rmt = None;
         self.policy.on_flush();
+        self.refresh_cached_checks();
     }
 
     /// Records one frontend stall cycle attributable to a full `ROB_pkru`.
     pub fn note_rob_full_stall(&mut self) {
         self.stats.rob_full_stall_cycles += 1;
+    }
+
+    /// Records `n` frontend stall cycles attributable to a full `ROB_pkru`
+    /// at once (the idle-cycle bulk advance replicating a frozen stall).
+    pub fn note_rob_full_stalls(&mut self, n: u64) {
+        self.stats.rob_full_stall_cycles += n;
     }
 
     /// Number of in-flight WRPKRUs.

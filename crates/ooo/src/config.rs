@@ -66,6 +66,19 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// Hard retired-instruction limit (0 = unlimited).
     pub max_instructions: u64,
+    /// Idle-cycle bulk advance: when a cycle is a provable fixed point
+    /// (no stage changed machine state), jump directly to the next
+    /// wake-up bound instead of spinning empty stage calls. Cycle-exact —
+    /// every skipped cycle is charged to stats, histograms and the guest
+    /// profile identically; the knob exists for differential testing.
+    pub idle_skip: bool,
+    /// Fused rename+issue fast path: ALU/LI instructions whose sources
+    /// are all ready at rename, while the IQ is empty, execute at rename
+    /// and bypass the IQ (their issue-width/ALU budget is consumed next
+    /// cycle, exactly when the normal path would have selected them).
+    /// Cycle-exact; disabled automatically while a trace sink is
+    /// attached so per-instruction Issue events stay complete.
+    pub fuse_rename_issue: bool,
 }
 
 impl Default for SimConfig {
@@ -91,6 +104,8 @@ impl Default for SimConfig {
             fault_mode: FaultMode::Halt,
             max_cycles: 200_000_000,
             max_instructions: 0,
+            idle_skip: true,
+            fuse_rename_issue: true,
         }
     }
 }

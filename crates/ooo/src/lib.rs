@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod active_list;
 mod config;
 pub mod interp;
 mod pipeline;

@@ -20,6 +20,69 @@ use crate::stats::{IntervalSample, RenameStall, SimHistograms, SimStats};
 /// How many cycles without a retirement before the core declares deadlock.
 const DEADLOCK_THRESHOLD: u64 = 500_000;
 
+/// Idle-cycle bulk advance: called at the end of a *zero-work* cycle
+/// (no stage changed any simulated state), jumps `cycle` to just before
+/// the next moment anything can happen, and charges the skipped cycles
+/// exactly as stepping them would have.
+///
+/// Soundness: a zero-work cycle proves the pipeline state is frozen —
+/// every queued instruction is blocked on an event-driven condition, and
+/// the only time-driven inputs are completion-event timestamps, the
+/// frontend queue's `ready_cycle`, and the fetch busy window. The wake
+/// bound is the minimum over those plus the observation boundaries
+/// (interval sample, cycle limit, deadlock threshold), so every skipped
+/// cycle would have been byte-identical to this one. `DESIGN.md` §13
+/// spells out the full invariant list.
+fn idle_skip(st: &mut PipelineState, sample_at: Option<u64>) {
+    let t = st.stats.host.clock();
+    // Deadlock fires on the first cycle where `cycle - last_retire`
+    // exceeds the threshold; the cycle limit on the first cycle past it.
+    let mut wake = st.last_retire_cycle + DEADLOCK_THRESHOLD + 1;
+    if st.config.max_cycles > 0 {
+        wake = wake.min(st.config.max_cycles + 1);
+    }
+    if let Some(boundary) = sample_at {
+        // The boundary cycle itself must be stepped so it takes its
+        // sample at the usual point.
+        wake = wake.min(boundary);
+    }
+    for e in &st.events {
+        // All due events drained at writeback this cycle, so e.at > cycle.
+        wake = wake.min(e.at);
+    }
+    if let Some(front) = st.frontq.front() {
+        if front.ready_cycle > st.cycle {
+            wake = wake.min(front.ready_cycle);
+        }
+    }
+    if st.fetch_pc.is_some() && st.fetch_busy_until > st.cycle {
+        wake = wake.min(st.fetch_busy_until);
+    }
+    if wake <= st.cycle + 1 {
+        st.stats.host.stop(span::IDLE_SKIP, t);
+        return;
+    }
+    let skipped = wake - st.cycle - 1;
+    st.cycle += skipped;
+    st.stats.cycles = st.cycle;
+    st.stats.idle_cycles_skipped += skipped;
+    // Per-cycle occupancy sampling: the frozen state repeats verbatim.
+    st.stats.hist.rob_occupancy.record_n(st.al.len() as u64, skipped);
+    st.stats.hist.rob_pkru_occupancy.record_n(st.engine.inflight() as u64, skipped);
+    // A zero-work cycle renamed nothing, so rename cached its stall
+    // attribution; replay it once per skipped cycle.
+    let cause = st.rename_block.expect("a zero-work cycle always has a rename stall cause");
+    st.stats.note_rename_stall_bulk(cause, skipped, st.config.width);
+    if cause == RenameStall::RobPkruFull {
+        st.engine.note_rob_full_stalls(skipped);
+    }
+    if st.stats.guest.enabled() {
+        let slots = skipped * st.config.width as u64;
+        st.stats.guest.charge_rename_stall(st.rename_block_pc, cause.index(), slots);
+    }
+    st.stats.host.stop(span::IDLE_SKIP, t);
+}
+
 /// Why the simulation ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExitReason {
@@ -292,11 +355,16 @@ impl<S: TraceSink> Core<S> {
     /// is off, every lap is one predictable branch and the cycle loop is
     /// byte-for-byte the seed behavior.
     pub fn step(&mut self) {
+        // Next interval-sample boundary, for the idle-skip wake bound
+        // (copied out because `st` exclusively borrows `self.state`).
+        let sample_at =
+            (self.sample_interval > 0).then(|| self.sample_last_cycle + self.sample_interval);
         let st = &mut self.state;
         if st.exit.is_some() {
             return;
         }
         let t = st.stats.host.clock();
+        st.work = false;
         st.cycle += 1;
         st.stats.cycles = st.cycle;
         // Occupancy is sampled here, at the top of every counted cycle
@@ -329,6 +397,9 @@ impl<S: TraceSink> Core<S> {
         let t = st.stats.host.lap(span::RENAME, t);
         stages::fetch::fetch(st, cx);
         st.stats.host.stop(span::FETCH, t);
+        if st.config.idle_skip && !st.work && st.exit.is_none() {
+            idle_skip(st, sample_at);
+        }
         if self.sample_interval > 0
             && self.state.cycle - self.sample_last_cycle >= self.sample_interval
         {

@@ -27,6 +27,12 @@ impl Default for PredictorConfig {
 }
 
 /// Snapshot of speculative predictor state, restored on squash.
+///
+/// The RAS snapshot stays heap-backed on purpose: one checkpoint is taken
+/// per fetched control instruction and then *moved* through the frontend
+/// queue and the Active List cold sidecar, so a small struct with a
+/// pointer beats a ~256-byte inline array that every queue hop would
+/// memcpy (measured ~15% slower end-to-end with the inline layout).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PredictorCheckpoint {
     ghist: u64,

@@ -19,6 +19,7 @@ pub(crate) fn fetch<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, 
         let Some(&instr) = st.program.instr_at(pc) else {
             // Fetch ran off the map (wrong path): stall until redirect.
             st.fetch_pc = None;
+            st.work = true; // state changed; idle skip must re-evaluate
             if cx.sink.enabled() {
                 cx.sink.record(TraceEvent::WrongPathStall {
                     seq: st.next_seq,
@@ -70,6 +71,7 @@ pub(crate) fn fetch<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, 
             _ => fallthrough,
         };
         let pred_cp = instr.is_control().then(|| st.predictor.checkpoint());
+        st.work = true;
         st.frontq.push_back(Fetched {
             pc,
             instr,

@@ -5,7 +5,7 @@ use specmpk_isa::{Instr, InstrClass, MemWidth, Operand};
 use specmpk_mpk::{AccessKind, Pkru};
 use specmpk_trace::{HeadStallKind, PkruCheckKind, TraceEvent, TraceSink};
 
-use super::{AlState, FaultInfo, HeadStall, MemKind, PipelineState, StageCtx};
+use super::{AlState, FaultInfo, HeadStall, MemKind, PipelineState, Seq, StageCtx};
 
 pub(crate) fn issue<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
     let mut alu_free = st.config.alu_units;
@@ -14,73 +14,116 @@ pub(crate) fn issue<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, 
     let mut branch_free = st.config.branch_units;
     let mut issued_total = 0usize;
 
+    // Instructions fused at last cycle's rename would have sat at the IQ
+    // front (the IQ was empty when they fused); claim the width and ALU
+    // slots they would have been selected into first. Their count is
+    // capped at min(width, alu_units) by rename, so this never goes
+    // negative.
+    if !st.fused_pending.is_empty() {
+        let n = st.fused_pending.len();
+        debug_assert!(n <= alu_free && n <= st.config.width);
+        alu_free -= n;
+        issued_total += n;
+        st.fused_pending.clear();
+    }
+
     // IQ is naturally in seq (age) order: oldest-first select. Walk it
-    // by index, removing issued entries in place, rather than cloning
-    // the queue every cycle (nothing below pushes to the IQ — only
-    // rename does).
-    let mut i = 0;
-    while i < st.iq.len() {
+    // once, compacting unissued entries down in place (single pass, no
+    // O(n) removals).
+    let len = st.iq.len();
+    let mut keep = 0usize;
+    let mut i = 0usize;
+    while i < len {
         if issued_total >= st.config.width {
             break;
         }
-        let seq = st.iq[i];
+        let e = st.iq[i];
         i += 1;
-        let Some(idx) = st.al_index(seq) else { continue };
-        let entry = &st.al[idx];
-        debug_assert_eq!(entry.state, AlState::Queued);
-        // Functional-unit availability.
-        let unit = match entry.instr.class() {
-            InstrClass::Alu | InstrClass::Wrpkru | InstrClass::Rdpkru => &mut alu_free,
-            InstrClass::Branch => &mut branch_free,
-            InstrClass::Load => &mut load_free,
-            InstrClass::Store => &mut store_free,
-            InstrClass::Halt => continue,
-        };
-        if *unit == 0 {
-            continue;
-        }
-        // Register sources ready?
-        if !entry.srcs.as_slice().iter().all(|&p| st.rf.is_ready(p)) {
-            continue;
-        }
-        // PKRU source ready (orders memory ops and WRPKRUs behind all
-        // prior WRPKRUs — SpecMPK design principles 1 & 2)?
-        if let Some(src) = entry.pkru_source {
-            if !st.engine.source_ready(src) {
-                continue;
+        let slot = e.slot as usize;
+        debug_assert!(st.al.contains(slot, e.seq), "IQ entries are pruned on squash");
+        debug_assert_eq!(st.al.state[slot], AlState::Queued);
+        let issued = 'select: {
+            // Functional-unit availability.
+            let unit = match e.class {
+                InstrClass::Alu | InstrClass::Wrpkru | InstrClass::Rdpkru => &mut alu_free,
+                InstrClass::Branch => &mut branch_free,
+                InstrClass::Load => &mut load_free,
+                InstrClass::Store => &mut store_free,
+                InstrClass::Halt => break 'select false,
+            };
+            if *unit == 0 {
+                break 'select false;
             }
-        }
-        // Loads additionally wait until all older store addresses are
-        // known (conservative memory-dependence handling).
-        if matches!(entry.mem_kind, Some(MemKind::Load))
-            && st.sq.iter().any(|s| s.seq < seq && s.addr.is_none())
-        {
-            continue;
-        }
-        // `clflush` is ordered with respect to older stores to the same
-        // line (x86 SDM): it waits until any such store has drained
-        // from the store queue, so a store→clflush sequence really
-        // leaves the line uncached.
-        if let Instr::Clflush { offset, .. } = entry.instr {
-            let addr = st.rf.read(entry.srcs.as_slice()[0]).wrapping_add(offset as i64 as u64);
-            let line = specmpk_mem::line_base(addr);
-            if st
-                .sq
-                .iter()
-                .any(|s| s.seq < seq && s.addr.is_none_or(|a| specmpk_mem::line_base(a) == line))
+            // Register sources ready? The `waits` scoreboard lane counts
+            // unready sources and is decremented by producers' writebacks,
+            // so the common not-yet-ready case is a one-byte test.
+            debug_assert_eq!(
+                st.al.waits[slot] == 0,
+                e.srcs.as_slice().iter().all(|&p| st.rf.is_ready(p)),
+                "waits lane must track register-file readiness"
+            );
+            if st.al.waits[slot] != 0 {
+                break 'select false;
+            }
+            // PKRU source ready (orders memory ops and WRPKRUs behind all
+            // prior WRPKRUs — SpecMPK design principles 1 & 2)?
+            if let Some(src) = e.pkru_source {
+                if !st.engine.source_ready(src) {
+                    break 'select false;
+                }
+            }
+            // Loads additionally wait until all older store addresses are
+            // known (conservative memory-dependence handling).
+            if e.kind == Some(MemKind::Load)
+                && st.sq.iter().any(|s| s.seq < e.seq && s.addr.is_none())
             {
-                continue;
+                break 'select false;
             }
-        }
-        if execute_at_issue(st, cx, idx) {
+            // `clflush` is ordered with respect to older stores to the same
+            // line (x86 SDM): it waits until any such store has drained
+            // from the store queue, so a store→clflush sequence really
+            // leaves the line uncached.
+            if e.kind == Some(MemKind::Flush) {
+                let Instr::Clflush { offset, .. } = st.al.instr[slot] else {
+                    unreachable!("flush kind implies clflush instr")
+                };
+                let addr = st.rf.read(e.srcs.regs[0]).wrapping_add(offset as i64 as u64);
+                let line = specmpk_mem::line_base(addr);
+                if st.sq.iter().any(|s| {
+                    s.seq < e.seq && s.addr.is_none_or(|a| specmpk_mem::line_base(a) == line)
+                }) {
+                    break 'select false;
+                }
+            }
+            if !execute_at_issue(st, cx, slot, e.seq) {
+                break 'select false;
+            }
             *unit -= 1;
             issued_total += 1;
-            i -= 1;
-            st.iq.remove(i);
             if cx.sink.enabled() {
-                cx.sink.record(TraceEvent::Issue { seq, cycle: st.cycle });
+                cx.sink.record(TraceEvent::Issue { seq: e.seq, cycle: st.cycle });
             }
+            true
+        };
+        if !issued {
+            // Compact in place; in the hole-free prefix (nothing issued
+            // yet) the entry is already where it belongs — skip the
+            // self-copy.
+            if keep != i - 1 {
+                st.iq[keep] = e;
+            }
+            keep += 1;
         }
+    }
+    // Entries past a width-bound break are kept verbatim: one memmove
+    // instead of an element-wise loop — on dependency-bound cycles the
+    // tail is most of a full issue queue.
+    if keep != i {
+        st.iq.copy_within(i..len, keep);
+    }
+    st.iq.truncate(keep + (len - i));
+    if issued_total > 0 {
+        st.work = true;
     }
 }
 
@@ -89,17 +132,16 @@ pub(crate) fn issue<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, 
 fn execute_at_issue<S: TraceSink>(
     st: &mut PipelineState,
     cx: &mut StageCtx<'_, S>,
-    idx: usize,
+    slot: usize,
+    seq: Seq,
 ) -> bool {
-    let entry = &st.al[idx];
-    let seq = entry.seq;
-    let instr = entry.instr;
-    let pkru_source = entry.pkru_source;
-    let pc = entry.pc;
+    let instr = st.al.instr[slot];
+    let pkru_source = st.al.pkru_source[slot];
+    let pc = st.al.pc[slot];
     // Sources were verified ready by the issue scan; read them now
     // (into a fixed pair — this runs for every issued instruction).
     let mut vals = [0u64; 2];
-    for (v, &p) in vals.iter_mut().zip(entry.srcs.as_slice()) {
+    for (v, &p) in vals.iter_mut().zip(st.al.srcs[slot].as_slice()) {
         *v = st.rf.read(p);
     }
     let read = |i: usize| vals[i];
@@ -112,88 +154,80 @@ fn execute_at_issue<S: TraceSink>(
                 Operand::Imm(imm) => imm as i64 as u64,
             };
             let latency = if op == specmpk_isa::AluOp::Mul { st.config.mul_latency } else { 1 };
-            let e = &mut st.al[idx];
-            e.result = Some(op.eval(a, b));
-            e.state = AlState::Issued;
-            st.schedule(seq, latency);
+            st.al.result[slot] = Some(op.eval(a, b));
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, latency);
             true
         }
         Instr::Li { imm, .. } => {
-            let e = &mut st.al[idx];
-            e.result = Some(imm as u64);
-            e.state = AlState::Issued;
-            st.schedule(seq, 1);
+            st.al.result[slot] = Some(imm as u64);
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, 1);
             true
         }
         Instr::Branch { cond, target, .. } => {
             let taken = cond.eval(read(0), read(1));
-            let e = &mut st.al[idx];
-            e.actual_next = Some(if taken { target } else { pc + specmpk_isa::INSTR_BYTES });
-            if let Some(b) = e.branch.as_mut() {
+            st.al.cold[slot].actual_next =
+                Some(if taken { target } else { pc + specmpk_isa::INSTR_BYTES });
+            if let Some(b) = st.al.cold[slot].branch.as_mut() {
                 b.resolved_taken = Some(taken);
             }
-            e.state = AlState::Issued;
-            st.schedule(seq, 1);
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, 1);
             true
         }
         Instr::Jump { target } => {
-            let e = &mut st.al[idx];
-            e.actual_next = Some(target);
-            e.state = AlState::Issued;
-            st.schedule(seq, 1);
+            st.al.cold[slot].actual_next = Some(target);
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, 1);
             true
         }
         Instr::Jal { target, .. } => {
-            let e = &mut st.al[idx];
-            e.actual_next = Some(target);
-            e.result = Some(pc + specmpk_isa::INSTR_BYTES);
-            e.state = AlState::Issued;
-            st.schedule(seq, 1);
+            st.al.cold[slot].actual_next = Some(target);
+            st.al.result[slot] = Some(pc + specmpk_isa::INSTR_BYTES);
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, 1);
             true
         }
         Instr::Jalr { .. } => {
             let target = read(0);
-            let e = &mut st.al[idx];
-            e.actual_next = Some(target);
-            e.result = Some(pc + specmpk_isa::INSTR_BYTES);
-            e.state = AlState::Issued;
-            st.schedule(seq, 1);
+            st.al.cold[slot].actual_next = Some(target);
+            st.al.result[slot] = Some(pc + specmpk_isa::INSTR_BYTES);
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, 1);
             true
         }
         Instr::Wrpkru => {
             let value = Pkru::from_bits(read(0) as u32);
-            let tag = st.al[idx].pkru_tag.expect("WRPKRU has a tag");
+            let tag = st.al.pkru_tag[slot].expect("WRPKRU has a tag");
             st.engine.execute_wrpkru(tag, value);
-            let e = &mut st.al[idx];
-            e.state = AlState::Issued;
-            st.schedule(seq, 1);
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, 1);
             true
         }
         Instr::Rdpkru => {
             let source = pkru_source.expect("RDPKRU has a PKRU source");
             let value = st.engine.resolve_value(source);
-            let e = &mut st.al[idx];
-            e.result = Some(u64::from(value.bits()));
-            e.state = AlState::Issued;
-            st.schedule(seq, 1);
+            st.al.result[slot] = Some(u64::from(value.bits()));
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, 1);
             true
         }
         Instr::Clflush { offset, .. } => {
             let addr = read(0).wrapping_add(offset as i64 as u64);
             st.mem.flush_line(addr);
-            let e = &mut st.al[idx];
-            e.state = AlState::Issued;
-            st.schedule(seq, 1);
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, 1);
             true
         }
         Instr::Load { offset, width, .. } => {
             let addr = read(0).wrapping_add(offset as i64 as u64);
-            issue_load(st, cx, idx, addr, width)
+            issue_load(st, cx, slot, seq, addr, width)
         }
         Instr::Store { offset, width, .. } => {
             let data = read(0);
             let addr = read(1).wrapping_add(offset as i64 as u64);
-            issue_store(st, cx, idx, addr, width, data)
+            issue_store(st, cx, slot, seq, addr, width, data)
         }
         Instr::Nop | Instr::Halt => unreachable!("never enter the IQ"),
     }
@@ -202,23 +236,22 @@ fn execute_at_issue<S: TraceSink>(
 fn issue_load<S: TraceSink>(
     st: &mut PipelineState,
     cx: &mut StageCtx<'_, S>,
-    idx: usize,
+    slot: usize,
+    seq: Seq,
     addr: u64,
     width: MemWidth,
 ) -> bool {
-    let seq = st.al[idx].seq;
-    let pc = st.al[idx].pc;
-    let source = st.al[idx].pkru_source.expect("loads carry a PKRU source");
+    let pc = st.al.pc[slot];
+    let source = st.al.pkru_source[slot].expect("loads carry a PKRU source");
 
     // 1. Translation probe (no microarchitectural update yet).
     let probe = st.mem.translate(addr, AccessKind::Read, false);
     let translation = match probe {
         Err(fault) => {
-            let e = &mut st.al[idx];
-            e.fault = Some(FaultInfo::Page(fault));
-            e.result = Some(0);
-            e.state = AlState::Issued;
-            st.schedule(seq, 1);
+            st.al.cold[slot].fault = Some(FaultInfo::Page(fault));
+            st.al.result[slot] = Some(0);
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, 1);
             return true;
         }
         Ok(t) => t,
@@ -226,12 +259,10 @@ fn issue_load<S: TraceSink>(
     // 2. Conservative TLB-miss stall (§V-C5).
     if !translation.tlb_hit && st.engine.tlb_miss_must_stall() {
         st.stats.tlb_miss_stalls += 1;
-        let cycle = st.cycle;
-        let e = &mut st.al[idx];
-        e.head_stall = Some(HeadStall::TlbMiss);
-        e.stall_cycle = cycle;
-        e.result = Some(addr); // stash the address for the replay
-        e.state = AlState::Issued;
+        st.al.cold[slot].head_stall = Some(HeadStall::TlbMiss);
+        st.al.cold[slot].stall_cycle = st.cycle;
+        st.al.result[slot] = Some(addr); // stash the address for the replay
+        st.al.state[slot] = AlState::Issued;
         if cx.sink.enabled() {
             cx.sink.record(TraceEvent::HeadStall {
                 seq,
@@ -256,10 +287,9 @@ fn issue_load<S: TraceSink>(
     if !load_ok {
         st.stats.load_replays += 1;
         st.stats.guest.charge_load_replay(pc);
-        let e = &mut st.al[idx];
-        e.head_stall = Some(HeadStall::LoadCheckFail);
-        e.result = Some(addr);
-        e.state = AlState::Issued;
+        st.al.cold[slot].head_stall = Some(HeadStall::LoadCheckFail);
+        st.al.result[slot] = Some(addr);
+        st.al.state[slot] = AlState::Issued;
         if cx.sink.enabled() {
             cx.sink.record(TraceEvent::HeadStall {
                 seq,
@@ -271,11 +301,10 @@ fn issue_load<S: TraceSink>(
     }
     // 4. Speculative fault determination (NonSecure / Serialized).
     if let Some(fault) = st.spec_fault_check(source, pkey, AccessKind::Read) {
-        let e = &mut st.al[idx];
-        e.fault = Some(FaultInfo::Protection(fault));
-        e.result = Some(0);
-        e.state = AlState::Issued;
-        st.schedule(seq, 1);
+        st.al.cold[slot].fault = Some(FaultInfo::Protection(fault));
+        st.al.result[slot] = Some(0);
+        st.al.state[slot] = AlState::Issued;
+        st.schedule(seq, slot, 1);
         return true;
     }
     // 5. Store-queue search (youngest older overlapping store).
@@ -300,18 +329,16 @@ fn issue_load<S: TraceSink>(
             // Store-to-load forwarding.
             st.stats.forwards += 1;
             let t = st.mem.translate(addr, AccessKind::Read, true).expect("probe succeeded");
-            let e = &mut st.al[idx];
-            e.result = Some(width.truncate(data));
-            e.state = AlState::Issued;
-            st.schedule(seq, 1 + t.latency);
+            st.al.result[slot] = Some(width.truncate(data));
+            st.al.state[slot] = AlState::Issued;
+            st.schedule(seq, slot, 1 + t.latency);
         } else {
             // Barred from forwarding (PKRU Store Check) or partial
             // overlap: execute when this load reaches the AL head.
             st.stats.forward_blocked_loads += 1;
-            let e = &mut st.al[idx];
-            e.head_stall = Some(HeadStall::NoForwardStore);
-            e.result = Some(addr);
-            e.state = AlState::Issued;
+            st.al.cold[slot].head_stall = Some(HeadStall::NoForwardStore);
+            st.al.result[slot] = Some(addr);
+            st.al.state[slot] = AlState::Issued;
             if cx.sink.enabled() {
                 cx.sink.record(TraceEvent::HeadStall {
                     seq,
@@ -326,24 +353,23 @@ fn issue_load<S: TraceSink>(
     let t = st.mem.translate(addr, AccessKind::Read, true).expect("probe succeeded");
     let out = st.mem.data_timing(addr);
     let value = width.truncate(st.mem.read(addr, width.bytes()));
-    let e = &mut st.al[idx];
-    e.result = Some(value);
-    e.state = AlState::Issued;
-    st.schedule(seq, 1 + t.latency + out.latency);
+    st.al.result[slot] = Some(value);
+    st.al.state[slot] = AlState::Issued;
+    st.schedule(seq, slot, 1 + t.latency + out.latency);
     true
 }
 
 fn issue_store<S: TraceSink>(
     st: &mut PipelineState,
     cx: &mut StageCtx<'_, S>,
-    idx: usize,
+    slot: usize,
+    seq: Seq,
     addr: u64,
     width: MemWidth,
     data: u64,
 ) -> bool {
-    let seq = st.al[idx].seq;
-    let pc = st.al[idx].pc;
-    let source = st.al[idx].pkru_source.expect("stores carry a PKRU source");
+    let pc = st.al.pc[slot];
+    let source = st.al.pkru_source[slot].expect("stores carry a PKRU source");
     let sq_pos = st.sq.iter().position(|s| s.seq == seq).expect("store has an SQ slot");
 
     let probe = st.mem.translate(addr, AccessKind::Write, false);
@@ -382,10 +408,9 @@ fn issue_store<S: TraceSink>(
     s.forward_ok = forward_ok && fault.is_none();
     s.deferred_check = deferred_check;
     s.issue_cycle = cycle;
-    let e = &mut st.al[idx];
-    e.fault = fault;
-    e.result = Some(addr);
-    e.state = AlState::Issued;
-    st.schedule(seq, 1);
+    st.al.cold[slot].fault = fault;
+    st.al.result[slot] = Some(addr);
+    st.al.state[slot] = AlState::Issued;
+    st.schedule(seq, slot, 1);
     true
 }

@@ -38,6 +38,7 @@ pub(crate) mod span {
         "sim.sample",
         "run.finish",
         "run.total",
+        "step.idle_skip",
     ];
 
     /// Cycle bookkeeping at the top of `step` (occupancy histograms,
@@ -61,21 +62,26 @@ pub(crate) mod span {
     /// The whole `run()` stepping loop; the per-stage spans above tile
     /// it (minus the nested `stage.squash` overlap).
     pub(crate) const RUN_TOTAL: SpanId = SpanId::from_index(9);
+    /// Idle-cycle bulk advance: one span call per *skip*, covering the
+    /// bookkeeping for every cycle the jump absorbed — so skipped cycles
+    /// are attributed honestly instead of vanishing from the profile.
+    pub(crate) const IDLE_SKIP: SpanId = SpanId::from_index(10);
 }
 
 use std::collections::VecDeque;
 
-use specmpk_core::{PkruCheckpoint, PkruEngine, PkruSource, PkruTag};
-use specmpk_isa::{Instr, MemWidth, Program, Reg};
+use specmpk_core::{PkruCheckpoint, PkruEngine, PkruSource};
+use specmpk_isa::{Instr, InstrClass, MemWidth, Program, Reg};
 use specmpk_mem::{MemorySystem, PageFault};
 use specmpk_mpk::{AccessKind, Pkey, ProtectionFault};
 use specmpk_trace::TraceSink;
 
+use crate::active_list::ActiveList;
 use crate::config::SimConfig;
 use crate::pipeline::ExitReason;
 use crate::predictor::{BranchPredictor, PredictorCheckpoint};
 use crate::prf::{PhysReg, RegFile, RenameCheckpoint};
-use crate::stats::SimStats;
+use crate::stats::{RenameStall, SimStats};
 
 /// Monotone dynamic-instruction sequence number (assigned at rename).
 pub(crate) type Seq = u64;
@@ -157,28 +163,18 @@ impl SrcRegs {
     }
 }
 
-#[derive(Debug, Clone)]
-pub(crate) struct AlEntry {
+/// A waiting instruction in the issue queue: everything the oldest-first
+/// select needs, copied inline at rename so the scan never touches the
+/// Active-List lanes of entries that do not issue this cycle. The `slot`
+/// makes the post-select lane access O(1) (no seq search).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IqEntry {
     pub(crate) seq: Seq,
-    pub(crate) pc: u64,
-    pub(crate) instr: Instr,
-    pub(crate) state: AlState,
-    pub(crate) dest: Option<(Reg, PhysReg, PhysReg)>,
+    pub(crate) slot: u32,
+    pub(crate) class: InstrClass,
+    pub(crate) kind: Option<MemKind>,
     pub(crate) srcs: SrcRegs,
     pub(crate) pkru_source: Option<PkruSource>,
-    pub(crate) pkru_tag: Option<PkruTag>,
-    pub(crate) branch: Option<BranchInfo>,
-    pub(crate) mem_kind: Option<MemKind>,
-    pub(crate) result: Option<u64>,
-    pub(crate) actual_next: Option<u64>,
-    pub(crate) fault: Option<FaultInfo>,
-    pub(crate) head_stall: Option<HeadStall>,
-    /// Cycle at which this instruction renamed (WRPKRU latency histogram).
-    pub(crate) rename_cycle: u64,
-    /// Cycle at which `head_stall` was set (deferred-TLB-delay histogram).
-    pub(crate) stall_cycle: u64,
-    /// Whether this instruction replayed at the AL head (burst histogram).
-    pub(crate) replayed: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -199,6 +195,10 @@ pub(crate) struct SqEntry {
 pub(crate) struct Event {
     pub(crate) at: u64,
     pub(crate) seq: Seq,
+    /// Active-List slot of `seq` (validated via [`ActiveList::contains`]
+    /// at drain time — squashes prune events, so a mismatch is a stale
+    /// event to drop).
+    pub(crate) slot: u32,
 }
 
 /// Per-cycle stage context: everything a stage needs besides the pipeline
@@ -228,14 +228,21 @@ pub(crate) struct PipelineState {
     pub(crate) fetch_busy_until: u64,
     pub(crate) last_fetch_line: Option<u64>,
     pub(crate) frontq: VecDeque<Fetched>,
-    pub(crate) al: VecDeque<AlEntry>,
-    pub(crate) iq: Vec<Seq>,
+    pub(crate) al: ActiveList,
+    pub(crate) iq: Vec<IqEntry>,
     pub(crate) lq: Vec<Seq>,
     pub(crate) sq: Vec<SqEntry>,
     pub(crate) events: Vec<Event>,
     /// Scratch buffer for [`writeback`], kept to avoid a per-cycle
     /// allocation. Always logically empty between cycles.
     pub(crate) wb_scratch: Vec<Event>,
+    /// Wake-up table, indexed by physical register: the `(slot, seq)` of
+    /// every issue-queue entry waiting on that register. Drained (and the
+    /// consumers' [`ActiveList::waits`] counts decremented) when the
+    /// producer writes the register via [`PipelineState::write_phys`].
+    /// Squash-pruned consumers leave stale pairs behind; the drain drops
+    /// them by liveness revalidation, so no squash-time cleanup is needed.
+    pub(crate) wakeup: Vec<Vec<(u32, Seq)>>,
     pub(crate) last_retire_cycle: u64,
     pub(crate) stats: SimStats,
     pub(crate) exit: Option<ExitReason>,
@@ -243,6 +250,22 @@ pub(crate) struct PipelineState {
     /// that each replayed at the AL head (flushed into
     /// `SimHistograms::load_replay_burst` when the run breaks).
     pub(crate) replay_run: u64,
+    /// Whether any stage changed machine state this cycle. Reset by
+    /// [`Core::step`](crate::Core::step); when it stays `false` the cycle
+    /// was provably a fixed point and the idle-skip fast path may bulk
+    /// advance to the next wake-up bound.
+    pub(crate) work: bool,
+    /// The rename stall cause of the current cycle (`None` only when
+    /// rename filled its full width). Idle skip replays this attribution
+    /// for every bulk-advanced cycle.
+    pub(crate) rename_block: Option<RenameStall>,
+    /// PC charged for `rename_block` by the guest profile (0 when the
+    /// front-end is empty), mirroring the per-cycle charge in rename.
+    pub(crate) rename_block_pc: u64,
+    /// Seqs of instructions taken through the fused rename+issue fast
+    /// path this cycle; next cycle's issue stage consumes their width and
+    /// ALU budget exactly as if they had been selected from the IQ front.
+    pub(crate) fused_pending: Vec<Seq>,
 }
 
 impl PipelineState {
@@ -274,29 +297,50 @@ impl PipelineState {
             fetch_busy_until: 0,
             last_fetch_line: None,
             frontq: VecDeque::new(),
-            al: VecDeque::new(),
+            al: ActiveList::new(config.active_list_size),
             iq: Vec::new(),
             lq: Vec::new(),
             sq: Vec::new(),
             events: Vec::new(),
             wb_scratch: Vec::new(),
+            wakeup: vec![Vec::new(); config.prf_size],
             last_retire_cycle: 0,
             stats: SimStats::default(),
             exit: None,
             replay_run: 0,
+            work: false,
+            rename_block: None,
+            rename_block_pc: 0,
+            fused_pending: Vec::new(),
         }
     }
 
     // ---------------------------------------------------------- utilities
 
-    pub(crate) fn al_index(&self, seq: Seq) -> Option<usize> {
-        // Seqs are strictly increasing but not contiguous (squashes leave
-        // gaps), so locate by binary search.
-        self.al.binary_search_by_key(&seq, |e| e.seq).ok()
+    pub(crate) fn schedule(&mut self, seq: Seq, slot: usize, latency: u64) {
+        self.events.push(Event { at: self.cycle + latency.max(1), seq, slot: slot as u32 });
     }
 
-    pub(crate) fn schedule(&mut self, seq: Seq, latency: u64) {
-        self.events.push(Event { at: self.cycle + latency.max(1), seq });
+    /// Writes physical register `phys` and wakes every issue-queue entry
+    /// waiting on it (decrementing their [`ActiveList::waits`] counts).
+    /// Every destination-register write in the pipeline must go through
+    /// here — a raw `rf.write` would leave consumers' wait counts stale
+    /// and strand them in the issue queue forever.
+    pub(crate) fn write_phys(&mut self, phys: PhysReg, value: u64) {
+        self.rf.write(phys, value);
+        let mut waiters = std::mem::take(&mut self.wakeup[usize::from(phys)]);
+        for &(slot, seq) in &waiters {
+            let slot = slot as usize;
+            // Squashed consumers leave stale pairs (seqs never recur, so
+            // the liveness check is exact); live waiters are necessarily
+            // still queued — an entry only issues once its count hits 0.
+            if self.al.contains(slot, seq) && self.al.state[slot] == AlState::Queued {
+                debug_assert!(self.al.waits[slot] > 0, "woken entry was not waiting");
+                self.al.waits[slot] -= 1;
+            }
+        }
+        waiters.clear();
+        self.wakeup[usize::from(phys)] = waiters; // keep the allocation
     }
 
     /// Speculative fault determination, delegated to the policy (SpecMPK

@@ -1,10 +1,17 @@
 //! Rename: structural-hazard checks, register/PKRU renaming, Active-List
 //! allocation — and the per-cycle CPI-stack attribution audit.
+//!
+//! Straight-line ALU/LI runs can additionally take the *fused
+//! rename+issue* fast path: when the issue queue is empty and every
+//! source is already ready, the instruction executes here and never
+//! enters the IQ. Next cycle's issue stage consumes the width/ALU budget
+//! the instruction would have used, so the fast path is cycle-exact (see
+//! `DESIGN.md` §13 for the entry/exit conditions).
 
-use specmpk_isa::{Instr, InstrClass};
+use specmpk_isa::{AluOp, Instr, InstrClass, Operand};
 use specmpk_trace::{TraceEvent, TraceSink};
 
-use super::{AlEntry, AlState, MemKind, PipelineState, SqEntry, SrcRegs, StageCtx};
+use super::{AlState, MemKind, PipelineState, SqEntry, SrcRegs, StageCtx};
 use crate::stats::RenameStall;
 
 pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
@@ -13,6 +20,18 @@ pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
     // can never silently double-count or drop a CPI-stack contribution.
     #[cfg(debug_assertions)]
     let slot_stalls_before = st.stats.rename_slot_stalls_total();
+
+    // Fusion is legal only for an uninterrupted fused prefix of this
+    // cycle's rename group over an empty IQ: then the fused instructions
+    // are provably the oldest ready work next cycle and consume the issue
+    // budget first, exactly as the IQ walk would have ordered them. A
+    // trace sink disables the path so per-instruction Issue events stay
+    // complete.
+    let mut fuse_ok = st.config.fuse_rename_issue
+        && !cx.sink.enabled()
+        && st.iq.is_empty()
+        && st.fused_pending.is_empty();
+    let fuse_cap = st.config.width.min(st.config.alu_units);
 
     let mut renamed = 0usize;
     let mut block: Option<RenameStall> = None;
@@ -31,8 +50,8 @@ pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
             block = Some(RenameStall::WrpkruSerialize);
             break;
         }
-        let f = front.clone();
-        let class = f.instr.class();
+        let instr = front.instr;
+        let class = instr.class();
         match class {
             InstrClass::Wrpkru if !st.engine.can_rename_wrpkru(st.al.len()) => {
                 block = Some(if st.engine.wrpkru_rename_serializes() {
@@ -49,16 +68,16 @@ pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
             }
             _ => {}
         }
-        if st.al.len() >= st.config.active_list_size {
+        if st.al.is_full() {
             block = Some(RenameStall::ActiveListFull);
             break;
         }
-        let needs_iq = !matches!(f.instr, Instr::Nop | Instr::Halt);
+        let needs_iq = !matches!(instr, Instr::Nop | Instr::Halt);
         if needs_iq && st.iq.len() >= st.config.issue_queue_size {
             block = Some(RenameStall::IssueQueueFull);
             break;
         }
-        let mem_kind = match f.instr {
+        let mem_kind = match instr {
             Instr::Load { .. } => Some(MemKind::Load),
             Instr::Store { .. } => Some(MemKind::Store),
             Instr::Clflush { .. } => Some(MemKind::Flush),
@@ -75,56 +94,106 @@ pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
             }
             _ => {}
         }
-        let needs_dest = f.instr.dest().is_some();
+        let needs_dest = instr.dest().is_some();
         if needs_dest && st.rf.free_count() == 0 {
             block = Some(RenameStall::PrfFull);
             break;
         }
 
         // All structural checks passed: rename for real.
-        st.frontq.pop_front();
+        let f = st.frontq.pop_front().expect("peeked above");
         let seq = st.next_seq;
         st.next_seq += 1;
 
-        let (src_regs, n_srcs) = f.instr.source_regs();
+        let (src_regs, n_srcs) = instr.source_regs();
         let mut srcs = SrcRegs::default();
         for &r in &src_regs[..n_srcs] {
             srcs.regs[usize::from(srcs.len)] = st.rf.map_source(r);
             srcs.len += 1;
         }
+        // Unready-source count: seeds the AL `waits` scoreboard lane
+        // (decremented by producers' writebacks) and gates fusion.
+        let mut waits = 0u8;
+        for &p in srcs.as_slice() {
+            waits += u8::from(!st.rf.is_ready(p));
+        }
+
+        // Fused rename+issue fast path (plain ALU/LI only — no memory,
+        // no PKRU interaction, no control flow).
+        let fused = fuse_ok
+            && st.fused_pending.len() < fuse_cap
+            && matches!(instr, Instr::Alu { .. } | Instr::Li { .. })
+            && waits == 0;
+        if needs_iq && !fused {
+            // An instruction entered the IQ: younger fusions would jump
+            // the issue order ahead of it.
+            fuse_ok = false;
+        }
+
         let pkru_source = match class {
             InstrClass::Load | InstrClass::Store | InstrClass::Wrpkru | InstrClass::Rdpkru => {
                 Some(st.engine.rename_pkru_source())
             }
             _ => None,
         };
-        let branch = f.instr.is_control().then(|| super::BranchInfo {
+        let branch = instr.is_control().then(|| super::BranchInfo {
             pred_next: f.pred_next,
             pht_index: f.pht_index,
             rename_cp: st.rf.checkpoint(),
             pkru_cp: st.engine.checkpoint(),
-            pred_cp: f.pred_cp.clone().expect("control instructions carry a fetch-time snapshot"),
+            pred_cp: f.pred_cp.expect("control instructions carry a fetch-time snapshot"),
             resolved_taken: None,
             resolved: false,
         });
         let pkru_tag = (class == InstrClass::Wrpkru)
             .then(|| st.engine.rename_wrpkru().expect("can_rename_wrpkru checked above"));
-        let dest = f.instr.dest().map(|r| {
+        let dest = instr.dest().map(|r| {
             let (new, prev) = st.rf.rename_dest(r).expect("free list checked above");
             (r, new, prev)
         });
-        let state = if needs_iq {
-            st.iq.push(seq);
-            AlState::Queued
+        let slot = st.al.alloc_back();
+        let (state, result) = if fused {
+            // Execute now: every source is final (a ready physical
+            // register is written exactly once), so the result equals
+            // what issue would compute next cycle. The completion event
+            // lands at rename+1+latency — identical to issuing at
+            // rename+1 with the operation's latency.
+            let (value, latency) = match instr {
+                Instr::Alu { op, src2, .. } => {
+                    let a = st.rf.read(srcs.regs[0]);
+                    let b = match src2 {
+                        Operand::Reg(_) => st.rf.read(srcs.regs[1]),
+                        Operand::Imm(imm) => imm as i64 as u64,
+                    };
+                    let latency = if op == AluOp::Mul { st.config.mul_latency } else { 1 };
+                    (op.eval(a, b), latency)
+                }
+                Instr::Li { imm, .. } => (imm as u64, 1),
+                _ => unreachable!("fusion filter admits only ALU/LI"),
+            };
+            st.schedule(seq, slot, 1 + latency);
+            st.fused_pending.push(seq);
+            st.stats.fused_rename_issue_instrs += 1;
+            (AlState::Issued, Some(value))
+        } else if needs_iq {
+            st.iq.push(super::IqEntry {
+                seq,
+                slot: slot as u32,
+                class,
+                kind: mem_kind,
+                srcs,
+                pkru_source,
+            });
+            (AlState::Queued, None)
         } else {
-            AlState::Completed
+            (AlState::Completed, None)
         };
         match mem_kind {
             Some(MemKind::Load | MemKind::Flush) => st.lq.push(seq),
             Some(MemKind::Store) => st.sq.push(SqEntry {
                 seq,
                 addr: None,
-                width: match f.instr {
+                width: match instr {
                     Instr::Store { width, .. } => width,
                     _ => unreachable!("store kind implies store instr"),
                 },
@@ -141,7 +210,7 @@ pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
                 pc: f.pc,
                 fetch_cycle: f.ready_cycle - st.config.frontend_depth,
                 cycle: st.cycle,
-                disasm: f.instr.to_string(),
+                disasm: instr.to_string(),
             });
             if let Some(tag) = pkru_tag {
                 cx.sink.record(TraceEvent::RobPkruAlloc {
@@ -155,25 +224,29 @@ pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
         if pkru_tag.is_some() {
             st.stats.guest.wrpkru_rename(seq, f.pc);
         }
-        st.al.push_back(AlEntry {
-            seq,
-            pc: f.pc,
-            instr: f.instr,
-            state,
-            dest,
-            srcs,
-            pkru_source,
-            pkru_tag,
-            branch,
-            mem_kind,
-            result: None,
-            actual_next: None,
-            fault: None,
-            head_stall: None,
-            rename_cycle: st.cycle,
-            stall_cycle: 0,
-            replayed: false,
-        });
+        st.al.seq[slot] = seq;
+        st.al.pc[slot] = f.pc;
+        st.al.instr[slot] = instr;
+        st.al.state[slot] = state;
+        st.al.dest[slot] = dest;
+        st.al.srcs[slot] = srcs;
+        st.al.pkru_source[slot] = pkru_source;
+        st.al.pkru_tag[slot] = pkru_tag;
+        st.al.mem_kind[slot] = mem_kind;
+        st.al.result[slot] = result;
+        st.al.rename_cycle[slot] = st.cycle;
+        st.al.waits[slot] = waits;
+        st.al.cold[slot].branch = branch;
+        // Queued consumers with unready sources subscribe to their
+        // producers' writebacks (no rf write happens during rename, so
+        // the unready set is unchanged since `waits` was counted).
+        if state == AlState::Queued && waits > 0 {
+            for &p in srcs.as_slice() {
+                if !st.rf.is_ready(p) {
+                    st.wakeup[usize::from(p)].push((slot as u32, seq));
+                }
+            }
+        }
         renamed += 1;
     }
     if let Some(cause) = block {
@@ -191,6 +264,14 @@ pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
             st.stats.guest.charge_rename_stall(pc, cause.index(), slots);
         }
     }
+    if renamed > 0 {
+        st.work = true;
+    }
+    // Cache the cycle's stall attribution for idle skip: a zero-work
+    // cycle renamed nothing, so `block` is always `Some` there and the
+    // bulk advance replays exactly this cause/PC per skipped cycle.
+    st.rename_block = block;
+    st.rename_block_pc = st.frontq.front().map_or(0, |f| f.pc);
 
     #[cfg(debug_assertions)]
     {

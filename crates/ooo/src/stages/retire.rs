@@ -5,45 +5,52 @@ use specmpk_isa::{Instr, MemWidth, INSTR_BYTES};
 use specmpk_mpk::AccessKind;
 use specmpk_trace::{TraceEvent, TraceSink};
 
-use super::{squash, AlEntry, AlState, FaultInfo, HeadStall, MemKind, PipelineState, StageCtx};
+use super::{squash, AlState, FaultInfo, HeadStall, MemKind, PipelineState, StageCtx};
 use crate::config::FaultMode;
 use crate::pipeline::ExitReason;
 
 pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
     let mut retired_now = 0usize;
     while retired_now < st.config.width {
-        let Some(head) = st.al.front() else { break };
-        let seq = head.seq;
-
-        // Head-stalled memory instructions replay now (§V-C2/C4/C5).
-        if head.state == AlState::Issued && head.head_stall.is_some() {
-            replay_load_at_head(st, cx);
-            break; // replay takes time; nothing retires this cycle
-        }
-        if head.state != AlState::Completed {
+        if st.al.is_empty() {
             break;
         }
-        let head = st.al.front().expect("checked").clone();
+        let slot = st.al.head_slot();
+        let seq = st.al.seq[slot];
+        let state = st.al.state[slot];
+
+        // Head-stalled memory instructions replay now (§V-C2/C4/C5).
+        if state == AlState::Issued && st.al.cold[slot].head_stall.is_some() {
+            replay_load_at_head(st, cx);
+            st.work = true;
+            break; // replay takes time; nothing retires this cycle
+        }
+        if state != AlState::Completed {
+            break;
+        }
+        let pc = st.al.pc[slot];
+        let instr = st.al.instr[slot];
 
         // Branch direction training happens at retirement.
-        if let Some(info) = &head.branch {
+        if let Some(info) = &st.al.cold[slot].branch {
             if let (Some(idx), Some(taken)) = (info.pht_index, info.resolved_taken) {
                 st.predictor.train_by_index(idx, taken);
             }
         }
 
         // Raise any recorded fault precisely.
-        if let Some(fault) = head.fault {
-            raise_fault(st, cx, head.pc, fault);
+        if let Some(fault) = st.al.cold[slot].fault {
+            raise_fault(st, cx, pc, fault);
+            st.work = true;
             return;
         }
 
-        match head.instr {
+        match instr {
             Instr::Halt => {
                 // Halt ends the run inside the retire loop, so it closes
                 // its own retire-to-retire gap here to keep the per-PC
                 // cycle attribution total.
-                st.stats.guest.charge_retire(head.pc, st.cycle - st.last_retire_cycle);
+                st.stats.guest.charge_retire(pc, st.cycle - st.last_retire_cycle);
                 st.last_retire_cycle = st.cycle;
                 st.stats.retired += 1;
                 if cx.sink.enabled() {
@@ -55,12 +62,13 @@ pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
             Instr::Wrpkru => {
                 st.engine.retire_wrpkru();
                 st.stats.retired_wrpkru += 1;
-                st.stats.hist.wrpkru_latency.record(st.cycle - head.rename_cycle);
+                let rename_cycle = st.al.rename_cycle[slot];
+                st.stats.hist.wrpkru_latency.record(st.cycle - rename_cycle);
                 // One execution of this permission-update site; the
                 // rename-to-retire latency is its ROB_pkru residency.
-                st.stats.guest.wrpkru_retire(seq, head.pc, st.cycle - head.rename_cycle);
+                st.stats.guest.wrpkru_retire(seq, pc, st.cycle - rename_cycle);
                 if cx.sink.enabled() {
-                    let tag = head.pkru_tag.expect("WRPKRU has a tag");
+                    let tag = st.al.pkru_tag[slot].expect("WRPKRU has a tag");
                     cx.sink.record(TraceEvent::RobPkruFree {
                         seq,
                         cycle: st.cycle,
@@ -69,7 +77,8 @@ pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
                 }
             }
             Instr::Store { width, .. } => {
-                if !retire_store(st, cx, &head, width) {
+                if !retire_store(st, cx, slot, width) {
+                    st.work = true;
                     return; // store faulted at head
                 }
                 st.stats.retired_stores += 1;
@@ -78,7 +87,7 @@ pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
             Instr::Branch { .. } => st.stats.retired_branches += 1,
             _ => {}
         }
-        if head.replayed {
+        if st.al.cold[slot].replayed {
             st.replay_run += 1;
         } else if st.replay_run > 0 {
             st.stats.hist.load_replay_burst.record(st.replay_run);
@@ -92,10 +101,10 @@ pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
             }
             st.replay_run = 0;
         }
-        if let Some((reg, new, _prev)) = head.dest {
+        if let Some((reg, new, _prev)) = st.al.dest[slot] {
             st.rf.commit(reg, new);
         }
-        if matches!(head.mem_kind, Some(MemKind::Load | MemKind::Flush)) {
+        if matches!(st.al.mem_kind[slot], Some(MemKind::Load | MemKind::Flush)) {
             st.lq.retain(|&s| s != seq);
         }
         if cx.sink.enabled() {
@@ -105,13 +114,16 @@ pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
         st.stats.retired += 1;
         // The first retire of a cycle absorbs the whole retire-to-retire
         // gap; same-cycle retires charge zero.
-        st.stats.guest.charge_retire(head.pc, st.cycle - st.last_retire_cycle);
+        st.stats.guest.charge_retire(pc, st.cycle - st.last_retire_cycle);
         st.last_retire_cycle = st.cycle;
         retired_now += 1;
         if st.config.max_instructions > 0 && st.stats.retired >= st.config.max_instructions {
             st.exit = Some(ExitReason::InstrLimit);
             return;
         }
+    }
+    if retired_now > 0 {
+        st.work = true;
     }
 }
 
@@ -120,27 +132,29 @@ pub(crate) fn retire<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
 fn retire_store<S: TraceSink>(
     st: &mut PipelineState,
     cx: &mut StageCtx<'_, S>,
-    head: &AlEntry,
+    slot: usize,
     width: MemWidth,
 ) -> bool {
+    let seq = st.al.seq[slot];
+    let pc = st.al.pc[slot];
     let sq_head = st.sq.first().copied().expect("retiring store has SQ head");
-    debug_assert_eq!(sq_head.seq, head.seq);
+    debug_assert_eq!(sq_head.seq, seq);
     let addr = sq_head.addr.expect("store executed before retiring");
     if sq_head.deferred_check {
         // Re-verify against the committed PKRU (§V-C4), walking the TLB
         // now if needed (§V-C5 deferred fill).
         st.stats.hist.deferred_tlb_delay.record(st.cycle - sq_head.issue_cycle);
         if cx.sink.enabled() {
-            cx.sink.record(TraceEvent::DeferredTlbUpdate { seq: head.seq, cycle: st.cycle });
+            cx.sink.record(TraceEvent::DeferredTlbUpdate { seq, cycle: st.cycle });
         }
         match st.mem.translate(addr, AccessKind::Write, true) {
             Err(fault) => {
-                raise_fault(st, cx, head.pc, FaultInfo::Page(fault));
+                raise_fault(st, cx, pc, FaultInfo::Page(fault));
                 return false;
             }
             Ok(t) => {
                 if let Err(fault) = st.engine.fault_check_committed(t.pkey, AccessKind::Write) {
-                    raise_fault(st, cx, head.pc, FaultInfo::Protection(fault));
+                    raise_fault(st, cx, pc, FaultInfo::Protection(fault));
                     return false;
                 }
             }
@@ -157,54 +171,52 @@ fn retire_store<S: TraceSink>(
 /// protection check against `ARF_pkru`, then a real (non-speculative)
 /// memory access whose latency stalls retirement.
 fn replay_load_at_head<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
-    let head = st.al.front().expect("caller checked").clone();
-    let seq = head.seq;
-    let addr = head.result.expect("address stashed at first issue");
-    let width = match head.instr {
+    let slot = st.al.head_slot();
+    let seq = st.al.seq[slot];
+    let head_stall = st.al.cold[slot].head_stall;
+    let addr = st.al.result[slot].expect("address stashed at first issue");
+    let width = match st.al.instr[slot] {
         Instr::Load { width, .. } => width,
         _ => unreachable!("only loads head-stall"),
     };
     if cx.sink.enabled() {
         cx.sink.record(TraceEvent::LoadReplay { seq, cycle: st.cycle });
-        if head.head_stall == Some(HeadStall::TlbMiss) {
+        if head_stall == Some(HeadStall::TlbMiss) {
             // The walk below is the §V-C5 deferred TLB fill.
             cx.sink.record(TraceEvent::DeferredTlbUpdate { seq, cycle: st.cycle });
         }
     }
-    if head.head_stall == Some(HeadStall::TlbMiss) {
-        st.stats.hist.deferred_tlb_delay.record(st.cycle - head.stall_cycle);
+    if head_stall == Some(HeadStall::TlbMiss) {
+        st.stats.hist.deferred_tlb_delay.record(st.cycle - st.al.cold[slot].stall_cycle);
     }
-    st.al.front_mut().expect("caller checked").replayed = true;
+    st.al.cold[slot].replayed = true;
     match st.mem.translate(addr, AccessKind::Read, true) {
         Err(fault) => {
-            let e = st.al.front_mut().expect("head");
-            e.fault = Some(FaultInfo::Page(fault));
-            e.result = Some(0);
-            e.head_stall = None;
-            e.state = AlState::Completed;
-            if let Some((_, phys, _)) = e.dest {
-                st.rf.write(phys, 0);
+            st.al.cold[slot].fault = Some(FaultInfo::Page(fault));
+            st.al.result[slot] = Some(0);
+            st.al.cold[slot].head_stall = None;
+            st.al.state[slot] = AlState::Completed;
+            if let Some((_, phys, _)) = st.al.dest[slot] {
+                st.write_phys(phys, 0);
             }
         }
         Ok(t) => {
             if let Err(fault) = st.engine.fault_check_committed(t.pkey, AccessKind::Read) {
-                let e = st.al.front_mut().expect("head");
-                e.fault = Some(FaultInfo::Protection(fault));
-                e.result = Some(0);
-                e.head_stall = None;
-                e.state = AlState::Completed;
-                if let Some((_, phys, _)) = e.dest {
-                    st.rf.write(phys, 0);
+                st.al.cold[slot].fault = Some(FaultInfo::Protection(fault));
+                st.al.result[slot] = Some(0);
+                st.al.cold[slot].head_stall = None;
+                st.al.state[slot] = AlState::Completed;
+                if let Some((_, phys, _)) = st.al.dest[slot] {
+                    st.write_phys(phys, 0);
                 }
             } else {
                 // Non-speculative execution: TLB updated above, cache
                 // accessed now (the paper's deferred state update).
                 let out = st.mem.data_timing(addr);
                 let value = width.truncate(st.mem.read(addr, width.bytes()));
-                let e = st.al.front_mut().expect("head");
-                e.result = Some(value);
-                e.head_stall = None;
-                st.schedule(seq, 1 + t.latency + out.latency);
+                st.al.result[slot] = Some(value);
+                st.al.cold[slot].head_stall = None;
+                st.schedule(seq, slot, 1 + t.latency + out.latency);
             }
         }
     }

@@ -4,7 +4,8 @@ use specmpk_trace::{SquashCause, TraceEvent, TraceSink};
 
 use super::{span, PipelineState, Seq, StageCtx};
 
-/// Squashes everything younger than `seq` and redirects fetch.
+/// Squashes everything younger than `seq` (at Active-List `slot`) and
+/// redirects fetch.
 ///
 /// `cause` classifies the recovery for the trace/journal (the stats
 /// histograms are cause-agnostic, as before).
@@ -12,19 +13,20 @@ pub(crate) fn squash_after<S: TraceSink>(
     st: &mut PipelineState,
     cx: &mut StageCtx<'_, S>,
     seq: Seq,
+    slot: usize,
     redirect_to: u64,
     cause: SquashCause,
 ) {
     let t0 = st.stats.host.clock();
-    let idx = st.al_index(seq).expect("squashing branch is in flight");
-    let info = st.al[idx].branch.clone().expect("branch info");
+    debug_assert!(st.al.contains(slot, seq), "squashing branch is in flight");
+    let idx = st.al.logical_of(slot);
     let depth = (st.al.len() - idx - 1) as u64;
     st.stats.hist.squash_depth.record(depth);
     if st.stats.guest.enabled() {
         // Charge the batch to its triggering PC, and (before victims are
         // popped) let the site table attribute it to the youngest
         // surviving in-flight WRPKRU.
-        st.stats.guest.charge_squash_trigger(st.al[idx].pc);
+        st.stats.guest.charge_squash_trigger(st.al.pc[slot]);
         st.stats.guest.note_squash_batch(seq);
     }
     if cx.sink.enabled() {
@@ -38,54 +40,62 @@ pub(crate) fn squash_after<S: TraceSink>(
     }
     // Drop younger AL entries, freeing their resources (reverse order).
     while st.al.len() > idx + 1 {
-        let victim = st.al.pop_back().expect("len > idx+1");
-        if let Some((_, new, _)) = victim.dest {
+        let victim = st.al.pop_back();
+        if let Some((_, new, _)) = st.al.dest[victim] {
             st.rf.release(new);
         }
         if cx.sink.enabled() {
-            if let Some(tag) = victim.pkru_tag {
+            if let Some(tag) = st.al.pkru_tag[victim] {
                 cx.sink.record(TraceEvent::RobPkruFree {
-                    seq: victim.seq,
+                    seq: st.al.seq[victim],
                     cycle: st.cycle,
                     tag: tag.raw(),
                 });
             }
-            cx.sink.record(TraceEvent::Squash { seq: victim.seq, cycle: st.cycle });
+            cx.sink.record(TraceEvent::Squash { seq: st.al.seq[victim], cycle: st.cycle });
         }
-        if victim.pkru_tag.is_some() {
-            st.stats.guest.wrpkru_squash(victim.seq, victim.pc, st.cycle - victim.rename_cycle);
+        if st.al.pkru_tag[victim].is_some() {
+            st.stats.guest.wrpkru_squash(
+                st.al.seq[victim],
+                st.al.pc[victim],
+                st.cycle - st.al.rename_cycle[victim],
+            );
         }
         st.stats.squashed += 1;
     }
-    let cut = st.al[idx].seq;
-    st.iq.retain(|&s| s <= cut);
+    let cut = seq;
+    st.iq.retain(|e| e.seq <= cut);
     st.lq.retain(|&s| s <= cut);
     st.sq.retain(|s| s.seq <= cut);
     st.events.retain(|e| e.seq <= cut);
+    st.fused_pending.retain(|&s| s <= cut);
     st.frontq.clear();
     // Restore speculative state from the branch's checkpoints, then
     // re-apply the branch's own effects (its checkpoint was taken
-    // *before* it renamed).
-    st.rf.restore(&info.rename_cp);
-    if let Some((reg, new, _)) = st.al[idx].dest {
-        // Re-install the branch's own destination mapping (jal link).
-        let _ = reg;
-        let _ = new;
-        // The rename checkpoint was taken before the branch renamed its
+    // *before* it renamed). Borrowing the cold sidecar in place avoids
+    // cloning the checkpoints (two Vecs plus the rename map) per squash.
+    {
+        let info = st.al.cold[slot].branch.as_ref().expect("branch info");
+        st.rf.restore(&info.rename_cp);
+    }
+    if let Some((reg, new, _)) = st.al.dest[slot] {
+        // Re-install the branch's own destination mapping (jal link):
+        // the rename checkpoint was taken before the branch renamed its
         // destination, so put the mapping back.
         st.rf.restore_mapping(reg, new);
     }
-    st.engine.restore(info.pkru_cp);
-    st.predictor.restore(&info.pred_cp);
-    // The restored history contains the *predicted* direction of this
-    // branch; patch in the resolved one.
-    if let Some(taken) = info.resolved_taken {
-        st.predictor.set_last_history_bit(taken);
+    {
+        let info = st.al.cold[slot].branch.as_ref().expect("branch info");
+        st.engine.restore(info.pkru_cp);
+        st.predictor.restore(&info.pred_cp);
+        // The restored history contains the *predicted* direction of this
+        // branch; patch in the resolved one.
+        if let Some(taken) = info.resolved_taken {
+            st.predictor.set_last_history_bit(taken);
+        }
     }
     // Record the corrected fall-through so retire does not re-squash.
-    if let Some(b) = st.al[idx].branch.as_mut() {
-        b.pred_next = redirect_to;
-    }
+    st.al.cold[slot].branch.as_mut().expect("branch info").pred_next = redirect_to;
     st.fetch_pc = Some(redirect_to);
     st.last_fetch_line = None;
     st.fetch_busy_until = st.cycle + 1;
@@ -96,31 +106,39 @@ pub(crate) fn squash_after<S: TraceSink>(
 pub(crate) fn full_flush<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
     let t0 = st.stats.host.clock();
     if cx.sink.enabled() {
-        if let Some(head) = st.al.front() {
+        if !st.al.is_empty() {
+            let head = st.al.head_slot();
             cx.sink.record(TraceEvent::SquashBatch {
-                seq: head.seq,
+                seq: st.al.seq[head],
                 cycle: st.cycle,
                 depth: st.al.len() as u64,
                 cause: SquashCause::FaultFlush,
                 rob: st.al.len() as u64,
             });
         }
-        for e in &st.al {
-            cx.sink.record(TraceEvent::Squash { seq: e.seq, cycle: st.cycle });
+        for i in 0..st.al.len() {
+            let slot = st.al.slot_of(i);
+            cx.sink.record(TraceEvent::Squash { seq: st.al.seq[slot], cycle: st.cycle });
         }
     }
     if st.stats.guest.enabled() {
-        if let Some(head) = st.al.front() {
+        if !st.al.is_empty() {
             // The flush squashes everything including the faulting head,
             // so no in-flight WRPKRU survives to be charged with it —
             // the batch is still counted, and every in-flight WRPKRU is
             // retired from the site table as squashed.
-            st.stats.guest.charge_squash_trigger(head.pc);
-            st.stats.guest.note_squash_batch(head.seq);
+            let head = st.al.head_slot();
+            st.stats.guest.charge_squash_trigger(st.al.pc[head]);
+            st.stats.guest.note_squash_batch(st.al.seq[head]);
         }
-        for e in &st.al {
-            if e.pkru_tag.is_some() {
-                st.stats.guest.wrpkru_squash(e.seq, e.pc, st.cycle - e.rename_cycle);
+        for i in 0..st.al.len() {
+            let slot = st.al.slot_of(i);
+            if st.al.pkru_tag[slot].is_some() {
+                st.stats.guest.wrpkru_squash(
+                    st.al.seq[slot],
+                    st.al.pc[slot],
+                    st.cycle - st.al.rename_cycle[slot],
+                );
             }
         }
     }
@@ -129,7 +147,13 @@ pub(crate) fn full_flush<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx
     st.lq.clear();
     st.sq.clear();
     st.events.clear();
+    st.fused_pending.clear();
     st.frontq.clear();
+    // The IQ is empty, so every wake-up subscription is stale; clearing
+    // here (flushes are rare) keeps the per-register lists short.
+    for waiters in &mut st.wakeup {
+        waiters.clear();
+    }
     st.rf.flush_to_committed();
     st.engine.flush_speculative();
     st.last_fetch_line = None;

@@ -23,35 +23,47 @@ pub(crate) fn writeback<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<
     });
     due.sort_by_key(|e| e.seq);
     for &ev in &due {
-        let Some(idx) = st.al_index(ev.seq) else { continue };
-        if st.al[idx].state != AlState::Issued {
+        let slot = ev.slot as usize;
+        // A squash between schedule and drain may have removed the entry
+        // (and possibly recycled the slot); events are pruned on squash,
+        // so a liveness mismatch means a stale event to drop.
+        if !st.al.contains(slot, ev.seq) {
             continue;
         }
-        // Write the destination register.
-        if let (Some((_, phys, _)), Some(value)) = (st.al[idx].dest, st.al[idx].result) {
-            st.rf.write(phys, value);
+        if st.al.state[slot] != AlState::Issued {
+            continue;
         }
-        st.al[idx].state = AlState::Completed;
+        // Write the destination register (waking queued consumers).
+        if let (Some((_, phys, _)), Some(value)) = (st.al.dest[slot], st.al.result[slot]) {
+            st.write_phys(phys, value);
+        }
+        st.al.state[slot] = AlState::Completed;
         if cx.sink.enabled() {
             cx.sink.record(TraceEvent::Complete { seq: ev.seq, cycle: st.cycle });
         }
         // Branch resolution.
-        if st.al[idx].instr.is_control() {
-            resolve_branch(st, cx, ev.seq);
+        if st.al.instr[slot].is_control() {
+            resolve_branch(st, cx, ev.seq, slot);
         }
+    }
+    if !due.is_empty() {
+        st.work = true;
     }
     st.wb_scratch = due;
 }
 
-fn resolve_branch<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>, seq: Seq) {
-    let Some(idx) = st.al_index(seq) else { return };
-    let entry = &mut st.al[idx];
-    let actual_next = entry.actual_next.expect("control resolved at issue");
-    let info = entry.branch.as_mut().expect("control has branch info");
+fn resolve_branch<S: TraceSink>(
+    st: &mut PipelineState,
+    cx: &mut StageCtx<'_, S>,
+    seq: Seq,
+    slot: usize,
+) {
+    let actual_next = st.al.cold[slot].actual_next.expect("control resolved at issue");
+    let info = st.al.cold[slot].branch.as_mut().expect("control has branch info");
     info.resolved = true;
     let predicted = info.pred_next;
-    let pc = entry.pc;
-    let instr = entry.instr;
+    let pc = st.al.pc[slot];
+    let instr = st.al.instr[slot];
 
     // Train the BTB with the resolved target of non-return indirect
     // jumps (even on the wrong path — the BTB is performance state).
@@ -71,6 +83,6 @@ fn resolve_branch<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>
             // Direct jumps only redirect on a BTB cold miss.
             _ => SquashCause::JumpMispredict,
         };
-        squash::squash_after(st, cx, seq, actual_next, cause);
+        squash::squash_after(st, cx, seq, slot, actual_next, cause);
     }
 }

@@ -202,6 +202,12 @@ pub struct SimStats {
     pub protection_faults: u64,
     /// Page faults raised at retirement.
     pub page_faults: u64,
+    /// Cycles the idle-skip bulk advance jumped over (each one charged
+    /// exactly as if it had been stepped; see `DESIGN.md` §13).
+    pub idle_cycles_skipped: u64,
+    /// Instructions that took the fused rename+issue fast path (executed
+    /// at rename, never entering the issue queue).
+    pub fused_rename_issue_instrs: u64,
     /// Cycles in which rename processed zero instructions, by cause
     /// (indexed per [`RenameStall`]).
     rename_stall_cycles: [u64; 9],
@@ -274,6 +280,14 @@ impl SimStats {
     /// Records one unused rename slot attributed to `cause`.
     pub fn note_rename_slot_stall(&mut self, cause: RenameStall) {
         self.rename_slot_stalls[cause.index()] += 1;
+    }
+
+    /// Bulk form used by the idle-skip advance: charges `cycles` fully
+    /// stalled cycles and `cycles * width` unused slots to `cause` in one
+    /// call, exactly as `cycles` individual stepped cycles would have.
+    pub fn note_rename_stall_bulk(&mut self, cause: RenameStall, cycles: u64, width: usize) {
+        self.rename_stall_cycles[cause.index()] += cycles;
+        self.rename_slot_stalls[cause.index()] += cycles * width as u64;
     }
 
     /// Cycles fully stalled at rename for `cause`.
@@ -355,6 +369,15 @@ impl SimStats {
         // Only present when profiling actually ran: artifacts stay
         // byte-identical with observability disabled.
         if self.host.has_samples() {
+            // The fast-path counters are host-speed observability (they
+            // never change simulated outcomes), so they ride the same
+            // gate as the span profile.
+            out.set(
+                "fast_path",
+                Json::object()
+                    .with("idle_cycles_skipped", self.idle_cycles_skipped)
+                    .with("fused_rename_issue_instrs", self.fused_rename_issue_instrs),
+            );
             out.set("host_profile", self.host.to_json());
         }
         if self.guest.has_samples() {

@@ -180,4 +180,15 @@ for i in "${!BIN_NAMES[@]}"; do
 done
 write_timing_json
 
+# Opt-in perf-ledger append: set SPECMPK_PERF_PR=<label> to record this
+# run's timing.json + Criterion baseline medians as one BENCH_perf.json
+# entry. Off by default — append_entry has no dedup, so every routine CI
+# run would otherwise pile an identical entry onto the ledger.
+if [[ -n "${SPECMPK_PERF_PR:-}" ]]; then
+    echo "==> perf-ledger: appending entry '${SPECMPK_PERF_PR}' to BENCH_perf.json"
+    cargo run -q --release -p specmpk-report -- \
+        perf --pr "${SPECMPK_PERF_PR}" --append \
+        ${SPECMPK_PERF_NOTES:+--notes "${SPECMPK_PERF_NOTES}"}
+fi
+
 echo "==> CI OK"
