@@ -50,6 +50,7 @@ use specmpk_core::PolicyRef;
 use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, Program, Reg};
 use specmpk_mpk::{Pkey, Pkru};
 use specmpk_ooo::{Core, ExitReason, SimConfig};
+use specmpk_trace::LeakObserver;
 
 /// Which PoC an [`AttackProgram`] implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +61,28 @@ pub enum AttackKind {
     SpectreBti,
     /// Speculative store-to-load-forwarding buffer overflow (§III-C).
     StoreForwardOverflow,
+}
+
+impl AttackKind {
+    /// Stable machine-readable name, used as the row key of the
+    /// `security_matrix` artifact and its golden-verdict file.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::SpectreV1 => "spectre_v1",
+            AttackKind::SpectreBti => "spectre_bti",
+            AttackKind::StoreForwardOverflow => "store_forward_overflow",
+        }
+    }
+}
+
+/// Builds every PoC with its canonical parameters (secret byte 101 and
+/// training byte 72 for the Spectre variants — the paper's Fig. 13
+/// values — and poison 13 for the store-forwarding overflow): the rows
+/// of the policy × attack security matrix.
+#[must_use]
+pub fn all_attacks() -> Vec<AttackProgram> {
+    vec![spectre_v1(101, 72), spectre_bti(101, 72), store_forward_overflow(13)]
 }
 
 /// Number of probe-array slots (one per possible byte value).
@@ -110,6 +133,18 @@ impl AttackProgram {
     pub fn train_index(&self) -> usize {
         self.train_index
     }
+
+    /// The protection key guarding the secret this attack targets: the
+    /// `array1` secret page for the Spectre variants, the write-locked
+    /// "safe" page for the store-forwarding overflow. The witness-chain
+    /// extractor filters the ledger by this pkey.
+    #[must_use]
+    pub fn secret_pkey(&self) -> Pkey {
+        match self.kind {
+            AttackKind::SpectreV1 | AttackKind::SpectreBti => secret_pkey(),
+            AttackKind::StoreForwardOverflow => Pkey::new(5).expect("static pkey"),
+        }
+    }
 }
 
 /// Result of running an attack: the receiver's per-index reload latencies.
@@ -121,6 +156,24 @@ pub struct AttackOutcome {
 }
 
 impl AttackOutcome {
+    /// Builds an outcome from a measured latency vector and a chosen
+    /// hit/miss `threshold`.
+    ///
+    /// [`run_attack`] picks the threshold as the midpoint between the two
+    /// latency populations the receiver can observe — an L1 hit
+    /// (`l1d.latency`) and a full DRAM round trip (`l3.latency +
+    /// dram_extra_latency`, the L3 lookup that misses plus the memory
+    /// access): `(l1d + l3 + dram_extra) / 2`. Any index whose reload
+    /// latency is **strictly below** the threshold is classified hot; a
+    /// latency exactly *at* the threshold counts as cold, so an
+    /// equidistant (ambiguous) measurement never produces a leak verdict.
+    /// Callers replaying latencies from another hierarchy, or studying
+    /// classifier sensitivity, supply their own threshold here.
+    #[must_use]
+    pub fn new(exit: ExitReason, latencies: Vec<u64>, threshold: u64) -> Self {
+        AttackOutcome { exit, latencies, threshold }
+    }
+
     /// How the victim program exited (should be `Halted`).
     #[must_use]
     pub fn exit(&self) -> &ExitReason {
@@ -134,13 +187,16 @@ impl AttackOutcome {
     }
 
     /// The hit/miss latency threshold used by
-    /// [`hot_indices`](AttackOutcome::hot_indices).
+    /// [`hot_indices`](AttackOutcome::hot_indices) — see
+    /// [`AttackOutcome::new`] for how [`run_attack`] derives it.
     #[must_use]
     pub fn threshold(&self) -> u64 {
         self.threshold
     }
 
-    /// Probe indices whose reload latency indicates a cache hit.
+    /// Probe indices whose reload latency indicates a cache hit: strictly
+    /// below [`threshold`](AttackOutcome::threshold). Ties are cold (see
+    /// [`AttackOutcome::new`]).
     #[must_use]
     pub fn hot_indices(&self) -> Vec<usize> {
         self.latencies
@@ -475,16 +531,83 @@ pub fn run_attack(attack: &AttackProgram, policy: impl Into<PolicyRef>) -> Attac
     let latencies: Vec<u64> = (0..PROBE_SLOTS)
         .map(|i| mem.probe_data_latency(ARRAY2_BASE + i as u64 * PROBE_STRIDE))
         .collect();
-    // Threshold: halfway between the L1 hit and DRAM latencies.
+    // Threshold: halfway between the L1 hit and DRAM latencies (see
+    // `AttackOutcome::new` for the classifier contract).
     let hierarchy = config.mem.hierarchy;
     let threshold =
         (hierarchy.l1d.latency + hierarchy.l3.latency + hierarchy.dram_extra_latency) / 2;
-    AttackOutcome { exit: result.exit, latencies, threshold }
+    AttackOutcome::new(result.exit, latencies, threshold)
+}
+
+/// Like [`run_attack`], but with the speculative-access ledger attached:
+/// returns both the receiver's view (the flush+reload outcome) and the
+/// microarchitectural evidence (the [`LeakObserver`] with every
+/// speculative access, its fate, and surviving wrong-path residue). The
+/// `security_matrix` experiment cross-checks the two: a cache-timing
+/// verdict should be backed by a ledger witness chain, and vice versa.
+#[must_use]
+pub fn run_attack_observed(
+    attack: &AttackProgram,
+    policy: impl Into<PolicyRef>,
+) -> (AttackOutcome, LeakObserver) {
+    let config = SimConfig::with_policy(policy);
+    let mut core = Core::with_sink(config, attack.program(), LeakObserver::default());
+    let result = core.run();
+    let latencies: Vec<u64> = {
+        let mem = core.mem();
+        (0..PROBE_SLOTS)
+            .map(|i| mem.probe_data_latency(ARRAY2_BASE + i as u64 * PROBE_STRIDE))
+            .collect()
+    };
+    let hierarchy = config.mem.hierarchy;
+    let threshold =
+        (hierarchy.l1d.latency + hierarchy.l3.latency + hierarchy.dram_extra_latency) / 2;
+    (AttackOutcome::new(result.exit, latencies, threshold), core.into_sink())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hot_indices_excludes_ties_and_handles_uniform_vectors() {
+        // A latency exactly at the threshold is ambiguous: classified cold.
+        let outcome = AttackOutcome::new(ExitReason::Halted, vec![9, 10, 11, 10, 2], 10);
+        assert_eq!(outcome.hot_indices(), vec![0, 4]);
+        assert!(outcome.leaked(0) && outcome.leaked(4));
+        assert!(!outcome.leaked(1), "tie with the threshold is not a hit");
+        assert!(!outcome.leaked(99), "out-of-range index never leaks");
+
+        // All-cold: every latency at or above the threshold.
+        let cold = AttackOutcome::new(ExitReason::Halted, vec![50; 8], 10);
+        assert!(cold.hot_indices().is_empty());
+
+        // All-hot: every latency strictly below the threshold.
+        let hot = AttackOutcome::new(ExitReason::Halted, vec![3; 8], 10);
+        assert_eq!(hot.hot_indices().len(), 8);
+        assert_eq!(hot.threshold(), 10);
+        assert_eq!(hot.latencies(), &[3; 8]);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_fills_the_ledger() {
+        let attack = spectre_v1(101, 72);
+        let plain = run_attack(&attack, PolicyRef::NONSECURE_SPEC);
+        let (observed, ledger) = run_attack_observed(&attack, PolicyRef::NONSECURE_SPEC);
+        assert_eq!(observed.exit(), &ExitReason::Halted);
+        assert_eq!(
+            observed.latencies(),
+            plain.latencies(),
+            "attaching the observer must not perturb the receiver's view"
+        );
+        let counts = ledger.counts();
+        assert!(counts.accesses > 0, "ledger saw the program's accesses");
+        assert!(counts.squashed > 0, "the attack's wrong path squashes");
+        assert!(
+            ledger.witness_chain(attack.secret_pkey().index() as u8).is_some(),
+            "NonSecure leaves a witness chain for the spectre_v1 leak"
+        );
+    }
 
     #[test]
     fn spectre_v1_leaks_only_on_nonsecure() {

@@ -1,6 +1,6 @@
 //! Guard bench for the observability subsystem's zero-cost claim.
 //!
-//! Five variants simulate the same WRPKRU-dense workload:
+//! Seven variants simulate the same WRPKRU-dense workload:
 //!
 //! * **`seed_untraced`** — `Core::new`, the seed's code path (which is
 //!   itself `Core::with_sink(.., NullSink)` after the refactor);
@@ -14,6 +14,10 @@
 //! * **`journal_sink`** — the ring-buffered micro-event journal
 //!   (`--journal`), which records only sparse events and should sit far
 //!   below `pipe_tracer`;
+//! * **`leak_observer_on`** — the speculative-access ledger
+//!   (`--leak-ledger`), which records every pre-retire memory access plus
+//!   the squash-time residue probes; expect it on par with `journal_sink`
+//!   and far below `pipe_tracer`;
 //! * **`profiler_on`** — host stage-profiling enabled (`--profile`),
 //!   pricing the two `Instant::now` reads per stage per cycle;
 //! * **`guest_profiler_on`** — guest attribution profiling enabled
@@ -35,7 +39,7 @@ use specmpk_bench::{
     BENCH_INSTR,
 };
 use specmpk_core::WrpkruPolicy;
-use specmpk_trace::{Journal, NullSink, PipeTracer};
+use specmpk_trace::{Journal, LeakObserver, NullSink, PipeTracer};
 
 fn trace_overhead(c: &mut Criterion) {
     let program = dense_workload().build_protected();
@@ -52,6 +56,9 @@ fn trace_overhead(c: &mut Criterion) {
     });
     group.bench_function("journal_sink", |b| {
         b.iter(|| simulate_with_sink(&program, policy, BENCH_INSTR, Journal::default()).cycles)
+    });
+    group.bench_function("leak_observer_on", |b| {
+        b.iter(|| simulate_with_sink(&program, policy, BENCH_INSTR, LeakObserver::default()).cycles)
     });
     group.bench_function("profiler_on", |b| {
         b.iter(|| simulate_profiled(&program, policy, BENCH_INSTR).cycles)

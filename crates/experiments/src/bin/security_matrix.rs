@@ -1,0 +1,10 @@
+//! Runs every specmpk-attacks PoC against every registered policy with
+//! the speculative-access ledger attached, and writes the policy × attack
+//! security matrix (verdict + witness chain + residue counts per cell).
+use specmpk_experiments::{artifact, print_security_matrix, security_matrix_data, SecurityCell};
+fn main() {
+    let cells = security_matrix_data();
+    print_security_matrix(&cells);
+    artifact::write("security_matrix", artifact::rows(&cells, SecurityCell::to_json));
+    artifact::write_host_profile("security_matrix");
+}

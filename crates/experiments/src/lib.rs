@@ -21,8 +21,10 @@
 use specmpk_core::{hardware_cost, PolicyRef, SpecMpkConfig};
 use specmpk_isa::Program;
 use specmpk_ooo::{Core, RenameStall, SimConfig, SimStats};
-use specmpk_par::par_map_labeled;
-use specmpk_trace::{guest_profile_env, phase_time, Histogram, Journal, Json};
+use specmpk_par::{par_map_labeled, par_map_labeled_with_jobs};
+use specmpk_trace::{
+    guest_profile_env, phase_time, Histogram, Journal, Json, LedgerCounts, WitnessChain,
+};
 use specmpk_workloads::{standard_suite, Protection, Workload};
 
 pub use specmpk_attacks as attacks;
@@ -791,6 +793,135 @@ pub fn print_fig13(series: &[Fig13Series]) {
         for &i in &[71usize, 72, 73, 100, 101, 102] {
             println!("  latency[{i:>3}] = {:>4} cycles", s.latencies[i]);
         }
+    }
+}
+
+// --------------------------------------------------------- security matrix
+
+/// One cell of the policy × attack security matrix: the receiver's
+/// cache-timing verdict cross-checked against the speculative-access
+/// ledger's microarchitectural evidence.
+#[derive(Debug, Clone)]
+pub struct SecurityCell {
+    /// Attack row key ([`specmpk_attacks::AttackKind::name`]).
+    pub attack: &'static str,
+    /// Policy column.
+    pub policy: PolicyRef,
+    /// How the victim program exited (`"Halted"` on a clean run).
+    pub exit: String,
+    /// Whether the flush+reload receiver saw the secret index hot.
+    pub secret_leaked: bool,
+    /// Whether the training index stayed hot (architectural sanity check:
+    /// true under every policy).
+    pub train_hot: bool,
+    /// The probe index the attack tries to leak.
+    pub secret_index: usize,
+    /// The architecturally touched probe index.
+    pub train_index: usize,
+    /// Aggregate ledger counts for the run.
+    pub counts: LedgerCounts,
+    /// Ledger entries dropped at capacity (0 for these PoCs).
+    pub dropped: u64,
+    /// The extracted train → mispredict → secret load → transmit →
+    /// residue spine, when one exists.
+    pub witness: Option<WitnessChain>,
+}
+
+impl SecurityCell {
+    /// The cell's verdict: `"leak"` when the receiver recovered the
+    /// secret, `"secure"` otherwise.
+    #[must_use]
+    pub fn verdict(&self) -> &'static str {
+        if self.secret_leaked {
+            "leak"
+        } else {
+            "secure"
+        }
+    }
+
+    /// Structured form for the `security_matrix` artifact.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("attack", self.attack)
+            .with("policy", self.policy.key())
+            .with("verdict", self.verdict())
+            .with("exit", self.exit.as_str())
+            .with("secret_index", self.secret_index)
+            .with("train_index", self.train_index)
+            .with("train_hot", self.train_hot)
+            .with("ledger", self.counts.to_json())
+            .with("dropped", self.dropped)
+            .with("witness", self.witness.as_ref().map_or(Json::Null, WitnessChain::to_json))
+    }
+}
+
+/// Computes the full policy × attack security matrix: every PoC from
+/// [`specmpk_attacks::all_attacks`] under every registered policy, with
+/// the [`specmpk_trace::LeakObserver`] attached. Cells are independent
+/// `par_map` cells; output is byte-identical at any worker count.
+#[must_use]
+pub fn security_matrix_data() -> Vec<SecurityCell> {
+    run_security_matrix(None)
+}
+
+/// [`security_matrix_data`] with an explicit worker count, bypassing
+/// `SPECMPK_JOBS` (the jobs-determinism test compares artifacts from
+/// different counts without mutating the environment).
+#[must_use]
+pub fn security_matrix_data_with_jobs(jobs: usize) -> Vec<SecurityCell> {
+    run_security_matrix(Some(jobs))
+}
+
+fn run_security_matrix(jobs: Option<usize>) -> Vec<SecurityCell> {
+    let attacks_list = specmpk_attacks::all_attacks();
+    let cells: Vec<(String, (usize, PolicyRef))> = (0..attacks_list.len())
+        .flat_map(|i| specmpk_core::registry::all().map(|policy| (i, policy)))
+        .map(|(i, policy)| {
+            (format!("security/{}/{}", attacks_list[i].kind().name(), policy.key()), (i, policy))
+        })
+        .collect();
+    let run = |(i, policy): (usize, PolicyRef)| {
+        let attack = &attacks_list[i];
+        let (outcome, ledger) = specmpk_attacks::run_attack_observed(attack, policy);
+        SecurityCell {
+            attack: attack.kind().name(),
+            policy,
+            exit: format!("{:?}", outcome.exit()),
+            secret_leaked: outcome.leaked(attack.secret_index()),
+            train_hot: outcome.leaked(attack.train_index()),
+            secret_index: attack.secret_index(),
+            train_index: attack.train_index(),
+            counts: ledger.counts(),
+            dropped: ledger.dropped(),
+            witness: ledger.witness_chain(attack.secret_pkey().index() as u8),
+        }
+    };
+    phase_time("security.sim", || match jobs {
+        Some(n) => par_map_labeled_with_jobs(n, cells, run),
+        None => par_map_labeled(cells, run),
+    })
+}
+
+/// Prints the security matrix as a policy × attack table plus per-cell
+/// ledger evidence.
+pub fn print_security_matrix(cells: &[SecurityCell]) {
+    println!("Security matrix: flush+reload verdict per (attack, policy)");
+    println!("(paper §IX-C: NonSecure leaks, SpecMPK and Serialized do not)");
+    println!(
+        "{:<24} {:<12} {:>8} {:>9} {:>9} {:>8}",
+        "attack", "policy", "verdict", "squashed", "residue", "witness"
+    );
+    for c in cells {
+        println!(
+            "{:<24} {:<12} {:>8} {:>9} {:>9} {:>8}",
+            c.attack,
+            c.policy.key(),
+            c.verdict(),
+            c.counts.squashed,
+            c.counts.residue_lines + c.counts.residue_tlb,
+            if c.witness.is_some() { "yes" } else { "no" },
+        );
     }
 }
 

@@ -8,7 +8,9 @@
 //! otherwise interleave it with unrelated tests.
 
 use specmpk_core::PolicyRef;
-use specmpk_experiments::{artifact, fig10_data, run_policy_journaled};
+use specmpk_experiments::{
+    artifact, fig10_data, run_policy_journaled, security_matrix_data_with_jobs, SecurityCell,
+};
 use specmpk_par::par_map_with_jobs;
 use specmpk_workloads::standard_suite;
 
@@ -22,6 +24,19 @@ fn fig10_artifact_is_byte_identical_across_jobs() {
     std::env::remove_var(specmpk_par::JOBS_ENV);
     assert!(!serial.is_empty());
     assert_eq!(serial, parallel, "fig10 artifact differs between SPECMPK_JOBS=1 and 4");
+}
+
+/// The security matrix attaches a `LeakObserver` to every attack × policy
+/// cell, so its artifact carries ledger counts and witness chains — all of
+/// which must be byte-identical whether the 9 cells run serially or across
+/// a pool. Uses the explicit-jobs entry point, so no env mutation.
+#[test]
+fn security_matrix_artifact_is_byte_identical_across_jobs() {
+    let dump = |cells: &[SecurityCell]| artifact::rows(cells, SecurityCell::to_json).dump();
+    let serial = dump(&security_matrix_data_with_jobs(1));
+    let parallel = dump(&security_matrix_data_with_jobs(4));
+    assert!(serial.contains("\"verdict\": \"leak\""), "the matrix records the NonSecure leaks");
+    assert_eq!(serial, parallel, "security matrix differs between 1 and 4 workers");
 }
 
 /// The micro-event journal rides inside each simulation cell, so the

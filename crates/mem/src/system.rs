@@ -221,6 +221,15 @@ impl MemorySystem {
         self.caches.probe_data_latency(addr).0
     }
 
+    /// Whether the line containing `addr` is resident in any data cache
+    /// level (side-effect free). The residue probe the leak ledger runs
+    /// at squash time: a wrong-path access whose line is still resident
+    /// left receiver-measurable state behind.
+    #[must_use]
+    pub fn line_resident(&self, addr: u64) -> bool {
+        self.caches.probe_data_latency(addr).1 != crate::hierarchy::AccessLevel::Dram
+    }
+
     /// Functional read of `width` bytes (no timing, no permission check).
     #[must_use]
     pub fn read(&self, addr: u64, width: u64) -> u64 {
@@ -378,6 +387,18 @@ mod tests {
         m.flush_line(0x40000);
         let cold = m.data_timing(0x40000).latency;
         assert!(cold > warm, "cold {cold} should exceed warm {warm}");
+    }
+
+    #[test]
+    fn line_residency_tracks_fills_and_flushes() {
+        let mut m = sys();
+        m.map_region(0x40000, 4096, Pkey::DEFAULT, SegmentPerms::RW);
+        assert!(!m.line_resident(0x40000), "cold caches hold nothing");
+        m.data_timing(0x40000);
+        assert!(m.line_resident(0x40000), "access fills the line");
+        assert!(m.line_resident(0x40010), "same line, different offset");
+        m.flush_line(0x40000);
+        assert!(!m.line_resident(0x40000), "clflush evicts every level");
     }
 
     #[test]

@@ -26,6 +26,20 @@ use specmpk_isa::{Instr, Reg};
 use crate::prf::PhysReg;
 use crate::stages::{AlState, BranchInfo, FaultInfo, HeadStall, MemKind, Seq, SrcRegs};
 
+/// The microarchitectural footprint a speculative access left behind,
+/// recorded only when a trace sink is enabled so squash handling can
+/// probe what survived (the leak ledger's residue join).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TouchedAccess {
+    /// Effective address of the access.
+    pub(crate) addr: u64,
+    /// Protection key of the accessed page.
+    pub(crate) pkey: u8,
+    /// Whether the access filled a cache line (false: TLB-only
+    /// footprint, e.g. store-to-load forwarding or a checked store).
+    pub(crate) line: bool,
+}
+
 /// Cold per-entry sidecar: everything the per-cycle stage walks do not
 /// need. One struct lane instead of five scattered hot lanes keeps the
 /// common case (an entry with no branch, fault or stall) out of the way.
@@ -39,6 +53,9 @@ pub(crate) struct ColdEntry {
     pub(crate) stall_cycle: u64,
     /// Whether this instruction replayed at the AL head (burst histogram).
     pub(crate) replayed: bool,
+    /// Footprint of this entry's speculative access (sink-enabled runs
+    /// only; always `None` on the default path).
+    pub(crate) touched: Option<TouchedAccess>,
 }
 
 /// The Active List as parallel lanes over a ring buffer.
@@ -174,6 +191,7 @@ impl ActiveList {
         cold.head_stall = None;
         cold.stall_cycle = 0;
         cold.replayed = false;
+        cold.touched = None;
         slot
     }
 

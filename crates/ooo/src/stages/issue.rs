@@ -3,9 +3,36 @@
 
 use specmpk_isa::{Instr, InstrClass, MemWidth, Operand};
 use specmpk_mpk::{AccessKind, Pkru};
-use specmpk_trace::{HeadStallKind, PkruCheckKind, TraceEvent, TraceSink};
+use specmpk_trace::{AccessDecision, HeadStallKind, PkruCheckKind, TraceEvent, TraceSink};
 
 use super::{AlState, FaultInfo, HeadStall, MemKind, PipelineState, Seq, StageCtx};
+use crate::active_list::TouchedAccess;
+
+/// Emits one leak-ledger access record: the page's pkey, the PKRU view
+/// the permission check consulted, and the policy's decision. Only
+/// called under `cx.sink.enabled()`, so the default path never resolves
+/// a PKRU view for it.
+fn note_spec_access<S: TraceSink>(
+    st: &PipelineState,
+    cx: &mut StageCtx<'_, S>,
+    slot: usize,
+    addr: u64,
+    pkey: u8,
+    kind: PkruCheckKind,
+    decision: AccessDecision,
+) {
+    let pkru = st.al.pkru_source[slot].map_or(0, |source| st.engine.resolve_value(source).bits());
+    cx.sink.record(TraceEvent::SpecAccess {
+        seq: st.al.seq[slot],
+        cycle: st.cycle,
+        pc: st.al.pc[slot],
+        addr,
+        pkey,
+        pkru,
+        kind,
+        decision,
+    });
+}
 
 pub(crate) fn issue<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, S>) {
     let mut alu_free = st.config.alu_units;
@@ -248,6 +275,19 @@ fn issue_load<S: TraceSink>(
     let probe = st.mem.translate(addr, AccessKind::Read, false);
     let translation = match probe {
         Err(fault) => {
+            // Ledger: the translation faulted before a pkey was selected
+            // (reported as pkey 0).
+            if cx.sink.enabled() {
+                note_spec_access(
+                    st,
+                    cx,
+                    slot,
+                    addr,
+                    0,
+                    PkruCheckKind::Load,
+                    AccessDecision::Faulted,
+                );
+            }
             st.al.cold[slot].fault = Some(FaultInfo::Page(fault));
             st.al.result[slot] = Some(0);
             st.al.state[slot] = AlState::Issued;
@@ -264,6 +304,15 @@ fn issue_load<S: TraceSink>(
         st.al.result[slot] = Some(addr); // stash the address for the replay
         st.al.state[slot] = AlState::Issued;
         if cx.sink.enabled() {
+            note_spec_access(
+                st,
+                cx,
+                slot,
+                addr,
+                translation.pkey.index() as u8,
+                PkruCheckKind::Load,
+                AccessDecision::Deferred,
+            );
             cx.sink.record(TraceEvent::HeadStall {
                 seq,
                 cycle: st.cycle,
@@ -291,6 +340,15 @@ fn issue_load<S: TraceSink>(
         st.al.result[slot] = Some(addr);
         st.al.state[slot] = AlState::Issued;
         if cx.sink.enabled() {
+            note_spec_access(
+                st,
+                cx,
+                slot,
+                addr,
+                pkey.index() as u8,
+                PkruCheckKind::Load,
+                AccessDecision::Deferred,
+            );
             cx.sink.record(TraceEvent::HeadStall {
                 seq,
                 cycle: st.cycle,
@@ -301,6 +359,17 @@ fn issue_load<S: TraceSink>(
     }
     // 4. Speculative fault determination (NonSecure / Serialized).
     if let Some(fault) = st.spec_fault_check(source, pkey, AccessKind::Read) {
+        if cx.sink.enabled() {
+            note_spec_access(
+                st,
+                cx,
+                slot,
+                addr,
+                pkey.index() as u8,
+                PkruCheckKind::Load,
+                AccessDecision::Faulted,
+            );
+        }
         st.al.cold[slot].fault = Some(FaultInfo::Protection(fault));
         st.al.result[slot] = Some(0);
         st.al.state[slot] = AlState::Issued;
@@ -329,6 +398,21 @@ fn issue_load<S: TraceSink>(
             // Store-to-load forwarding.
             st.stats.forwards += 1;
             let t = st.mem.translate(addr, AccessKind::Read, true).expect("probe succeeded");
+            if cx.sink.enabled() {
+                note_spec_access(
+                    st,
+                    cx,
+                    slot,
+                    addr,
+                    pkey.index() as u8,
+                    PkruCheckKind::Load,
+                    AccessDecision::Allowed,
+                );
+                // TLB-only footprint: the forwarded data never touched
+                // the cache hierarchy.
+                st.al.cold[slot].touched =
+                    Some(TouchedAccess { addr, pkey: pkey.index() as u8, line: false });
+            }
             st.al.result[slot] = Some(width.truncate(data));
             st.al.state[slot] = AlState::Issued;
             st.schedule(seq, slot, 1 + t.latency);
@@ -340,6 +424,15 @@ fn issue_load<S: TraceSink>(
             st.al.result[slot] = Some(addr);
             st.al.state[slot] = AlState::Issued;
             if cx.sink.enabled() {
+                note_spec_access(
+                    st,
+                    cx,
+                    slot,
+                    addr,
+                    pkey.index() as u8,
+                    PkruCheckKind::Load,
+                    AccessDecision::Deferred,
+                );
                 cx.sink.record(TraceEvent::HeadStall {
                     seq,
                     cycle: st.cycle,
@@ -353,6 +446,19 @@ fn issue_load<S: TraceSink>(
     let t = st.mem.translate(addr, AccessKind::Read, true).expect("probe succeeded");
     let out = st.mem.data_timing(addr);
     let value = width.truncate(st.mem.read(addr, width.bytes()));
+    if cx.sink.enabled() {
+        note_spec_access(
+            st,
+            cx,
+            slot,
+            addr,
+            pkey.index() as u8,
+            PkruCheckKind::Load,
+            AccessDecision::Allowed,
+        );
+        st.al.cold[slot].touched =
+            Some(TouchedAccess { addr, pkey: pkey.index() as u8, line: true });
+    }
     st.al.result[slot] = Some(value);
     st.al.state[slot] = AlState::Issued;
     st.schedule(seq, slot, 1 + t.latency + out.latency);
@@ -374,10 +480,35 @@ fn issue_store<S: TraceSink>(
 
     let probe = st.mem.translate(addr, AccessKind::Write, false);
     let (forward_ok, deferred_check, fault) = match probe {
-        Err(f) => (false, false, Some(FaultInfo::Page(f))),
+        Err(f) => {
+            // Ledger: translation faulted before a pkey was selected.
+            if cx.sink.enabled() {
+                note_spec_access(
+                    st,
+                    cx,
+                    slot,
+                    addr,
+                    0,
+                    PkruCheckKind::Store,
+                    AccessDecision::Faulted,
+                );
+            }
+            (false, false, Some(FaultInfo::Page(f)))
+        }
         Ok(t) => {
             if !t.tlb_hit && st.engine.tlb_miss_must_stall() {
                 st.stats.tlb_miss_stalls += 1;
+                if cx.sink.enabled() {
+                    note_spec_access(
+                        st,
+                        cx,
+                        slot,
+                        addr,
+                        t.pkey.index() as u8,
+                        PkruCheckKind::Store,
+                        AccessDecision::Deferred,
+                    );
+                }
                 (false, true, None)
             } else {
                 let pkey = t.pkey;
@@ -396,6 +527,30 @@ fn issue_store<S: TraceSink>(
                 if pass {
                     // TLB state may update (PKRU Store Check succeeded).
                     let _ = st.mem.translate(addr, AccessKind::Write, true);
+                }
+                if cx.sink.enabled() {
+                    let decision = if spec_fault.is_some() {
+                        AccessDecision::Faulted
+                    } else if pass {
+                        AccessDecision::Allowed
+                    } else {
+                        AccessDecision::Deferred
+                    };
+                    note_spec_access(
+                        st,
+                        cx,
+                        slot,
+                        addr,
+                        pkey.index() as u8,
+                        PkruCheckKind::Store,
+                        decision,
+                    );
+                    if decision == AccessDecision::Allowed {
+                        // Stores leave a TLB-only footprint at issue; the
+                        // cache write happens at retirement.
+                        st.al.cold[slot].touched =
+                            Some(TouchedAccess { addr, pkey: pkey.index() as u8, line: false });
+                    }
                 }
                 (pass, !pass, spec_fault)
             }

@@ -4,6 +4,28 @@ use specmpk_trace::{SquashCause, TraceEvent, TraceSink};
 
 use super::{span, PipelineState, Seq, StageCtx};
 
+/// Probes what a squashed victim's speculative access left behind and
+/// emits a [`TraceEvent::Residue`] when its cache line or TLB entry
+/// survived the squash (the wrong-path footprint Spectre-style attacks
+/// transmit through). Both probes are side-effect-free, so the default
+/// no-sink path and the trace output stay untouched.
+fn note_residue<S: TraceSink>(st: &PipelineState, cx: &mut StageCtx<'_, S>, victim: usize) {
+    if let Some(t) = st.al.cold[victim].touched {
+        let line = t.line && st.mem.line_resident(t.addr);
+        let tlb = st.mem.tlb_resident(t.addr);
+        if line || tlb {
+            cx.sink.record(TraceEvent::Residue {
+                seq: st.al.seq[victim],
+                cycle: st.cycle,
+                addr: t.addr,
+                pkey: t.pkey,
+                line,
+                tlb,
+            });
+        }
+    }
+}
+
 /// Squashes everything younger than `seq` (at Active-List `slot`) and
 /// redirects fetch.
 ///
@@ -52,6 +74,9 @@ pub(crate) fn squash_after<S: TraceSink>(
                     tag: tag.raw(),
                 });
             }
+            // Residue must precede the victim's Squash so sinks can join
+            // it against the still-open ledger/pipeline entry.
+            note_residue(st, cx, victim);
             cx.sink.record(TraceEvent::Squash { seq: st.al.seq[victim], cycle: st.cycle });
         }
         if st.al.pkru_tag[victim].is_some() {
@@ -118,6 +143,7 @@ pub(crate) fn full_flush<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx
         }
         for i in 0..st.al.len() {
             let slot = st.al.slot_of(i);
+            note_residue(st, cx, slot);
             cx.sink.record(TraceEvent::Squash { seq: st.al.seq[slot], cycle: st.cycle });
         }
     }

@@ -57,6 +57,13 @@ pub struct Chain {
     /// `(cycle, len)` of a replay burst completing the chain, if one
     /// retired within the window of the squash.
     pub burst: Option<(u64, u64)>,
+    /// `spec_access` records (deferred/faulted PKRU decisions — the
+    /// journal only carries the notable ones) within the window before
+    /// the squash: the policy visibly blocking the transient path.
+    pub blocked: u64,
+    /// `residue` records within the window after the squash: wrong-path
+    /// cache/TLB footprint that survived the recovery.
+    pub residue: u64,
 }
 
 /// Per-WRPKRU-site activity observed in the journal (keyed by the
@@ -146,6 +153,9 @@ pub fn summarize(jsonl: &str, window: u64) -> JournalSummary {
     let mut buckets: Vec<(u64, u64)> = Vec::new();
     let mut last_wrpkru: Option<u64> = None;
     let mut pending: Option<Chain> = None;
+    // Cycles of recent `spec_access` records, pruned to the window when a
+    // chain forms (they precede the squash that opens the chain).
+    let mut recent_spec: Vec<u64> = Vec::new();
     for line in jsonl.lines() {
         if line.trim().is_empty() {
             continue;
@@ -200,13 +210,24 @@ pub fn summarize(jsonl: &str, window: u64) -> JournalSummary {
                         if let Some(chain) = pending.take() {
                             out.chains.push(chain);
                         }
+                        recent_spec.retain(|&c| cycle.saturating_sub(c) <= window);
                         pending = Some(Chain {
                             wrpkru_cycle: w,
                             squash_cycle: cycle,
                             cause,
                             depth,
                             burst: None,
+                            blocked: recent_spec.len() as u64,
+                            residue: 0,
                         });
+                    }
+                }
+            }
+            "spec_access" => recent_spec.push(cycle),
+            "residue" => {
+                if let Some(chain) = &mut pending {
+                    if cycle.saturating_sub(chain.squash_cycle) <= window {
+                        chain.residue += 1;
                     }
                 }
             }
@@ -299,9 +320,16 @@ pub fn render(s: &JournalSummary, top: usize) -> String {
             let burst = c.burst.map_or_else(String::new, |(cycle, len)| {
                 format!(" -> replay burst len {len} @{cycle}")
             });
+            let mut leak = String::new();
+            if c.blocked > 0 {
+                leak.push_str(&format!(" [{} blocked accesses]", c.blocked));
+            }
+            if c.residue > 0 {
+                leak.push_str(&format!(" [{} residue]", c.residue));
+            }
             out.push_str(&format!(
-                "  wrpkru @{} -> squash {} depth {} @{}{}\n",
-                c.wrpkru_cycle, c.cause, c.depth, c.squash_cycle, burst
+                "  wrpkru @{} -> squash {} depth {} @{}{}{}\n",
+                c.wrpkru_cycle, c.cause, c.depth, c.squash_cycle, burst, leak
             ));
         }
     }
@@ -347,6 +375,29 @@ mod tests {
         assert_eq!(c.depth, 9);
         assert_eq!(c.burst, Some((150, 4)));
         // The cycle-900 squash is 800 cycles past the WRPKRU: no chain.
+    }
+
+    #[test]
+    fn chain_carries_blocked_accesses_and_residue() {
+        let s = summarize(
+            "\
+{\"event\":\"wrpkru_rename\",\"cycle\":100,\"seq\":1,\"tag\":0}
+{\"event\":\"spec_access\",\"cycle\":110,\"seq\":3,\"kind\":\"load\",\"decision\":\"deferred\",\"pc\":\"0x1040\",\"addr\":\"0x20008\",\"pkey\":4}
+{\"event\":\"squash\",\"cycle\":120,\"seq\":5,\"cause\":\"branch_mispredict\",\"depth\":9,\"rob\":12}
+{\"event\":\"residue\",\"cycle\":120,\"seq\":6,\"addr\":\"0x109000\",\"pkey\":0,\"line\":true,\"tlb\":true}
+{\"event\":\"residue\",\"cycle\":121,\"seq\":7,\"addr\":\"0x20008\",\"pkey\":4,\"line\":true,\"tlb\":false}
+{\"event\":\"residue\",\"cycle\":900,\"seq\":9,\"addr\":\"0x30000\",\"pkey\":0,\"line\":true,\"tlb\":false}
+",
+            128,
+        );
+        assert_eq!(s.chains.len(), 1);
+        let c = &s.chains[0];
+        assert_eq!(c.blocked, 1, "the deferred spec_access preceded the squash");
+        assert_eq!(c.residue, 2, "cycle-900 residue is outside the window");
+        assert!(s.counts.iter().any(|(k, n)| k == "residue" && *n == 3));
+        assert!(s.counts.iter().any(|(k, n)| k == "spec_access" && *n == 1));
+        let rendered = render(&s, 5);
+        assert!(rendered.contains("[1 blocked accesses] [2 residue]"), "{rendered}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod journal;
 pub mod perf;
 pub mod profile;
+pub mod security;
 
 use specmpk_trace::Json;
 

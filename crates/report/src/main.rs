@@ -8,6 +8,7 @@
 //! specmpk-report journal <journal.jsonl> [--top N] [--window CYCLES]
 //!                        [--sites <profile.json>]
 //! specmpk-report profile <artifact.json> [more.json ...] [--top N]
+//! specmpk-report security <matrix.json> [--check <verdicts.json>]
 //! specmpk-report timing [--out <f>]      (reads "stage|bin <name> <ms>"
 //!                                         lines on stdin)
 //! specmpk-report perf --pr <label> [--append] [--timing <f>]
@@ -54,6 +55,7 @@ fn usage() -> ExitCode {
          \x20      specmpk-report journal <journal.jsonl> [--top N] [--window CYCLES]\n\
          \x20                             [--sites <profile.json>]\n\
          \x20      specmpk-report profile <artifact.json> [more.json ...] [--top N]\n\
+         \x20      specmpk-report security <matrix.json> [--check <verdicts.json>]\n\
          \x20      specmpk-report timing [--out <f>]   (stdin: 'stage|bin <name> <ms>')\n\
          \x20      specmpk-report perf --pr <label> [--append] [--timing <f>]\n\
          \x20                          [--bench-tsv <f>] [--out <f>] [--notes <text>]\n\
@@ -324,6 +326,43 @@ fn run_profile(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `specmpk-report security <matrix.json> [--check <verdicts.json>]`:
+/// renders the policy × attack security matrix; with `--check`, gates it
+/// against committed golden verdicts (exit 1 on any violation — verdict
+/// drift, a leak without ledger evidence, or a witness chain under a
+/// policy that must block the attack).
+fn run_security(args: &[String]) -> Result<ExitCode, String> {
+    let mut path: Option<PathBuf> = None;
+    let mut golden: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => golden = Some(it.next().ok_or("--check needs a value")?.into()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => path = Some(other.into()),
+        }
+    }
+    let path = path.ok_or("security: expected a security_matrix.json path")?;
+    let cells = specmpk_report::security::parse_matrix(&load_json(&path)?)?;
+    print!("{}", specmpk_report::security::render(&cells));
+    let Some(golden_path) = golden else { return Ok(ExitCode::SUCCESS) };
+    let violations = specmpk_report::security::check(&cells, &load_json(&golden_path)?);
+    if violations.is_empty() {
+        println!(
+            "security: {} cells checked against {}, 0 violations",
+            cells.len(),
+            golden_path.display()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            println!("VIOLATION {v}");
+        }
+        println!("security: {} violations", violations.len());
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 /// `specmpk-report timing [--out <path>]`: turns `stage <name> <ms>` /
 /// `bin <name> <ms>` lines on stdin into `timing.json`, so the wall-clock
 /// artifact has a single (Rust) producer instead of hand-rolled shell
@@ -420,6 +459,7 @@ fn main() -> ExitCode {
         let dispatched = match sub {
             "journal" => Some(run_journal(&argv[1..])),
             "profile" => Some(run_profile(&argv[1..])),
+            "security" => Some(run_security(&argv[1..])),
             "timing" => Some(run_timing(&argv[1..])),
             "perf" => Some(run_perf(&argv[1..])),
             _ => None,

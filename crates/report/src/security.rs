@@ -1,0 +1,279 @@
+//! `specmpk-report security`: render the policy × attack security matrix
+//! and gate it against committed golden verdicts.
+//!
+//! The matrix artifact (`security_matrix.json`, written by the
+//! `security_matrix` experiment bin) carries one cell per
+//! (attack, policy): the flush+reload verdict, the speculative-access
+//! ledger's aggregate counts, and the extracted witness chain when one
+//! exists. This module renders the table and — in `--check` mode —
+//! enforces three invariants against a golden-verdict file:
+//!
+//! 1. every golden (attack, policy) verdict matches the matrix cell;
+//! 2. every `"leak"` cell is backed by a ledger witness chain (a
+//!    cache-timing verdict without microarchitectural evidence is a
+//!    classifier artifact, not a demonstrated leak);
+//! 3. no `"secure"` cell has a witness chain (a chain under a policy
+//!    that is supposed to block the attack is a protection failure even
+//!    if the receiver's threshold missed it).
+
+use specmpk_trace::Json;
+
+/// One parsed matrix cell (the subset the renderer and checker need).
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Attack row key (`spectre_v1`, ...).
+    pub attack: String,
+    /// Policy column key (`serialized`, `nonsecure`, `specmpk`).
+    pub policy: String,
+    /// `"leak"` or `"secure"`.
+    pub verdict: String,
+    /// Program exit (`"Halted"` on a clean run).
+    pub exit: String,
+    /// Squashed ledger accesses.
+    pub squashed: u64,
+    /// Squashed accesses whose cache line survived.
+    pub residue_lines: u64,
+    /// Squashed accesses whose TLB entry survived.
+    pub residue_tlb: u64,
+    /// The witness chain object, when the ledger extracted one.
+    pub witness: Option<Json>,
+}
+
+/// Parses the `security_matrix.json` artifact (an array of cells).
+///
+/// # Errors
+///
+/// Returns a message when the document is not an array of well-formed
+/// cell objects.
+pub fn parse_matrix(doc: &Json) -> Result<Vec<Cell>, String> {
+    let Json::Arr(items) = doc else {
+        return Err("security matrix: expected a top-level array of cells".into());
+    };
+    let str_field = |cell: &Json, key: &str| -> Result<String, String> {
+        cell.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("security matrix: cell missing string field {key:?}"))
+    };
+    let ledger_count = |cell: &Json, key: &str| -> u64 {
+        cell.get("ledger").and_then(|l| l.get(key)).and_then(Json::as_u64).unwrap_or(0)
+    };
+    items
+        .iter()
+        .map(|cell| {
+            let witness = match cell.get("witness") {
+                None | Some(Json::Null) => None,
+                Some(w) => Some(w.clone()),
+            };
+            Ok(Cell {
+                attack: str_field(cell, "attack")?,
+                policy: str_field(cell, "policy")?,
+                verdict: str_field(cell, "verdict")?,
+                exit: str_field(cell, "exit")?,
+                squashed: ledger_count(cell, "squashed"),
+                residue_lines: ledger_count(cell, "residue_lines"),
+                residue_tlb: ledger_count(cell, "residue_tlb"),
+                witness,
+            })
+        })
+        .collect()
+}
+
+/// Renders the matrix as an attack × policy verdict table plus one
+/// evidence line per cell.
+#[must_use]
+pub fn render(cells: &[Cell]) -> String {
+    let mut policies: Vec<&str> = Vec::new();
+    let mut attacks: Vec<&str> = Vec::new();
+    for c in cells {
+        if !policies.contains(&c.policy.as_str()) {
+            policies.push(&c.policy);
+        }
+        if !attacks.contains(&c.attack.as_str()) {
+            attacks.push(&c.attack);
+        }
+    }
+    let mut out = String::new();
+    out.push_str("security matrix (flush+reload verdict, ledger-backed)\n");
+    out.push_str(&format!("{:<24}", "attack"));
+    for p in &policies {
+        out.push_str(&format!(" {p:>12}"));
+    }
+    out.push('\n');
+    for a in &attacks {
+        out.push_str(&format!("{a:<24}"));
+        for p in &policies {
+            let mark = cells.iter().find(|c| c.attack == *a && c.policy == *p).map_or("-", |c| {
+                if c.verdict == "leak" {
+                    "LEAK"
+                } else {
+                    "secure"
+                }
+            });
+            out.push_str(&format!(" {mark:>12}"));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    for c in cells {
+        out.push_str(&format!(
+            "{}/{}: {} (exit {}, {} squashed, residue {} line / {} tlb, witness {})\n",
+            c.attack,
+            c.policy,
+            c.verdict,
+            c.exit,
+            c.squashed,
+            c.residue_lines,
+            c.residue_tlb,
+            if c.witness.is_some() { "yes" } else { "no" },
+        ));
+        if let Some(w) = &c.witness {
+            let f = |key: &str| w.get(key).and_then(Json::as_str).unwrap_or("?").to_owned();
+            let n = |key: &str| w.get(key).and_then(Json::as_u64).unwrap_or(0);
+            out.push_str(&format!(
+                "  witness: {} trains -> mispredict @{} -> secret load {} \
+                 (pkru {}) -> dependent {} -> residue line={} tlb={}\n",
+                n("train_retires"),
+                f("mispredict_pc"),
+                f("secret_addr"),
+                f("secret_pkru"),
+                f("dependent_addr"),
+                w.get("residue_line").and_then(Json::as_bool).unwrap_or(false),
+                w.get("residue_tlb").and_then(Json::as_bool).unwrap_or(false),
+            ));
+        }
+    }
+    out
+}
+
+/// Checks the matrix against a golden-verdict document of the form
+/// `{ "<attack>": { "<policy>": "leak" | "secure", ... }, ... }` and
+/// returns every violation (empty = pass). Enforces the three invariants
+/// from the module docs.
+#[must_use]
+pub fn check(cells: &[Cell], golden: &Json) -> Vec<String> {
+    let mut violations = Vec::new();
+    let Json::Obj(attacks) = golden else {
+        return vec!["golden verdicts: expected a top-level object".into()];
+    };
+    for (attack, policies) in attacks {
+        let Json::Obj(policies) = policies else {
+            violations.push(format!("golden verdicts: {attack}: expected an object"));
+            continue;
+        };
+        for (policy, want) in policies {
+            let Some(want) = want.as_str() else {
+                violations.push(format!("golden verdicts: {attack}/{policy}: expected a string"));
+                continue;
+            };
+            let Some(cell) = cells.iter().find(|c| &c.attack == attack && &c.policy == policy)
+            else {
+                violations.push(format!("{attack}/{policy}: missing from the matrix"));
+                continue;
+            };
+            if cell.verdict != want {
+                violations
+                    .push(format!("{attack}/{policy}: verdict {} (golden: {want})", cell.verdict));
+            }
+        }
+    }
+    for c in cells {
+        if c.exit != "Halted" {
+            violations
+                .push(format!("{}/{}: victim exited {} (want Halted)", c.attack, c.policy, c.exit));
+        }
+        if c.verdict == "leak" && c.witness.is_none() {
+            violations.push(format!(
+                "{}/{}: leak verdict without a ledger witness chain",
+                c.attack, c.policy
+            ));
+        }
+        if c.verdict == "secure" && c.witness.is_some() {
+            violations.push(format!(
+                "{}/{}: secure verdict but the ledger extracted a witness chain",
+                c.attack, c.policy
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(attack: &str, policy: &str, verdict: &str, witness: bool) -> Json {
+        let mut c = Json::object()
+            .with("attack", attack)
+            .with("policy", policy)
+            .with("verdict", verdict)
+            .with("exit", "Halted")
+            .with(
+                "ledger",
+                Json::object()
+                    .with("squashed", 3u64)
+                    .with("residue_lines", 2u64)
+                    .with("residue_tlb", 1u64),
+            );
+        c.set(
+            "witness",
+            if witness {
+                Json::object().with("train_retires", 41u64).with("mispredict_pc", "0x1018")
+            } else {
+                Json::Null
+            },
+        );
+        c
+    }
+
+    fn golden() -> Json {
+        Json::object().with(
+            "spectre_v1",
+            Json::object()
+                .with("serialized", "secure")
+                .with("nonsecure", "leak")
+                .with("specmpk", "secure"),
+        )
+    }
+
+    #[test]
+    fn parse_render_and_check_a_passing_matrix() {
+        let doc = Json::Arr(vec![
+            cell("spectre_v1", "serialized", "secure", false),
+            cell("spectre_v1", "nonsecure", "leak", true),
+            cell("spectre_v1", "specmpk", "secure", false),
+        ]);
+        let cells = parse_matrix(&doc).expect("parses");
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[1].squashed, 3);
+        assert!(cells[1].witness.is_some() && cells[0].witness.is_none());
+        let table = render(&cells);
+        assert!(table.contains("LEAK"), "{table}");
+        assert!(table.contains("witness: 41 trains -> mispredict @0x1018"), "{table}");
+        assert!(check(&cells, &golden()).is_empty());
+    }
+
+    #[test]
+    fn check_flags_verdict_mismatch_and_evidence_gaps() {
+        let doc = Json::Arr(vec![
+            cell("spectre_v1", "serialized", "secure", true), // chain under a secure policy
+            cell("spectre_v1", "nonsecure", "leak", false),   // leak without evidence
+            cell("spectre_v1", "specmpk", "leak", true),      // golden says secure
+        ]);
+        let cells = parse_matrix(&doc).expect("parses");
+        let violations = check(&cells, &golden());
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("specmpk: verdict leak (golden: secure)")));
+        assert!(violations.iter().any(|v| v.contains("leak verdict without a ledger witness")));
+        assert!(violations.iter().any(|v| v.contains("secure verdict but the ledger extracted")));
+    }
+
+    #[test]
+    fn check_flags_cells_missing_from_the_matrix() {
+        let doc = Json::Arr(vec![cell("spectre_v1", "nonsecure", "leak", true)]);
+        let cells = parse_matrix(&doc).expect("parses");
+        let violations = check(&cells, &golden());
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.contains("missing from the matrix")));
+    }
+}

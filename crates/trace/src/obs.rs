@@ -31,7 +31,7 @@ use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
-use crate::sink::{PkruCheckKind, TraceEvent, TraceSink};
+use crate::sink::{AccessDecision, PkruCheckKind, TraceEvent, TraceSink};
 
 /// Environment variable enabling host profiling spans (any value except
 /// `0` or the empty string).
@@ -550,6 +550,34 @@ impl TraceSink for Journal {
             TraceEvent::DeferredTlbUpdate { seq, cycle } => {
                 self.push_json(Journal::record_base("deferred_tlb_update", cycle, seq));
             }
+            TraceEvent::SpecAccess { seq, cycle, pc, addr, pkey, decision, kind, .. } => {
+                // Allowed accesses happen for nearly every load and store;
+                // only the deferred/faulted decisions are notable (the
+                // leak ledger keeps the full stream).
+                if decision != AccessDecision::Allowed {
+                    let kind = match kind {
+                        PkruCheckKind::Load => "load",
+                        PkruCheckKind::Store => "store",
+                    };
+                    self.push_json(
+                        Journal::record_base("spec_access", cycle, seq)
+                            .with("kind", kind)
+                            .with("decision", decision.name())
+                            .with("pc", crate::guest::fmt_pc(pc))
+                            .with("addr", format!("{addr:#x}"))
+                            .with("pkey", u64::from(pkey)),
+                    );
+                }
+            }
+            TraceEvent::Residue { seq, cycle, addr, pkey, line, tlb } => {
+                self.push_json(
+                    Journal::record_base("residue", cycle, seq)
+                        .with("addr", format!("{addr:#x}"))
+                        .with("pkey", u64::from(pkey))
+                        .with("line", line)
+                        .with("tlb", tlb),
+                );
+            }
             TraceEvent::WrongPathStall { cycle, seq, pc } => {
                 self.push_json(
                     Journal::record_base("wrong_path_stall", cycle, seq)
@@ -660,6 +688,50 @@ mod tests {
             r#"{"event":"pkru_check_fail","cycle":103,"seq":10,"kind":"load","wrpkru_site":"0x2010"}"#
         );
         assert_eq!(lines[2], r#"{"event":"head_stall","cycle":103,"seq":10,"kind":"tlb_miss"}"#);
+    }
+
+    #[test]
+    fn journal_records_notable_spec_accesses_and_residue() {
+        let mut j = Journal::default();
+        j.record(TraceEvent::SpecAccess {
+            seq: 20,
+            cycle: 200,
+            pc: 0x1020,
+            addr: 0x20008,
+            pkey: 4,
+            pkru: 0xffff_ffff,
+            kind: PkruCheckKind::Load,
+            decision: AccessDecision::Allowed, // dense: dropped
+        });
+        j.record(TraceEvent::SpecAccess {
+            seq: 21,
+            cycle: 201,
+            pc: 0x1024,
+            addr: 0x20010,
+            pkey: 4,
+            pkru: 0xffff_feff,
+            kind: PkruCheckKind::Load,
+            decision: AccessDecision::Deferred,
+        });
+        j.record(TraceEvent::Residue {
+            seq: 21,
+            cycle: 210,
+            addr: 0x20010,
+            pkey: 4,
+            line: true,
+            tlb: false,
+        });
+        assert_eq!(j.len(), 2);
+        let text = j.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            r#"{"event":"spec_access","cycle":201,"seq":21,"kind":"load","decision":"deferred","pc":"0x1024","addr":"0x20010","pkey":4}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"event":"residue","cycle":210,"seq":21,"addr":"0x20010","pkey":4,"line":true,"tlb":false}"#
+        );
     }
 
     #[test]

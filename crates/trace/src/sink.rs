@@ -19,6 +19,32 @@ pub enum PkruCheckKind {
     Store,
 }
 
+/// The policy's verdict on one speculative (pre-retire) memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// The access proceeded speculatively, leaving a microarchitectural
+    /// footprint (cache line and/or TLB entry).
+    Allowed,
+    /// The access was held back (head-of-ROB stall, deferred store check,
+    /// or blocked store-to-load forwarding): no footprint yet.
+    Deferred,
+    /// The access was marked faulting; the trap is delivered when the
+    /// instruction reaches retirement.
+    Faulted,
+}
+
+impl AccessDecision {
+    /// Stable lowercase name used in journal records and report output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessDecision::Allowed => "allowed",
+            AccessDecision::Deferred => "deferred",
+            AccessDecision::Faulted => "faulted",
+        }
+    }
+}
+
 /// Why a pipeline squash happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SquashCause {
@@ -213,6 +239,49 @@ pub enum TraceEvent {
         /// Why it must wait.
         kind: HeadStallKind,
     },
+    /// A speculative (pre-retire) data access was processed by the
+    /// permission policy: one record per load/store issue attempt,
+    /// carrying the page's protection key, the PKRU view the check
+    /// consulted, and the resulting decision. The entry's fate arrives
+    /// later as the matching [`TraceEvent::Retire`] or
+    /// [`TraceEvent::Squash`].
+    SpecAccess {
+        /// Sequence number of the accessing instruction.
+        seq: u64,
+        /// Cycle the access was processed (issue cycle).
+        cycle: u64,
+        /// Program counter of the accessing instruction.
+        pc: u64,
+        /// Effective address of the access.
+        addr: u64,
+        /// Protection key of the accessed page (0 when translation
+        /// faulted before a key was selected).
+        pkey: u8,
+        /// The 32-bit PKRU view the permission check consulted.
+        pkru: u32,
+        /// Load or store access.
+        kind: PkruCheckKind,
+        /// What the policy decided.
+        decision: AccessDecision,
+    },
+    /// A squashed wrong-path access left surviving microarchitectural
+    /// state: its cache line and/or its page's TLB entry is still
+    /// resident after the squash. Emitted during squash handling, before
+    /// the victim's [`TraceEvent::Squash`].
+    Residue {
+        /// Sequence number of the squashed accessing instruction.
+        seq: u64,
+        /// Squash cycle.
+        cycle: u64,
+        /// Effective address of the wrong-path access.
+        addr: u64,
+        /// Protection key of the accessed page.
+        pkey: u8,
+        /// The accessed cache line is still resident.
+        line: bool,
+        /// The page's translation is still TLB-resident.
+        tlb: bool,
+    },
     /// Fetch ran off the known instruction map on a wrong path and
     /// stalled until the next redirect.
     WrongPathStall {
@@ -244,6 +313,8 @@ impl TraceEvent {
             | TraceEvent::SquashBatch { seq, .. }
             | TraceEvent::ReplayBurst { seq, .. }
             | TraceEvent::HeadStall { seq, .. }
+            | TraceEvent::SpecAccess { seq, .. }
+            | TraceEvent::Residue { seq, .. }
             | TraceEvent::WrongPathStall { seq, .. } => *seq,
         }
     }
@@ -485,6 +556,29 @@ impl TraceSink for PipeTracer {
             TraceEvent::HeadStall { seq, cycle, kind } => {
                 self.note(seq, format!("//specmpk:head_stall:{cycle}:{seq}:{}", kind.name()));
             }
+            TraceEvent::SpecAccess { seq, cycle, addr, pkey, kind, decision, .. } => {
+                let kind = match kind {
+                    PkruCheckKind::Load => "load",
+                    PkruCheckKind::Store => "store",
+                };
+                self.note(
+                    seq,
+                    format!(
+                        "//specmpk:spec_access:{cycle}:{seq}:{kind}:{addr:#x}:pkey{pkey}:{}",
+                        decision.name()
+                    ),
+                );
+            }
+            TraceEvent::Residue { seq, cycle, addr, pkey, line, tlb } => {
+                self.note(
+                    seq,
+                    format!(
+                        "//specmpk:residue:{cycle}:{seq}:{addr:#x}:pkey{pkey}:line{}:tlb{}",
+                        u8::from(line),
+                        u8::from(tlb)
+                    ),
+                );
+            }
             // Wrong-path fetch dead ends carry no in-flight instruction to
             // attach a note to; the journal is their home.
             TraceEvent::WrongPathStall { .. } => {}
@@ -657,6 +751,36 @@ mod tests {
         assert!(out.contains("//specmpk:squash_batch:5:3:return_mispredict:depth4:rob9\n"));
         assert!(out.contains("//specmpk:head_stall:6:3:no_forward_store\n"));
         assert!(out.contains("//specmpk:replay_burst:7:3:len2\n"));
+    }
+
+    #[test]
+    fn spec_access_and_residue_attach_notes() {
+        let mut t = PipeTracer::default();
+        drive(&mut t, 5, 0);
+        t.record(TraceEvent::SpecAccess {
+            seq: 5,
+            cycle: 4,
+            pc: 0x1014,
+            addr: 0x20008,
+            pkey: 4,
+            pkru: 0xffff_ffff,
+            kind: PkruCheckKind::Load,
+            decision: AccessDecision::Allowed,
+        });
+        // Residue must precede the squash so the note lands before the
+        // block is finished.
+        t.record(TraceEvent::Residue {
+            seq: 5,
+            cycle: 8,
+            addr: 0x20008,
+            pkey: 4,
+            line: true,
+            tlb: false,
+        });
+        t.record(TraceEvent::Squash { seq: 5, cycle: 8 });
+        let out = t.render();
+        assert!(out.contains("//specmpk:spec_access:4:5:load:0x20008:pkey4:allowed\n"));
+        assert!(out.contains("//specmpk:residue:8:5:0x20008:pkey4:line1:tlb0\n"));
     }
 
     #[test]

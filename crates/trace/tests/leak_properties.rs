@@ -1,0 +1,113 @@
+//! Property-based tests for the speculative-access ledger.
+
+// Gated so the workspace still builds/tests with --no-default-features.
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use specmpk_trace::{
+    AccessDecision, Fate, LeakObserver, PkruCheckKind, TraceEvent, TraceSink as _,
+};
+
+/// What happens to one synthetic instruction after its access issues.
+#[derive(Debug, Clone, Copy)]
+enum Outcome {
+    Retire,
+    Squash,
+    Open, // run ends with the instruction in flight
+}
+
+fn outcome() -> impl Strategy<Value = Outcome> {
+    prop_oneof![Just(Outcome::Retire), Just(Outcome::Squash), Just(Outcome::Open)]
+}
+
+proptest! {
+    /// Every ledger entry resolves to exactly one fate: retired xor
+    /// squashed, matching the event the core emitted — and entries whose
+    /// instruction never left the pipeline stay unresolved.
+    #[test]
+    fn every_entry_resolves_to_exactly_one_fate(
+        outcomes in prop::collection::vec(outcome(), 1..80),
+        accesses_per_instr in prop::collection::vec(1u64..4, 1..80),
+    ) {
+        let mut o = LeakObserver::default();
+        // Issue phase: every instruction renames and records its accesses.
+        for (i, n) in outcomes.iter().zip(&accesses_per_instr).map(|(_, n)| n).enumerate() {
+            let seq = i as u64;
+            o.record(TraceEvent::Rename {
+                seq,
+                pc: 0x1000 + 4 * seq,
+                fetch_cycle: seq,
+                cycle: seq + 1,
+                disasm: String::new(),
+            });
+            for k in 0..*n {
+                o.record(TraceEvent::SpecAccess {
+                    seq,
+                    cycle: seq + 2,
+                    pc: 0x1000 + 4 * seq,
+                    addr: 0x2000 + 64 * seq + k,
+                    pkey: (seq % 16) as u8,
+                    pkru: 0xffff_ffff,
+                    kind: if k % 2 == 0 { PkruCheckKind::Load } else { PkruCheckKind::Store },
+                    decision: AccessDecision::Allowed,
+                });
+            }
+        }
+        // Resolution phase: retires oldest-first, squashes youngest-first
+        // (as the core would), open instructions never resolve.
+        for (i, out) in outcomes.iter().enumerate() {
+            if matches!(out, Outcome::Retire) {
+                o.record(TraceEvent::Retire { seq: i as u64, cycle: 1000 + i as u64 });
+            }
+        }
+        for (i, out) in outcomes.iter().enumerate().rev() {
+            if matches!(out, Outcome::Squash) {
+                o.record(TraceEvent::Squash { seq: i as u64, cycle: 2000 + i as u64 });
+            }
+        }
+        // Every entry's fate matches its instruction's outcome, and the
+        // aggregate counts partition the ledger exactly.
+        for e in o.entries() {
+            let expected = outcomes[e.seq as usize];
+            match (expected, e.fate) {
+                (Outcome::Retire, Some(Fate::Retired { .. }))
+                | (Outcome::Squash, Some(Fate::Squashed { .. }))
+                | (Outcome::Open, None) => {}
+                other => prop_assert!(false, "seq {} fate mismatch: {:?}", e.seq, other),
+            }
+        }
+        let c = o.counts();
+        prop_assert_eq!(c.retired + c.squashed + c.unresolved, c.accesses);
+        prop_assert_eq!(c.accesses, o.entries().len() as u64);
+    }
+
+    /// Re-resolving is impossible by construction: after a fate is
+    /// sealed, later Retire/Squash events for the same seq are ignored.
+    #[test]
+    fn sealed_fates_never_flip(retire_first in any::<bool>()) {
+        let mut o = LeakObserver::default();
+        o.record(TraceEvent::SpecAccess {
+            seq: 1,
+            cycle: 5,
+            pc: 0x1000,
+            addr: 0x2000,
+            pkey: 3,
+            pkru: 0,
+            kind: PkruCheckKind::Load,
+            decision: AccessDecision::Allowed,
+        });
+        let (first, second) = if retire_first {
+            (TraceEvent::Retire { seq: 1, cycle: 10 }, TraceEvent::Squash { seq: 1, cycle: 11 })
+        } else {
+            (TraceEvent::Squash { seq: 1, cycle: 10 }, TraceEvent::Retire { seq: 1, cycle: 11 })
+        };
+        o.record(first);
+        o.record(second);
+        let fate = o.entries()[0].fate.expect("resolved");
+        prop_assert_eq!(fate.cycle(), 10, "first resolution wins");
+        match fate {
+            Fate::Retired { .. } => prop_assert!(retire_first),
+            Fate::Squashed { .. } => prop_assert!(!retire_first),
+        }
+    }
+}

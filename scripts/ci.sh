@@ -17,6 +17,9 @@
 #               journal summary (specmpk-report journal); plus a
 #               --profile-guest run rendered by `specmpk-report profile`
 #               (hot-PC rows + WRPKRU site rows must be non-empty)
+#   security    security_matrix bin (every attack × every policy with the
+#               speculative-access ledger on), gated by `specmpk-report
+#               security --check` against baselines/security/verdicts.json
 #
 # The regression gate reruns the fast experiment subset with pinned,
 # shrunken budgets (SPECMPK_INSTR_BUDGET=100000, SPECMPK_FIG4_KINSTR=40 —
@@ -149,9 +152,28 @@ fi
 
 stage doc env RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
+# The policy × attack transient-leakage matrix: run every PoC under every
+# registered policy with the speculative-access ledger attached, then gate
+# the verdicts (and their ledger evidence) against the committed goldens.
+# The matrix bin runs after the report gate so security_matrix.json never
+# enters the gated artifact set mid-transition.
+run_security() {
+    local bin=security_matrix start elapsed
+    start=$(now_ms)
+    cargo run -q --release -p specmpk-experiments --bin "${bin}" >/dev/null
+    elapsed=$(( $(now_ms) - start ))
+    BIN_NAMES+=("${bin}")
+    BIN_MS+=("${elapsed}")
+    echo "    ${bin}: ${elapsed} ms"
+    cargo run -q --release -p specmpk-report -- \
+        security experiments_output/security_matrix.json \
+        --check baselines/security/verdicts.json
+}
+
 stage experiments run_experiments
 stage report run_report
 stage obs-smoke run_obs_smoke
+stage security run_security
 
 # ------------------------------------------------- timing summary + JSON
 # The shell only measures; `specmpk-report timing` is the single producer

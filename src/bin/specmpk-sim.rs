@@ -12,12 +12,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use specmpk::attacks::{run_attack, spectre_bti, spectre_v1, store_forward_overflow};
+use specmpk::attacks::{
+    run_attack, run_attack_observed, spectre_bti, spectre_v1, store_forward_overflow,
+};
 use specmpk::core_model::{registry, PolicyRef};
 use specmpk::ooo::{Core, SimConfig, SimStats};
 use specmpk::trace::{
-    fmt_pc, progress_interval_from_env, Journal, Json, NullSink, PipeTracer, ProgressReporter, Tee,
-    TraceSink, DEFAULT_PROFILE_TOP_N, DEFAULT_PROGRESS_INTERVAL_MS,
+    fmt_pc, progress_interval_from_env, Journal, Json, LeakObserver, NullSink, PipeTracer,
+    ProgressReporter, Tee, TraceSink, DEFAULT_PROFILE_TOP_N, DEFAULT_PROGRESS_INTERVAL_MS,
 };
 use specmpk::workloads::{standard_suite, Protection, Workload};
 
@@ -34,6 +36,7 @@ struct Args {
     trace: Option<PathBuf>,
     trace_interval: u64,
     journal: Option<PathBuf>,
+    leak_ledger: Option<PathBuf>,
     progress: bool,
     profile: bool,
     profile_guest: Option<usize>,
@@ -66,6 +69,11 @@ OPTIONS:
                          WRPKRU rename/retire, failed PKRU checks, head
                          stalls, replay bursts); with --policy all the
                          policy name is appended to PATH
+    --leak-ledger PATH   write the speculative-access ledger as JSONL:
+                         every pre-retire memory access with its pkey,
+                         PKRU view, policy decision, retired/squashed
+                         fate and surviving cache/TLB residue; with
+                         --policy all the policy name is appended
     --progress           emit heartbeat telemetry lines on stderr
                          (SPECMPK_PROGRESS=<ms> sets the interval)
     --profile            time the pipeline stages on the host and emit a
@@ -93,6 +101,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         trace: None,
         trace_interval: 0,
         journal: None,
+        leak_ledger: None,
         progress: false,
         profile: false,
         profile_guest: None,
@@ -122,6 +131,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                     .map_err(|e| format!("--trace-interval: {e}"))?;
             }
             "--journal" => args.journal = Some(value("--journal")?.into()),
+            "--leak-ledger" => args.leak_ledger = Some(value("--leak-ledger")?.into()),
             "--progress" => args.progress = true,
             "--profile" => args.profile = true,
             "--profile-guest" => args.profile_guest = Some(DEFAULT_PROFILE_TOP_N),
@@ -204,6 +214,29 @@ fn run_one<S: TraceSink>(
     (result, core.into_sink())
 }
 
+/// Runs one policy over `sink`, additionally teeing the event stream into
+/// a [`LeakObserver`] written to `ledger_path` when `--leak-ledger` asked
+/// for one. The base sink is handed back either way so the caller's
+/// rendering path is oblivious to the wrap.
+fn run_one_with_ledger<S: TraceSink>(
+    args: &Args,
+    config: SimConfig,
+    program: &specmpk::isa::Program,
+    label: &str,
+    sink: S,
+    ledger_path: Option<&Path>,
+) -> Result<(specmpk::ooo::SimResult, S), String> {
+    match ledger_path {
+        None => Ok(run_one(args, config, program, label, sink)),
+        Some(path) => {
+            let tee = Tee::new(sink, LeakObserver::default());
+            let (result, tee) = run_one(args, config, program, label, tee);
+            tee.b.write_to(path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            Ok((result, tee.a))
+        }
+    }
+}
+
 fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
     let program = match args.protection.as_str() {
         "scheme" => workload.build_protected(),
@@ -228,10 +261,14 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
         let write = |path: &Path, out: std::io::Result<()>| {
             out.map_err(|e| format!("writing {}: {e}", path.display()))
         };
+        let ledger_path =
+            args.leak_ledger.as_deref().map(|base| per_policy_path(base, policy, selected.len()));
+        let ledger_path = ledger_path.as_deref();
         let result = match (&args.trace, &args.journal) {
             (Some(trace), Some(journal)) => {
                 let sink = Tee::new(PipeTracer::default(), Journal::default());
-                let (result, sink) = run_one(args, config, &program, &label, sink);
+                let (result, sink) =
+                    run_one_with_ledger(args, config, &program, &label, sink, ledger_path)?;
                 let path = per_policy_path(trace, policy, selected.len());
                 write(&path, sink.a.write_to(&path))?;
                 let path = per_policy_path(journal, policy, selected.len());
@@ -239,18 +276,34 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
                 result
             }
             (Some(trace), None) => {
-                let (result, sink) = run_one(args, config, &program, &label, PipeTracer::default());
+                let (result, sink) = run_one_with_ledger(
+                    args,
+                    config,
+                    &program,
+                    &label,
+                    PipeTracer::default(),
+                    ledger_path,
+                )?;
                 let path = per_policy_path(trace, policy, selected.len());
                 write(&path, sink.write_to(&path))?;
                 result
             }
             (None, Some(journal)) => {
-                let (result, sink) = run_one(args, config, &program, &label, Journal::default());
+                let (result, sink) = run_one_with_ledger(
+                    args,
+                    config,
+                    &program,
+                    &label,
+                    Journal::default(),
+                    ledger_path,
+                )?;
                 let path = per_policy_path(journal, policy, selected.len());
                 write(&path, sink.write_to(&path))?;
                 result
             }
-            (None, None) => run_one(args, config, &program, &label, NullSink).0,
+            (None, None) => {
+                run_one_with_ledger(args, config, &program, &label, NullSink, ledger_path)?.0
+            }
         };
         let base = *baseline.get_or_insert(result.stats.ipc());
         print_stats(policy, &result.stats, base);
@@ -298,14 +351,40 @@ fn run_poc(args: &Args, kind: &str) -> Result<(), String> {
         other => return Err(format!("unknown attack '{other}' (v1|bti|overflow)")),
     };
     println!("attack {kind} | secret probe index {}", attack.secret_index());
-    for policy in policies(&args.policy)? {
-        let outcome = run_attack(&attack, policy);
-        println!(
-            "{:<20} leaked: {:<5}  hot: {:?}",
-            policy.to_string(),
-            outcome.leaked(attack.secret_index()),
-            outcome.hot_indices()
-        );
+    let selected = policies(&args.policy)?;
+    for &policy in &selected {
+        if let Some(base) = &args.leak_ledger {
+            // With the ledger attached, also report the microarchitectural
+            // evidence next to the receiver's cache-timing verdict.
+            let (outcome, ledger) = run_attack_observed(&attack, policy);
+            let path = per_policy_path(base, policy, selected.len());
+            ledger.write_to(&path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            let c = ledger.counts();
+            println!(
+                "{:<20} leaked: {:<5}  hot: {:?}  ledger: {} accesses, {} squashed, \
+                 residue {}/{} line/tlb, witness {}",
+                policy.to_string(),
+                outcome.leaked(attack.secret_index()),
+                outcome.hot_indices(),
+                c.accesses,
+                c.squashed,
+                c.residue_lines,
+                c.residue_tlb,
+                if ledger.witness_chain(attack.secret_pkey().index() as u8).is_some() {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+        } else {
+            let outcome = run_attack(&attack, policy);
+            println!(
+                "{:<20} leaked: {:<5}  hot: {:?}",
+                policy.to_string(),
+                outcome.leaked(attack.secret_index()),
+                outcome.hot_indices()
+            );
+        }
     }
     Ok(())
 }

@@ -158,6 +158,8 @@ fn journal_lines_parse_and_events_are_known() {
         "replay_burst",
         "deferred_tlb_update",
         "wrong_path_stall",
+        "spec_access",
+        "residue",
     ];
     let mut last_cycle = 0u64;
     for line in jsonl.lines() {

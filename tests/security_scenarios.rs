@@ -2,11 +2,14 @@
 //! scenarios, exercised end-to-end on the out-of-order core under every
 //! WRPKRU microarchitecture.
 
-use specmpk::attacks::{run_attack, spectre_bti, spectre_v1, store_forward_overflow};
+use specmpk::attacks::{
+    all_attacks, run_attack, run_attack_observed, spectre_bti, spectre_v1, store_forward_overflow,
+};
 use specmpk::core_model::WrpkruPolicy;
 use specmpk::isa::{Assembler, DataSegment, MemWidth, Program, Reg};
 use specmpk::mpk::{AccessKind, Pkey, Pkru};
 use specmpk::ooo::{Core, ExitReason, SimConfig};
+use specmpk::trace::SquashCause;
 
 fn secure_page_program(body: impl FnOnce(&mut Assembler)) -> Program {
     let mut asm = Assembler::new(0x1000);
@@ -102,6 +105,53 @@ fn store_forward_overflow_mitigation_matrix() {
         let outcome = run_attack(&attack, policy);
         let expect = policy == WrpkruPolicy::NonSecureSpec;
         assert_eq!(outcome.leaked(attack.secret_index()), expect, "{policy}");
+    }
+}
+
+/// Exact-golden witness chain: under NonSecure, the speculative-access
+/// ledger must reconstruct the full Spectre-V1 causal chain — training,
+/// the mispredicted bounds check, the transiently permitted secret-domain
+/// load, the dependent wrong-path access, and the cache/TLB residue that
+/// survives the squash. The simulator is deterministic, so every field is
+/// pinned to its exact value.
+#[test]
+fn spectre_v1_nonsecure_witness_chain_golden() {
+    let attack = spectre_v1(101, 72);
+    let (outcome, ledger) = run_attack_observed(&attack, WrpkruPolicy::NonSecureSpec);
+    assert!(outcome.leaked(101), "the observed run still leaks");
+    let chain = ledger
+        .witness_chain(attack.secret_pkey().index() as u8)
+        .expect("NonSecure spectre_v1 yields a witness chain");
+    assert_eq!(chain.train_retires, 41, "bounds check retired in-bounds during training");
+    assert_eq!(chain.mispredict_pc, 0x1018, "the trained bounds-check branch mispredicts");
+    assert_eq!(chain.cause, SquashCause::BranchMispredict);
+    assert_eq!(chain.secret_addr, 0x20008, "array1 + out-of-bounds index");
+    assert_eq!(chain.secret_pkru, 0, "the transient WRPKRU opened all domains");
+    assert!(chain.secret_cycle < chain.squash_cycle, "secret load is pre-squash");
+    assert!(chain.residue.line && chain.residue.tlb, "residue survives the squash");
+    let counts = ledger.counts();
+    assert_eq!(
+        counts.retired + counts.squashed + counts.unresolved,
+        counts.accesses,
+        "every ledgered access has exactly one fate"
+    );
+    assert_eq!(ledger.dropped(), 0, "the attack fits in the ledger capacity");
+}
+
+/// The secure microarchitectures must leave no residue-backed witness
+/// chain for *any* attack: SpecMPK defers the transient permission
+/// upgrade and Serialized never issues the secret load speculatively.
+#[test]
+fn secure_policies_leave_no_witness_chain() {
+    for attack in all_attacks() {
+        for policy in [WrpkruPolicy::Serialized, WrpkruPolicy::SpecMpk] {
+            let (_, ledger) = run_attack_observed(&attack, policy);
+            assert!(
+                ledger.witness_chain(attack.secret_pkey().index() as u8).is_none(),
+                "{}/{policy}: secure policy must not yield a witness chain",
+                attack.kind().name(),
+            );
+        }
     }
 }
 
