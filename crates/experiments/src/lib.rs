@@ -20,7 +20,7 @@
 
 use specmpk_core::{hardware_cost, PolicyRef, SpecMpkConfig};
 use specmpk_isa::Program;
-use specmpk_ooo::{Core, RenameStall, SimConfig, SimStats};
+use specmpk_ooo::{Checkpoint, Core, FastForward, RenameStall, SimConfig, SimStats};
 use specmpk_par::{par_map_labeled, par_map_labeled_with_jobs};
 use specmpk_trace::{
     guest_profile_env, phase_time, Histogram, Journal, Json, LedgerCounts, WitnessChain,
@@ -205,6 +205,80 @@ pub fn run_policy_journaled(
     core.set_guest_profiling(guest_profile_env());
     let stats = core.run().stats;
     (stats, core.into_sink().to_jsonl())
+}
+
+// ----------------------------------------------------------- sampled runs
+
+/// One detailed window of a [`sampled_run`].
+#[derive(Debug, Clone)]
+pub struct SampledWindow {
+    /// Instruction count at which the detailed window started (functional
+    /// warmup plus any skipped windows).
+    pub start_instruction: u64,
+    /// The detailed core's statistics for this window only.
+    pub stats: SimStats,
+}
+
+/// SimPoint-style sampled simulation: functionally fast-forward `warmup`
+/// instructions once (warming caches, TLB and branch predictor), capture
+/// an in-memory [`Checkpoint`], then run `windows` consecutive detailed
+/// windows of `window_len` retired instructions each, booted from that
+/// warm state via [`Core::from_checkpoint`].
+///
+/// Each window is an independent `specmpk-par` cell: window `i`
+/// fast-forwards `i × window_len` further from the shared checkpoint
+/// (cheap, functional) and then simulates its own `window_len` slice in
+/// detail. Results come back in window order regardless of
+/// `SPECMPK_JOBS`, so downstream artifacts are byte-identical at any
+/// worker count. The checkpoint itself is policy-independent; only the
+/// detailed windows see `policy`.
+///
+/// # Panics
+///
+/// Panics if the program terminates before `warmup + windows ×
+/// window_len` instructions — a sampled run must fit inside the program.
+#[must_use]
+pub fn sampled_run(
+    program: &Program,
+    policy: impl Into<PolicyRef>,
+    warmup: u64,
+    windows: usize,
+    window_len: u64,
+) -> Vec<SampledWindow> {
+    let policy = policy.into();
+    let config = SimConfig::with_policy(policy);
+    let mut ff = FastForward::new(&config, program);
+    let warm_exit = ff.step_n(warmup);
+    assert!(
+        warm_exit.is_none(),
+        "program ended during the {warmup}-instruction warmup: {warm_exit:?}"
+    );
+    let base = Checkpoint::capture(ff);
+    // The checkpoint's page store keeps a `Cell`-based lookup cache, so a
+    // shared `&Checkpoint` is not `Sync`; each window cell carries its
+    // own clone instead (cheap relative to a detailed window).
+    let cells: Vec<(String, (u64, Checkpoint))> = (0..windows as u64)
+        .map(|i| (format!("sampled/{}/window{i}", policy.key()), (i, base.clone())))
+        .collect();
+    par_map_labeled(cells, |(i, base)| {
+        let mut ff = base.resume_fast_forward(program);
+        let skip_exit = ff.step_n(i * window_len);
+        assert!(skip_exit.is_none(), "program ended while skipping to window {i}: {skip_exit:?}");
+        let cp = Checkpoint::capture(ff);
+        let mut config = SimConfig::with_policy(policy);
+        config.max_instructions = window_len;
+        let mut core = Core::from_checkpoint(config, program, &cp);
+        SampledWindow { start_instruction: cp.executed, stats: core.run().stats }
+    })
+}
+
+/// Aggregate IPC over a set of sampled windows (total retired over total
+/// cycles — windows weight by their actual cycle cost).
+#[must_use]
+pub fn sampled_ipc(windows: &[SampledWindow]) -> f64 {
+    let retired: u64 = windows.iter().map(|w| w.stats.retired).sum();
+    let cycles: u64 = windows.iter().map(|w| w.stats.cycles).sum();
+    retired as f64 / cycles as f64
 }
 
 /// Queues the guest profiles of labeled runs for the experiment's

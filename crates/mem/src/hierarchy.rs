@@ -200,6 +200,35 @@ impl CacheHierarchy {
     pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats, CacheStats) {
         (self.l1i.stats(), self.l1d.stats(), self.l2.stats(), self.l3.stats())
     }
+
+    /// Serializes all four levels for a checkpoint (byte-deterministic).
+    #[must_use]
+    pub fn snapshot(&self) -> specmpk_trace::Json {
+        specmpk_trace::Json::object()
+            .with("l1i", self.l1i.snapshot())
+            .with("l1d", self.l1d.snapshot())
+            .with("l2", self.l2.snapshot())
+            .with("l3", self.l3.snapshot())
+    }
+
+    /// Restores all four levels from [`CacheHierarchy::snapshot`] (the
+    /// hierarchy must have the same geometry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or out-of-range field.
+    pub fn restore_snapshot(&mut self, snap: &specmpk_trace::Json) -> Result<(), String> {
+        for (key, cache) in [
+            ("l1i", &mut self.l1i),
+            ("l1d", &mut self.l1d),
+            ("l2", &mut self.l2),
+            ("l3", &mut self.l3),
+        ] {
+            let level = snap.get(key).ok_or(format!("hierarchy: missing {key}"))?;
+            cache.restore_snapshot(level)?;
+        }
+        Ok(())
+    }
 }
 
 impl Default for CacheHierarchy {

@@ -220,6 +220,70 @@ impl SparseMemory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Serializes every materialized page for a checkpoint as
+    /// `[vpn, hex-payload]` pairs in ascending-VPN order. Pages only
+    /// materialize on writes, so this is exactly the dirty set; emitting
+    /// it sorted makes the snapshot byte-deterministic (the slab order is
+    /// insertion-dependent, the VPN order is not).
+    #[must_use]
+    pub fn snapshot(&self) -> specmpk_trace::Json {
+        use specmpk_trace::Json;
+        let mut slots: Vec<(u64, u32)> = self.index.iter().map(|(&v, &s)| (v, s)).collect();
+        slots.sort_unstable_by_key(|&(vpn, _)| vpn);
+        let pages: Vec<Json> = slots
+            .into_iter()
+            .map(|(vpn, slot)| {
+                let data = &self.pages[slot as usize];
+                let mut hex = String::with_capacity(data.len() * 2);
+                for b in data.iter() {
+                    hex.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+                    hex.push(char::from_digit(u32::from(b & 0xF), 16).expect("nibble"));
+                }
+                Json::from(vec![Json::hex(vpn), Json::from(hex)])
+            })
+            .collect();
+        Json::object().with("pages", pages)
+    }
+
+    /// Replaces the whole memory image with the one captured by
+    /// [`SparseMemory::snapshot`]. Pages are re-materialized in snapshot
+    /// (ascending-VPN) order, so two restores of the same snapshot are
+    /// identical down to slab layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn restore_snapshot(&mut self, snap: &specmpk_trace::Json) -> Result<(), String> {
+        let pages = snap.get("pages").and_then(|j| j.as_arr()).ok_or("memory: bad pages array")?;
+        self.index = VpnIndex::default();
+        self.pages = Vec::with_capacity(pages.len());
+        self.last = Cell::new((NO_PAGE, 0));
+        for entry in pages {
+            let row = entry.as_arr().filter(|r| r.len() == 2).ok_or("memory: malformed page")?;
+            let vpn = row[0].as_hex_u64().ok_or("memory: bad page vpn")?;
+            let hex = row[1].as_str().ok_or("memory: bad page payload")?;
+            if hex.len() != 2 * PAGE_BYTES as usize {
+                return Err(format!("memory: page {vpn:#x} payload has {} chars", hex.len()));
+            }
+            let mut data = vec![0u8; PAGE_BYTES as usize].into_boxed_slice();
+            let nibbles = hex.as_bytes();
+            for (i, b) in data.iter_mut().enumerate() {
+                let hi = (nibbles[2 * i] as char).to_digit(16);
+                let lo = (nibbles[2 * i + 1] as char).to_digit(16);
+                match (hi, lo) {
+                    (Some(hi), Some(lo)) => *b = (hi as u8) << 4 | lo as u8,
+                    _ => return Err(format!("memory: page {vpn:#x} has non-hex payload")),
+                }
+            }
+            let slot = u32::try_from(self.pages.len()).expect("fewer than 2^32 pages");
+            if self.index.insert(vpn, slot).is_some() {
+                return Err(format!("memory: duplicate page {vpn:#x}"));
+            }
+            self.pages.push(data);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -314,5 +378,27 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn zero_width_read_panics() {
         let _ = SparseMemory::new().read_uint(0, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_and_insertion_order_independence() {
+        // Two images with identical contents written in different page
+        // order must snapshot to identical bytes, and restore exactly.
+        let mut a = SparseMemory::new();
+        a.write_uint(0x1000, 8, 0xDEAD_BEEF_0123_4567);
+        a.write_uint(0x9000, 8, 42);
+        let mut b = SparseMemory::new();
+        b.write_uint(0x9000, 8, 42);
+        b.write_uint(0x1000, 8, 0xDEAD_BEEF_0123_4567);
+        let snap = a.snapshot();
+        assert_eq!(snap.dump(), b.snapshot().dump());
+
+        let mut restored = SparseMemory::new();
+        restored.restore_snapshot(&snap).unwrap();
+        assert_eq!(restored.read_u64(0x1000), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(restored.read_u64(0x9000), 42);
+        assert_eq!(restored.resident_pages(), 2);
+        // Re-snapshotting the restored image reproduces the bytes.
+        assert_eq!(restored.snapshot().dump(), snap.dump());
     }
 }

@@ -114,6 +114,55 @@ impl PageTable {
     pub fn mapped_pages(&self) -> usize {
         self.entries.len()
     }
+
+    /// Serializes every mapping for a checkpoint as
+    /// `[vpn, read, write, exec, pkey]` rows in ascending-VPN order
+    /// (byte-deterministic despite the hash-backed store).
+    #[must_use]
+    pub fn snapshot(&self) -> specmpk_trace::Json {
+        use specmpk_trace::Json;
+        let mut vpns: Vec<(u64, PageTableEntry)> =
+            self.entries.iter().map(|(&v, &e)| (v, e)).collect();
+        vpns.sort_unstable_by_key(|&(vpn, _)| vpn);
+        let entries: Vec<Json> = vpns
+            .into_iter()
+            .map(|(vpn, e)| {
+                Json::from(vec![
+                    Json::hex(vpn),
+                    Json::from(e.read),
+                    Json::from(e.write),
+                    Json::from(e.exec),
+                    Json::from(e.pkey.index() as u64),
+                ])
+            })
+            .collect();
+        Json::object().with("entries", entries)
+    }
+
+    /// Replaces all mappings with the ones captured by
+    /// [`PageTable::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn restore_snapshot(&mut self, snap: &specmpk_trace::Json) -> Result<(), String> {
+        let entries =
+            snap.get("entries").and_then(|j| j.as_arr()).ok_or("page table: bad entries")?;
+        self.entries = HashMap::with_capacity(entries.len());
+        for e in entries {
+            let row = e.as_arr().filter(|r| r.len() == 5).ok_or("page table: malformed entry")?;
+            let vpn = row[0].as_hex_u64().ok_or("page table: bad vpn")?;
+            let pte = PageTableEntry {
+                read: row[1].as_bool().ok_or("page table: bad read bit")?,
+                write: row[2].as_bool().ok_or("page table: bad write bit")?,
+                exec: row[3].as_bool().ok_or("page table: bad exec bit")?,
+                pkey: Pkey::new(row[4].as_u64().ok_or("page table: bad pkey")? as u8)
+                    .map_err(|e| format!("page table: {e}"))?,
+            };
+            self.entries.insert(vpn, pte);
+        }
+        Ok(())
+    }
 }
 
 /// A translation failure.

@@ -255,6 +255,21 @@ impl MemorySystem {
 
     /// Empties all caches and the DTLB (cold restart between experiment
     /// phases; memory contents and the page table are preserved).
+    ///
+    /// This is the *opposite* end of the state spectrum from
+    /// [`MemorySystem::snapshot`]: a flush discards exactly the
+    /// microarchitectural state (cache lines, TLB entries — though not
+    /// their statistics counters) that a snapshot preserves. Which state
+    /// survives what:
+    ///
+    /// | state                      | `flush_microarch_state` | snapshot round-trip |
+    /// |----------------------------|-------------------------|---------------------|
+    /// | memory contents            | preserved               | preserved           |
+    /// | page table                 | preserved               | preserved           |
+    /// | cache/TLB residency + LRU  | **discarded**           | preserved           |
+    /// | cache/TLB stats counters   | preserved¹              | preserved           |
+    ///
+    /// ¹ the DTLB `flushes` counter records the flush itself.
     pub fn flush_microarch_state(&mut self) {
         self.caches.flush_all();
         self.dtlb.flush();
@@ -271,6 +286,35 @@ impl MemorySystem {
     #[must_use]
     pub fn page_table(&self) -> &PageTable {
         &self.page_table
+    }
+
+    /// Serializes the entire memory system — memory image, page table,
+    /// DTLB and all cache levels, including their statistics — for a
+    /// checkpoint. Byte-deterministic: identical state dumps identical
+    /// bytes regardless of hash-map iteration or page insertion order.
+    #[must_use]
+    pub fn snapshot(&self) -> specmpk_trace::Json {
+        specmpk_trace::Json::object()
+            .with("memory", self.memory.snapshot())
+            .with("page_table", self.page_table.snapshot())
+            .with("dtlb", self.dtlb.snapshot())
+            .with("caches", self.caches.snapshot())
+    }
+
+    /// Rebuilds a memory system from [`MemorySystem::snapshot`] with the
+    /// given geometry (which must match the snapshotting system's).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or out-of-range field.
+    pub fn from_snapshot(config: MemConfig, snap: &specmpk_trace::Json) -> Result<Self, String> {
+        let mut sys = MemorySystem::new(config);
+        sys.memory.restore_snapshot(snap.get("memory").ok_or("snapshot: missing memory")?)?;
+        sys.page_table
+            .restore_snapshot(snap.get("page_table").ok_or("snapshot: missing page_table")?)?;
+        sys.dtlb.restore_snapshot(snap.get("dtlb").ok_or("snapshot: missing dtlb")?)?;
+        sys.caches.restore_snapshot(snap.get("caches").ok_or("snapshot: missing caches")?)?;
+        Ok(sys)
     }
 }
 
@@ -406,5 +450,41 @@ mod tests {
         let mut m = sys();
         m.write(0x123, 4, 0xCAFE);
         assert_eq!(m.read(0x123, 4), 0xCAFE);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_what_flush_discards() {
+        // Pin down the contract documented on `flush_microarch_state`:
+        // a snapshot round-trip preserves memory, page table, *and* warm
+        // cache/TLB state; a flush preserves only the former two.
+        let mut m = sys();
+        m.map_region(0x8000, 4096, Pkey::new(3).unwrap(), SegmentPerms::RW);
+        m.write(0x8010, 8, 0x1234_5678_9ABC_DEF0);
+        m.translate(0x8000, AccessKind::Read, true).unwrap(); // warm TLB
+        m.data_timing(0x8010); // warm caches
+        assert!(m.line_resident(0x8010));
+        assert!(m.tlb_resident(0x8000));
+
+        let restored = MemorySystem::from_snapshot(m.config(), &m.snapshot()).unwrap();
+        // Everything survives the round trip...
+        assert_eq!(restored.read(0x8010, 8), 0x1234_5678_9ABC_DEF0);
+        assert_eq!(restored.page_table().entry(0x8000).unwrap().pkey, Pkey::new(3).unwrap());
+        assert!(restored.line_resident(0x8010), "cache residency must survive a snapshot");
+        assert!(restored.tlb_resident(0x8000), "TLB residency must survive a snapshot");
+        assert_eq!(restored.stats(), m.stats(), "stats counters must survive a snapshot");
+        // ...and the restored system snapshots back to identical bytes.
+        assert_eq!(restored.snapshot().dump(), m.snapshot().dump());
+
+        // A flush keeps the architectural state but drops the warm
+        // microarchitectural state (recording itself in the DTLB flush
+        // counter).
+        let stats_before = m.stats();
+        m.flush_microarch_state();
+        assert_eq!(m.read(0x8010, 8), 0x1234_5678_9ABC_DEF0);
+        assert_eq!(m.page_table().entry(0x8000).unwrap().pkey, Pkey::new(3).unwrap());
+        assert!(!m.line_resident(0x8010), "flush must evict cache lines");
+        assert!(!m.tlb_resident(0x8000), "flush must evict TLB entries");
+        assert_eq!(m.stats().dtlb.flushes, stats_before.dtlb.flushes + 1);
+        assert_eq!(m.stats().l1d, stats_before.l1d);
     }
 }

@@ -235,6 +235,85 @@ impl Tlb {
         self.stats
     }
 
+    /// Serializes residency/replacement state and statistics for a
+    /// checkpoint: every valid way as
+    /// `[way_index, vpn, lru, read, write, exec, pkey]` in way order
+    /// (byte-deterministic — the backing array has a fixed layout).
+    #[must_use]
+    pub fn snapshot(&self) -> specmpk_trace::Json {
+        use specmpk_trace::Json;
+        let entries: Vec<Json> = self
+            .ways
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.entry.map(|e| (i, w.lru, e)))
+            .map(|(i, lru, e)| {
+                Json::from(vec![
+                    Json::from(i),
+                    Json::hex(e.vpn),
+                    Json::from(lru),
+                    Json::from(e.pte.read),
+                    Json::from(e.pte.write),
+                    Json::from(e.pte.exec),
+                    Json::from(e.pte.pkey.index() as u64),
+                ])
+            })
+            .collect();
+        Json::object()
+            .with("clock", self.clock)
+            .with(
+                "stats",
+                Json::object()
+                    .with("hits", self.stats.hits)
+                    .with("misses", self.stats.misses)
+                    .with("evictions", self.stats.evictions)
+                    .with("flushes", self.stats.flushes),
+            )
+            .with("entries", entries)
+    }
+
+    /// Restores the state captured by [`Tlb::snapshot`] into this TLB
+    /// (which must have the same geometry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or out-of-range field.
+    pub fn restore_snapshot(&mut self, snap: &specmpk_trace::Json) -> Result<(), String> {
+        self.clock = snap.get("clock").and_then(|j| j.as_u64()).ok_or("tlb: bad clock")?;
+        let stats = snap.get("stats").ok_or("tlb: missing stats")?;
+        let counter = |key: &str| {
+            stats.get(key).and_then(|j| j.as_u64()).ok_or(format!("tlb: bad stats.{key}"))
+        };
+        self.stats = TlbStats {
+            hits: counter("hits")?,
+            misses: counter("misses")?,
+            evictions: counter("evictions")?,
+            flushes: counter("flushes")?,
+        };
+        for way in &mut self.ways {
+            way.entry = None;
+            way.lru = 0;
+        }
+        let entries = snap.get("entries").and_then(|j| j.as_arr()).ok_or("tlb: bad entries")?;
+        for e in entries {
+            let row = e.as_arr().filter(|r| r.len() == 7).ok_or("tlb: malformed entry")?;
+            let idx = row[0].as_u64().ok_or("tlb: bad way index")? as usize;
+            let vpn = row[1].as_hex_u64().ok_or("tlb: bad vpn")?;
+            let lru = row[2].as_u64().ok_or("tlb: bad lru")?;
+            let pte = PageTableEntry {
+                read: row[3].as_bool().ok_or("tlb: bad read bit")?,
+                write: row[4].as_bool().ok_or("tlb: bad write bit")?,
+                exec: row[5].as_bool().ok_or("tlb: bad exec bit")?,
+                pkey: Pkey::new(row[6].as_u64().ok_or("tlb: bad pkey")? as u8)
+                    .map_err(|e| format!("tlb: {e}"))?,
+            };
+            let way = self.ways.get_mut(idx).ok_or(format!("tlb: way index {idx} out of range"))?;
+            way.entry = Some(TlbEntry { vpn, pte });
+            way.lru = lru;
+        }
+        Ok(())
+    }
+
     /// Number of currently valid entries.
     #[must_use]
     pub fn resident(&self) -> usize {
@@ -302,6 +381,27 @@ mod tests {
         tlb.flush();
         assert_eq!(tlb.resident(), 0);
         assert_eq!(tlb.stats().flushes, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_entries_lru_and_stats() {
+        let mut tlb = Tlb::new(TlbConfig { entries: 2, ways: 2, walk_latency: 10 });
+        tlb.fill(entry(10, 1));
+        tlb.fill(entry(20, 2));
+        tlb.touch(10); // 20 becomes LRU
+        let _ = tlb.access(10);
+        let _ = tlb.access(99); // a miss
+        let snap = tlb.snapshot();
+        let mut restored = Tlb::new(TlbConfig { entries: 2, ways: 2, walk_latency: 10 });
+        restored.restore_snapshot(&snap).unwrap();
+        assert_eq!(restored.stats(), tlb.stats());
+        assert_eq!(restored.resident(), 2);
+        assert_eq!(restored.probe(10).unwrap().pkey(), Pkey::new(1).unwrap());
+        // LRU order survives: the next fill must evict vpn 20.
+        restored.fill(entry(30, 0));
+        assert!(restored.probe(10).is_some());
+        assert!(restored.probe(20).is_none());
+        assert_eq!(snap.dump(), tlb.snapshot().dump());
     }
 
     #[test]

@@ -120,6 +120,21 @@ impl Pkru {
         self.0
     }
 
+    /// Serializes to the canonical checkpoint encoding: the raw bits as a
+    /// `"0x…"` lower-hex string (byte-deterministic, so checkpoint files
+    /// containing a PKRU compare equal across runs).
+    #[must_use]
+    pub fn encode(self) -> String {
+        format!("{:#x}", self.0)
+    }
+
+    /// Parses the encoding produced by [`Pkru::encode`].
+    #[must_use]
+    pub fn decode(s: &str) -> Option<Self> {
+        let hex = s.strip_prefix("0x")?;
+        u32::from_str_radix(hex, 16).ok().map(Pkru)
+    }
+
     /// Whether the Access-Disable bit is set for `pkey`.
     #[must_use]
     pub fn access_disabled(self, pkey: Pkey) -> bool {
@@ -272,6 +287,16 @@ mod tests {
 
     fn k(i: u8) -> Pkey {
         Pkey::new(i).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for p in [Pkru::ALL_ACCESS, Pkru::LINUX_DEFAULT, Pkru::from_bits(0xDEAD_BEEF)] {
+            assert_eq!(Pkru::decode(&p.encode()), Some(p));
+        }
+        assert_eq!(Pkru::LINUX_DEFAULT.encode(), "0x55555554");
+        assert_eq!(Pkru::decode("55555554"), None);
+        assert_eq!(Pkru::decode("0xnope"), None);
     }
 
     #[test]

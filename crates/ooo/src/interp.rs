@@ -6,25 +6,22 @@
 //! random programs on both this interpreter and [`Core`](crate::Core) and
 //! require identical final state — the strongest correctness check the
 //! simulator has.
+//!
+//! The semantics themselves live in [`crate::arch`]: the interpreter is a
+//! thin driver stepping an [`ArchState`] with the no-op
+//! [`PureStep`] effects (no timing, no predictor).
+//! It is *resumable*: [`Interp::step_n`] borrows the machine, so callers
+//! can interleave bounded execution with state inspection or
+//! checkpointing without cloning the memory image, and only
+//! [`Interp::run`]/[`Interp::into_result`] consume it.
 
-use specmpk_isa::{Instr, Operand, Program, Reg, INSTR_BYTES, NUM_REGS};
-use specmpk_mem::{MemConfig, MemorySystem, PageFault};
-use specmpk_mpk::{AccessKind, Pkru, ProtectionFault};
+use specmpk_isa::{Program, Reg, NUM_REGS};
+use specmpk_mem::{MemConfig, MemorySystem};
+use specmpk_mpk::Pkru;
 
-/// Why the interpreter stopped.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum InterpExit {
-    /// A `halt` instruction retired.
-    Halted,
-    /// A pkey protection fault (committed-PKRU check failed).
-    ProtectionFault(ProtectionFault),
-    /// A page fault (unmapped or page-table permission).
-    PageFault(PageFault),
-    /// The step budget ran out.
-    StepLimit,
-    /// `pc` left the text section.
-    BadPc(u64),
-}
+use crate::arch::{ArchState, PureStep};
+
+pub use crate::arch::ArchExit as InterpExit;
 
 /// Final state of an interpreted run.
 #[derive(Debug)]
@@ -69,10 +66,9 @@ impl InterpResult {
 #[derive(Debug)]
 pub struct Interp<'p> {
     program: &'p Program,
-    regs: [u64; NUM_REGS],
-    pkru: Pkru,
-    pc: u64,
+    state: ArchState,
     memory: MemorySystem,
+    executed: u64,
 }
 
 impl<'p> Interp<'p> {
@@ -83,45 +79,7 @@ impl<'p> Interp<'p> {
     pub fn new(program: &'p Program, initial_pkru: Pkru) -> Self {
         let mut memory = MemorySystem::new(MemConfig::default());
         memory.load_program(program);
-        let mut regs = [0u64; NUM_REGS];
-        if let Some(stack) = program.segment("stack") {
-            regs[Reg::SP.index()] = stack.end() - 16;
-        }
-        Interp { program, regs, pkru: initial_pkru, pc: program.entry(), memory }
-    }
-
-    fn read_reg(&self, reg: Reg) -> u64 {
-        if reg.is_zero() {
-            0
-        } else {
-            self.regs[reg.index()]
-        }
-    }
-
-    fn write_reg(&mut self, reg: Reg, value: u64) {
-        if !reg.is_zero() {
-            self.regs[reg.index()] = value;
-        }
-    }
-
-    fn operand(&self, op: Operand) -> u64 {
-        match op {
-            Operand::Reg(r) => self.read_reg(r),
-            Operand::Imm(i) => i as i64 as u64,
-        }
-    }
-
-    fn check_mpk(&mut self, addr: u64, kind: AccessKind) -> Result<specmpk_mpk::Pkey, InterpExit> {
-        let translation =
-            self.memory.translate(addr, kind, false).map_err(InterpExit::PageFault)?;
-        self.pkru.check(translation.pkey, kind).map_err(InterpExit::ProtectionFault)?;
-        Ok(translation.pkey)
-    }
-
-    fn data_access(&mut self, base: Reg, offset: i32, kind: AccessKind) -> Result<u64, InterpExit> {
-        let addr = self.read_reg(base).wrapping_add(offset as i64 as u64);
-        self.check_mpk(addr, kind)?;
-        Ok(addr)
+        Interp { program, state: ArchState::at_entry(program, initial_pkru), memory, executed: 0 }
     }
 
     /// Executes one instruction. `Ok(true)` means continue, `Ok(false)`
@@ -131,104 +89,86 @@ impl<'p> Interp<'p> {
     ///
     /// Returns the architectural exit condition for faults and bad PCs.
     pub fn step(&mut self) -> Result<bool, InterpExit> {
-        let instr = *self.program.instr_at(self.pc).ok_or(InterpExit::BadPc(self.pc))?;
-        let next_pc = self.pc + INSTR_BYTES;
-        match instr {
-            Instr::Alu { op, rd, rs1, src2 } => {
-                let v = op.eval(self.read_reg(rs1), self.operand(src2));
-                self.write_reg(rd, v);
-                self.pc = next_pc;
+        self.state.step(self.program, &mut self.memory, &mut PureStep)
+    }
+
+    /// Executes up to `n` further instructions without consuming the
+    /// machine, accumulating into [`executed`](Self::executed).
+    ///
+    /// Returns [`InterpExit::StepLimit`] if the budget ran out with the
+    /// machine still runnable — callers can inspect or checkpoint state
+    /// and call `step_n` again to resume — and the terminal exit
+    /// otherwise.
+    pub fn step_n(&mut self, n: u64) -> InterpExit {
+        for _ in 0..n {
+            match self.step() {
+                Ok(true) => self.executed += 1,
+                Ok(false) => {
+                    self.executed += 1;
+                    return InterpExit::Halted;
+                }
+                Err(e) => return e,
             }
-            Instr::Li { rd, imm } => {
-                self.write_reg(rd, imm as u64);
-                self.pc = next_pc;
-            }
-            Instr::Load { rd, base, offset, width } => {
-                let addr = self.data_access(base, offset, AccessKind::Read)?;
-                let v = width.truncate(self.memory.read(addr, width.bytes()));
-                self.write_reg(rd, v);
-                self.pc = next_pc;
-            }
-            Instr::Store { rs, base, offset, width } => {
-                let addr = self.data_access(base, offset, AccessKind::Write)?;
-                self.memory.write(addr, width.bytes(), width.truncate(self.read_reg(rs)));
-                self.pc = next_pc;
-            }
-            Instr::Branch { cond, rs1, rs2, target } => {
-                self.pc = if cond.eval(self.read_reg(rs1), self.read_reg(rs2)) {
-                    target
-                } else {
-                    next_pc
-                };
-            }
-            Instr::Jump { target } => self.pc = target,
-            Instr::Jal { rd, target } => {
-                self.write_reg(rd, next_pc);
-                self.pc = target;
-            }
-            Instr::Jalr { rd, rs } => {
-                let target = self.read_reg(rs);
-                self.write_reg(rd, next_pc);
-                self.pc = target;
-            }
-            Instr::Wrpkru => {
-                self.pkru = Pkru::from_bits(self.read_reg(Reg::EAX) as u32);
-                self.pc = next_pc;
-            }
-            Instr::Rdpkru => {
-                self.write_reg(Reg::EAX, u64::from(self.pkru.bits()));
-                self.pc = next_pc;
-            }
-            Instr::Clflush { base, offset } => {
-                // No architectural effect; the address need not even be
-                // permission-checked (flushing is not a data access).
-                let _ = (base, offset);
-                self.pc = next_pc;
-            }
-            Instr::Nop => self.pc = next_pc,
-            Instr::Halt => return Ok(false),
         }
-        Ok(true)
+        InterpExit::StepLimit
     }
 
     /// Runs until `halt`, a fault, a bad PC, or `max_steps`.
     #[must_use]
     pub fn run(mut self, max_steps: u64) -> InterpResult {
-        let mut executed = 0;
-        let exit = loop {
-            if executed >= max_steps {
-                break InterpExit::StepLimit;
-            }
-            match self.step() {
-                Ok(true) => executed += 1,
-                Ok(false) => {
-                    executed += 1;
-                    break InterpExit::Halted;
-                }
-                Err(e) => break e,
-            }
-        };
-        InterpResult { regs: self.regs, pkru: self.pkru, executed, exit, memory: self.memory }
+        let exit = self.step_n(max_steps);
+        self.into_result(exit)
+    }
+
+    /// Packages the machine into an [`InterpResult`], consuming it.
+    #[must_use]
+    pub fn into_result(self, exit: InterpExit) -> InterpResult {
+        InterpResult {
+            regs: self.state.regs,
+            pkru: self.state.pkru,
+            executed: self.executed,
+            exit,
+            memory: self.memory,
+        }
+    }
+
+    /// Instructions executed so far.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// The current architectural state.
+    #[must_use]
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// The memory image (read-only).
+    #[must_use]
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
     }
 
     /// Reads an architectural register mid-run (testing).
     #[must_use]
     pub fn reg(&self, reg: Reg) -> u64 {
-        self.read_reg(reg)
+        self.state.read_reg(reg)
     }
 
     /// The current PKRU.
     #[must_use]
     pub fn pkru(&self) -> Pkru {
-        self.pkru
+        self.state.pkru
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, SegmentPerms};
-    use specmpk_mpk::Pkey;
+    use specmpk_isa::{AluOp, Assembler, BranchCond, DataSegment, MemWidth, Operand, SegmentPerms};
+    use specmpk_mem::PageFault;
+    use specmpk_mpk::{AccessKind, Pkey};
 
     fn run(asm: Assembler, segments: Vec<DataSegment>) -> InterpResult {
         let mut p = Program::new(asm.base(), asm.assemble().unwrap());
@@ -344,6 +284,35 @@ mod tests {
         let r = Interp::new(&p, Pkru::ALL_ACCESS).run(100);
         assert_eq!(r.exit, InterpExit::StepLimit);
         assert_eq!(r.executed, 100);
+    }
+
+    #[test]
+    fn step_n_resumes_where_it_paused() {
+        let mut asm = Assembler::new(0x1000);
+        let top = asm.fresh_label();
+        asm.li(Reg::T0, 0);
+        asm.bind(top).unwrap();
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.branch(BranchCond::Lt, Reg::T0, Reg::T1, top);
+        asm.halt();
+        let mut p = Program::new(asm.base(), asm.assemble().unwrap());
+        p.add_segment(DataSegment::zeroed("stack", 0x7000_0000, 0x1000, Pkey::DEFAULT));
+
+        // Resumed execution in uneven slices must match one uninterrupted
+        // run exactly, without ever cloning or rebuilding the machine.
+        let mut machine = Interp::new(&p, Pkru::ALL_ACCESS);
+        machine.state.regs[Reg::T1.index()] = 10;
+        assert_eq!(machine.step_n(3), InterpExit::StepLimit);
+        assert_eq!(machine.executed(), 3);
+        let mid = machine.reg(Reg::T0);
+        assert_eq!(machine.step_n(1), InterpExit::StepLimit);
+        assert_eq!(machine.reg(Reg::T0), mid + 1);
+        let exit = machine.step_n(u64::MAX);
+        assert_eq!(exit, InterpExit::Halted);
+        assert_eq!(machine.reg(Reg::T0), 10);
+        let r = machine.into_result(exit);
+        assert_eq!(r.exit, InterpExit::Halted);
+        assert_eq!(r.executed, 2 * 10 + 1 + 1);
     }
 
     #[test]

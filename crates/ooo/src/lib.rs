@@ -23,9 +23,16 @@
 //!   the *PKRU Load Check* replay at the Active-List head; TLB updates are
 //!   deferred; `RDPKRU` serializes).
 //!
-//! The [`interp`] module provides an architectural reference interpreter
-//! used by differential tests: any program must produce the same final
-//! architectural state on the pipeline and on the interpreter.
+//! The [`arch`] module owns the architectural state shared by both
+//! execution engines: the [`interp`] reference interpreter (used by
+//! differential tests: any program must produce the same final
+//! architectural state on the pipeline and on the interpreter) and the
+//! detailed core execute the same semantic functions against the same
+//! [`arch::ArchState`]. On top of it, [`arch::FastForward`] provides
+//! functional warmup execution and [`checkpoint`] a byte-deterministic
+//! save/restore format, so long workloads can be sampled: fast-forward
+//! cheaply, checkpoint once, and boot detailed windows from the warm
+//! state via [`Core::from_checkpoint`].
 //!
 //! # Examples
 //!
@@ -49,6 +56,8 @@
 #![warn(missing_docs)]
 
 mod active_list;
+pub mod arch;
+pub mod checkpoint;
 mod config;
 pub mod interp;
 mod pipeline;
@@ -57,6 +66,8 @@ mod prf;
 mod stages;
 mod stats;
 
+pub use arch::{ArchState, FastForward};
+pub use checkpoint::Checkpoint;
 pub use config::{FaultMode, SimConfig};
 pub use pipeline::{Core, ExitReason, SimResult};
 pub use predictor::{BranchPredictor, PredictorConfig};

@@ -186,6 +186,29 @@ impl Core {
     pub fn new(config: SimConfig, program: &Program) -> Self {
         Core::with_sink(config, program, NullSink)
     }
+
+    /// Boots the detailed pipeline from a fast-forward
+    /// [`Checkpoint`](crate::checkpoint::Checkpoint): the committed
+    /// registers, PKRU and PC come from the captured architectural state,
+    /// the memory system (contents *and* warmed caches/TLB) and trained
+    /// branch predictor are transplanted, and the pipeline structures
+    /// (ROB, IQ, PRF mappings) start empty — exactly the state a detailed
+    /// run would hold at that instruction boundary with no in-flight
+    /// work. Cycle count and statistics start at zero, so the run's stats
+    /// describe only the detailed window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// ([`SimConfig::validate`]).
+    #[must_use]
+    pub fn from_checkpoint(
+        config: SimConfig,
+        program: &Program,
+        cp: &crate::checkpoint::Checkpoint,
+    ) -> Self {
+        Core::with_sink_from_checkpoint(config, program, cp, NullSink)
+    }
 }
 
 impl<S: TraceSink> Core<S> {
@@ -213,6 +236,32 @@ impl<S: TraceSink> Core<S> {
             sample_prev_hist: SimHistograms::default(),
             progress,
         }
+    }
+
+    /// [`Core::from_checkpoint`] with an attached trace sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// ([`SimConfig::validate`]).
+    #[must_use]
+    pub fn with_sink_from_checkpoint(
+        config: SimConfig,
+        program: &Program,
+        cp: &crate::checkpoint::Checkpoint,
+        sink: S,
+    ) -> Self {
+        let mut core = Core::with_sink(config, program, sink);
+        let st = &mut core.state;
+        st.mem = cp.mem.clone();
+        for reg in Reg::all().filter(|r| !r.is_zero()) {
+            st.rf.set_committed_value(reg, cp.arch.regs[reg.index()]);
+        }
+        st.engine.set_committed(cp.arch.pkru);
+        st.predictor = cp.predictor.clone();
+        st.fetch_pc = Some(cp.arch.pc);
+        st.last_fetch_line = cp.last_fetch_line;
+        core
     }
 
     /// Turns host-side span profiling on or off for this core (the

@@ -171,6 +171,84 @@ impl BranchPredictor {
         self.ras.clone_from(&cp.ras);
         self.ras_top = cp.ras_top;
     }
+
+    /// Serializes the *full* predictor state — learned tables (PHT, BTB)
+    /// as well as the speculative state ([`BranchPredictor::checkpoint`]
+    /// covers only the latter) — for a simulation checkpoint.
+    ///
+    /// Byte-deterministic and sparse: only PHT counters away from their
+    /// weakly-taken init and only populated BTB entries are emitted, in
+    /// index order.
+    #[must_use]
+    pub fn snapshot(&self) -> specmpk_trace::Json {
+        use specmpk_trace::Json;
+        let pht: Vec<Json> = self
+            .pht
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 2)
+            .map(|(i, &c)| Json::from(vec![Json::from(i), Json::from(u64::from(c))]))
+            .collect();
+        let btb: Vec<Json> = self
+            .btb
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|(tag, target)| (i, tag, target)))
+            .map(|(i, tag, target)| {
+                Json::from(vec![Json::from(i), Json::hex(tag), Json::hex(target)])
+            })
+            .collect();
+        let ras: Vec<Json> = self.ras.iter().map(|&r| Json::hex(r)).collect();
+        Json::object()
+            .with("ghist", Json::hex(self.ghist))
+            .with("pht", pht)
+            .with("btb", btb)
+            .with("ras", ras)
+            .with("ras_top", self.ras_top)
+    }
+
+    /// Restores the state captured by [`BranchPredictor::snapshot`] into
+    /// this predictor (which must have the same geometry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or out-of-range field.
+    pub fn restore_snapshot(&mut self, snap: &specmpk_trace::Json) -> Result<(), String> {
+        self.ghist =
+            snap.get("ghist").and_then(|j| j.as_hex_u64()).ok_or("predictor: bad ghist")?;
+        self.pht.fill(2);
+        let pht = snap.get("pht").and_then(|j| j.as_arr()).ok_or("predictor: bad pht")?;
+        for e in pht {
+            let row = e.as_arr().filter(|r| r.len() == 2).ok_or("predictor: malformed pht row")?;
+            let idx = row[0].as_u64().ok_or("predictor: bad pht index")? as usize;
+            let counter = row[1].as_u64().filter(|&c| c <= 3).ok_or("predictor: bad counter")?;
+            *self.pht.get_mut(idx).ok_or(format!("predictor: pht index {idx} out of range"))? =
+                counter as u8;
+        }
+        self.btb.fill(None);
+        let btb = snap.get("btb").and_then(|j| j.as_arr()).ok_or("predictor: bad btb")?;
+        for e in btb {
+            let row = e.as_arr().filter(|r| r.len() == 3).ok_or("predictor: malformed btb row")?;
+            let idx = row[0].as_u64().ok_or("predictor: bad btb index")? as usize;
+            let tag = row[1].as_hex_u64().ok_or("predictor: bad btb tag")?;
+            let target = row[2].as_hex_u64().ok_or("predictor: bad btb target")?;
+            *self.btb.get_mut(idx).ok_or(format!("predictor: btb index {idx} out of range"))? =
+                Some((tag, target));
+        }
+        let ras = snap.get("ras").and_then(|j| j.as_arr()).ok_or("predictor: bad ras")?;
+        if ras.len() != self.ras.len() {
+            return Err(format!("predictor: ras has {} entries", ras.len()));
+        }
+        for (slot, e) in self.ras.iter_mut().zip(ras) {
+            *slot = e.as_hex_u64().ok_or("predictor: bad ras entry")?;
+        }
+        self.ras_top = snap
+            .get("ras_top")
+            .and_then(|j| j.as_u64())
+            .filter(|&t| (t as usize) < self.ras.len())
+            .ok_or("predictor: bad ras_top")? as usize;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +312,31 @@ mod tests {
         let _ = p.predict_and_update_direction(0x4000);
         p.restore(&cp);
         assert_eq!(p.ras_pop(), 0x1);
+    }
+
+    #[test]
+    fn full_snapshot_round_trips_learned_and_speculative_state() {
+        let mut p = predictor();
+        for _ in 0..8 {
+            let _ = p.predict_and_update_direction(0x1000);
+            p.train_direction(0x1000, true);
+            let _ = p.predict_and_update_direction(0x2000);
+            p.train_direction(0x2000, false);
+        }
+        p.btb_update(0x3000, 0x9000);
+        p.ras_push(0xAB_CDEF);
+        let snap = p.snapshot();
+
+        let mut restored = predictor();
+        restored.restore_snapshot(&snap).unwrap();
+        // Learned tables survive (checkpoint()/restore() would not carry
+        // these).
+        assert!(restored.predict_and_update_direction(0x1000));
+        assert_eq!(restored.btb_lookup(0x3000), Some(0x9000));
+        // Speculative state survives.
+        assert_eq!(restored.ras_pop(), 0xAB_CDEF);
+        // Byte-deterministic.
+        assert_eq!(snap.dump(), p.snapshot().dump());
     }
 
     #[test]

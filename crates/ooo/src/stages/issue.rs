@@ -2,11 +2,12 @@
 //! execution, including the PKRU load/store checks (§V-C2).
 
 use specmpk_isa::{Instr, InstrClass, MemWidth, Operand};
-use specmpk_mpk::{AccessKind, Pkru};
+use specmpk_mpk::AccessKind;
 use specmpk_trace::{AccessDecision, HeadStallKind, PkruCheckKind, TraceEvent, TraceSink};
 
 use super::{AlState, FaultInfo, HeadStall, MemKind, PipelineState, Seq, StageCtx};
 use crate::active_list::TouchedAccess;
+use crate::arch;
 
 /// Emits one leak-ledger access record: the page's pkey, the PKRU view
 /// the permission check consulted, and the policy's decision. Only
@@ -114,7 +115,7 @@ pub(crate) fn issue<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_, 
                 let Instr::Clflush { offset, .. } = st.al.instr[slot] else {
                     unreachable!("flush kind implies clflush instr")
                 };
-                let addr = st.rf.read(e.srcs.regs[0]).wrapping_add(offset as i64 as u64);
+                let addr = arch::effective_addr(st.rf.read(e.srcs.regs[0]), offset);
                 let line = specmpk_mem::line_base(addr);
                 if st.sq.iter().any(|s| {
                     s.seq < e.seq && s.addr.is_none_or(|a| specmpk_mem::line_base(a) == line)
@@ -178,24 +179,23 @@ fn execute_at_issue<S: TraceSink>(
             let a = read(0);
             let b = match src2 {
                 Operand::Reg(_) => read(1),
-                Operand::Imm(imm) => imm as i64 as u64,
+                Operand::Imm(imm) => arch::imm_operand(imm),
             };
             let latency = if op == specmpk_isa::AluOp::Mul { st.config.mul_latency } else { 1 };
-            st.al.result[slot] = Some(op.eval(a, b));
+            st.al.result[slot] = Some(arch::alu_value(op, a, b));
             st.al.state[slot] = AlState::Issued;
             st.schedule(seq, slot, latency);
             true
         }
         Instr::Li { imm, .. } => {
-            st.al.result[slot] = Some(imm as u64);
+            st.al.result[slot] = Some(arch::li_value(imm));
             st.al.state[slot] = AlState::Issued;
             st.schedule(seq, slot, 1);
             true
         }
         Instr::Branch { cond, target, .. } => {
-            let taken = cond.eval(read(0), read(1));
-            st.al.cold[slot].actual_next =
-                Some(if taken { target } else { pc + specmpk_isa::INSTR_BYTES });
+            let taken = arch::branch_taken(cond, read(0), read(1));
+            st.al.cold[slot].actual_next = Some(arch::branch_next(taken, target, pc));
             if let Some(b) = st.al.cold[slot].branch.as_mut() {
                 b.resolved_taken = Some(taken);
             }
@@ -211,7 +211,7 @@ fn execute_at_issue<S: TraceSink>(
         }
         Instr::Jal { target, .. } => {
             st.al.cold[slot].actual_next = Some(target);
-            st.al.result[slot] = Some(pc + specmpk_isa::INSTR_BYTES);
+            st.al.result[slot] = Some(arch::link_addr(pc));
             st.al.state[slot] = AlState::Issued;
             st.schedule(seq, slot, 1);
             true
@@ -219,13 +219,13 @@ fn execute_at_issue<S: TraceSink>(
         Instr::Jalr { .. } => {
             let target = read(0);
             st.al.cold[slot].actual_next = Some(target);
-            st.al.result[slot] = Some(pc + specmpk_isa::INSTR_BYTES);
+            st.al.result[slot] = Some(arch::link_addr(pc));
             st.al.state[slot] = AlState::Issued;
             st.schedule(seq, slot, 1);
             true
         }
         Instr::Wrpkru => {
-            let value = Pkru::from_bits(read(0) as u32);
+            let value = arch::wrpkru_value(read(0));
             let tag = st.al.pkru_tag[slot].expect("WRPKRU has a tag");
             st.engine.execute_wrpkru(tag, value);
             st.al.state[slot] = AlState::Issued;
@@ -235,25 +235,25 @@ fn execute_at_issue<S: TraceSink>(
         Instr::Rdpkru => {
             let source = pkru_source.expect("RDPKRU has a PKRU source");
             let value = st.engine.resolve_value(source);
-            st.al.result[slot] = Some(u64::from(value.bits()));
+            st.al.result[slot] = Some(arch::rdpkru_value(value));
             st.al.state[slot] = AlState::Issued;
             st.schedule(seq, slot, 1);
             true
         }
         Instr::Clflush { offset, .. } => {
-            let addr = read(0).wrapping_add(offset as i64 as u64);
+            let addr = arch::effective_addr(read(0), offset);
             st.mem.flush_line(addr);
             st.al.state[slot] = AlState::Issued;
             st.schedule(seq, slot, 1);
             true
         }
         Instr::Load { offset, width, .. } => {
-            let addr = read(0).wrapping_add(offset as i64 as u64);
+            let addr = arch::effective_addr(read(0), offset);
             issue_load(st, cx, slot, seq, addr, width)
         }
         Instr::Store { offset, width, .. } => {
             let data = read(0);
-            let addr = read(1).wrapping_add(offset as i64 as u64);
+            let addr = arch::effective_addr(read(1), offset);
             issue_store(st, cx, slot, seq, addr, width, data)
         }
         Instr::Nop | Instr::Halt => unreachable!("never enter the IQ"),

@@ -163,12 +163,12 @@ pub(crate) fn rename<S: TraceSink>(st: &mut PipelineState, cx: &mut StageCtx<'_,
                     let a = st.rf.read(srcs.regs[0]);
                     let b = match src2 {
                         Operand::Reg(_) => st.rf.read(srcs.regs[1]),
-                        Operand::Imm(imm) => imm as i64 as u64,
+                        Operand::Imm(imm) => crate::arch::imm_operand(imm),
                     };
                     let latency = if op == AluOp::Mul { st.config.mul_latency } else { 1 };
-                    (op.eval(a, b), latency)
+                    (crate::arch::alu_value(op, a, b), latency)
                 }
-                Instr::Li { imm, .. } => (imm as u64, 1),
+                Instr::Li { imm, .. } => (crate::arch::li_value(imm), 1),
                 _ => unreachable!("fusion filter admits only ALU/LI"),
             };
             st.schedule(seq, slot, 1 + latency);

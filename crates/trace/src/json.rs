@@ -133,6 +133,25 @@ impl Json {
         }
     }
 
+    /// Encodes a full-width `u64` as a `"0x…"` lower-hex string.
+    ///
+    /// [`Json::Num`] is an `f64` and only exact below 2^53; checkpoint
+    /// payloads (register values, branch history, cache tags) use the
+    /// whole 64-bit range, so they round-trip through this string form.
+    #[must_use]
+    pub fn hex(value: u64) -> Json {
+        Json::Str(format!("{value:#x}"))
+    }
+
+    /// Decodes a value produced by [`Json::hex`].
+    #[must_use]
+    pub fn as_hex_u64(&self) -> Option<u64> {
+        match self {
+            Json::Str(s) => s.strip_prefix("0x").and_then(|h| u64::from_str_radix(h, 16).ok()),
+            _ => None,
+        }
+    }
+
     /// The string value, if this is a string.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {
@@ -611,5 +630,19 @@ mod tests {
         j.set("k", 2u64);
         assert_eq!(j.get("k").unwrap().as_u64(), Some(2));
         assert_eq!(j.dump().matches("\"k\"").count(), 1);
+    }
+
+    #[test]
+    fn hex_round_trips_the_full_u64_range() {
+        for v in [0u64, 1, 0xFF, 1 << 53, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            let j = Json::hex(v);
+            assert_eq!(j.as_hex_u64(), Some(v), "value {v:#x}");
+            // Survives a serialize/parse round trip too.
+            let parsed = Json::parse(&j.dump()).unwrap();
+            assert_eq!(parsed.as_hex_u64(), Some(v));
+        }
+        // Non-hex strings and numbers decode to None.
+        assert_eq!(Json::from("17").as_hex_u64(), None);
+        assert_eq!(Json::from(17u64).as_hex_u64(), None);
     }
 }

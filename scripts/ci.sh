@@ -20,6 +20,9 @@
 #   security    security_matrix bin (every attack × every policy with the
 #               speculative-access ledger on), gated by `specmpk-report
 #               security --check` against baselines/security/verdicts.json
+#   checkpoint  fast-forward/checkpoint smoke: two --checkpoint saves must
+#               be byte-identical (cmp), and a --restore run's stats
+#               artifact must equal the in-process --fast-forward run's
 #
 # The regression gate reruns the fast experiment subset with pinned,
 # shrunken budgets (SPECMPK_INSTR_BUDGET=100000, SPECMPK_FIG4_KINSTR=40 —
@@ -170,10 +173,37 @@ run_security() {
         --check baselines/security/verdicts.json
 }
 
+# Checkpointed fast-forward, end to end through the CLI: the checkpoint
+# format is byte-deterministic (two saves of the same warm state must be
+# identical files), and booting the detailed window from a restored file
+# must reproduce the in-process fast-forward run's stats artifact exactly.
+# checkpoint_smoke/ is a subdirectory the report gate never scans.
+run_checkpoint() {
+    local out=experiments_output/checkpoint_smoke
+    rm -rf "${out}"
+    mkdir -p "${out}"
+    cargo run -q --release --bin specmpk-sim -- \
+        --workload omnetpp --policy specmpk --fast-forward 50000 \
+        --checkpoint "${out}/warm.ckpt" > /dev/null
+    cargo run -q --release --bin specmpk-sim -- \
+        --workload omnetpp --policy specmpk --fast-forward 50000 \
+        --checkpoint "${out}/warm2.ckpt" > /dev/null
+    cmp "${out}/warm.ckpt" "${out}/warm2.ckpt"
+    cargo run -q --release --bin specmpk-sim -- \
+        --workload omnetpp --policy specmpk --fast-forward 50000 \
+        --instructions 60000 --stats-json "${out}/inprocess.json" > /dev/null
+    cargo run -q --release --bin specmpk-sim -- \
+        --workload omnetpp --policy specmpk --restore "${out}/warm.ckpt" \
+        --instructions 60000 --stats-json "${out}/restored.json" > /dev/null
+    cmp "${out}/restored.json" "${out}/inprocess.json"
+    echo "    checkpoint: $(wc -c < "${out}/warm.ckpt")-byte checkpoint, saves byte-identical, restored == in-process"
+}
+
 stage experiments run_experiments
 stage report run_report
 stage obs-smoke run_obs_smoke
 stage security run_security
+stage checkpoint run_checkpoint
 
 # ------------------------------------------------- timing summary + JSON
 # The shell only measures; `specmpk-report timing` is the single producer

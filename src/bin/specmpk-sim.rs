@@ -16,7 +16,7 @@ use specmpk::attacks::{
     run_attack, run_attack_observed, spectre_bti, spectre_v1, store_forward_overflow,
 };
 use specmpk::core_model::{registry, PolicyRef};
-use specmpk::ooo::{Core, SimConfig, SimStats};
+use specmpk::ooo::{Checkpoint, Core, FastForward, SimConfig, SimStats};
 use specmpk::trace::{
     fmt_pc, progress_interval_from_env, Journal, Json, LeakObserver, NullSink, PipeTracer,
     ProgressReporter, Tee, TraceSink, DEFAULT_PROFILE_TOP_N, DEFAULT_PROGRESS_INTERVAL_MS,
@@ -30,6 +30,9 @@ struct Args {
     protection: String,
     instructions: u64,
     rob_pkru: usize,
+    fast_forward: u64,
+    checkpoint: Option<PathBuf>,
+    restore: Option<PathBuf>,
     list: bool,
     list_policies: bool,
     stats_json: Option<PathBuf>,
@@ -60,6 +63,16 @@ OPTIONS:
     --protection S       'scheme' (the workload's own, default), 'none', 'nop'
     --instructions N     retired-instruction budget (default 500000)
     --rob-pkru N         ROB_pkru entries for SpecMPK (default 8)
+    --fast-forward N     functionally execute N instructions first (warming
+                         caches, TLB and branch predictor), then run the
+                         detailed pipeline from that point with the usual
+                         --instructions budget
+    --checkpoint PATH    with --fast-forward: write the fast-forwarded
+                         state as a byte-deterministic checkpoint file and
+                         skip the detailed run
+    --restore PATH       boot the detailed pipeline from a checkpoint file
+                         instead of fast-forwarding (the workload and
+                         protection must match the capture run)
     --stats-json PATH    write a JSON stats artifact for the run
     --trace PATH         write a Konata/O3PipeView pipeline trace; with
                          --policy all the policy name is appended to PATH
@@ -95,6 +108,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         protection: "scheme".into(),
         instructions: 500_000,
         rob_pkru: 8,
+        fast_forward: 0,
+        checkpoint: None,
+        restore: None,
         list: false,
         list_policies: false,
         stats_json: None,
@@ -123,6 +139,12 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                 args.rob_pkru =
                     value("--rob-pkru")?.parse().map_err(|e| format!("--rob-pkru: {e}"))?;
             }
+            "--fast-forward" => {
+                args.fast_forward =
+                    value("--fast-forward")?.parse().map_err(|e| format!("--fast-forward: {e}"))?;
+            }
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?.into()),
+            "--restore" => args.restore = Some(value("--restore")?.into()),
             "--stats-json" => args.stats_json = Some(value("--stats-json")?.into()),
             "--trace" => args.trace = Some(value("--trace")?.into()),
             "--trace-interval" => {
@@ -190,10 +212,14 @@ fn run_one<S: TraceSink>(
     args: &Args,
     config: SimConfig,
     program: &specmpk::isa::Program,
+    checkpoint: Option<&Checkpoint>,
     label: &str,
     sink: S,
 ) -> (specmpk::ooo::SimResult, S) {
-    let mut core = Core::with_sink(config, program, sink);
+    let mut core = match checkpoint {
+        Some(cp) => Core::with_sink_from_checkpoint(config, program, cp, sink),
+        None => Core::with_sink(config, program, sink),
+    };
     core.set_sample_interval(args.trace_interval);
     if args.profile {
         core.set_profiling(true);
@@ -222,15 +248,16 @@ fn run_one_with_ledger<S: TraceSink>(
     args: &Args,
     config: SimConfig,
     program: &specmpk::isa::Program,
+    checkpoint: Option<&Checkpoint>,
     label: &str,
     sink: S,
     ledger_path: Option<&Path>,
 ) -> Result<(specmpk::ooo::SimResult, S), String> {
     match ledger_path {
-        None => Ok(run_one(args, config, program, label, sink)),
+        None => Ok(run_one(args, config, program, checkpoint, label, sink)),
         Some(path) => {
             let tee = Tee::new(sink, LeakObserver::default());
-            let (result, tee) = run_one(args, config, program, label, tee);
+            let (result, tee) = run_one(args, config, program, checkpoint, label, tee);
             tee.b.write_to(path).map_err(|e| format!("writing {}: {e}", path.display()))?;
             Ok((result, tee.a))
         }
@@ -251,6 +278,36 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
         args.instructions,
         args.rob_pkru
     );
+    // Fast-forward/restore is policy-independent (functional execution
+    // plus policy-agnostic warmup timing), so one checkpoint boots the
+    // detailed run of every selected policy.
+    let checkpoint = if let Some(path) = &args.restore {
+        if args.fast_forward > 0 {
+            return Err("--restore and --fast-forward are mutually exclusive".into());
+        }
+        Some(Checkpoint::load(&SimConfig::default(), path)?)
+    } else if args.fast_forward > 0 {
+        let mut ff = FastForward::new(&SimConfig::default(), &program);
+        if let Some(exit) = ff.step_n(args.fast_forward) {
+            return Err(format!(
+                "fast-forward ended after {} instructions ({exit:?}); \
+                 nothing left for the detailed window",
+                ff.executed()
+            ));
+        }
+        println!("fast-forwarded {} instructions (functional warmup)", ff.executed());
+        Some(Checkpoint::capture(ff))
+    } else {
+        None
+    };
+    if let Some(path) = &args.checkpoint {
+        let cp = checkpoint
+            .as_ref()
+            .ok_or("--checkpoint needs --fast-forward N to produce a state to save")?;
+        cp.save(path)?;
+        println!("checkpoint written to {} (at instruction {})", path.display(), cp.executed);
+        return Ok(());
+    }
     let mut baseline = None;
     let mut per_policy = Json::object();
     let selected = policies(&args.policy)?;
@@ -267,8 +324,15 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
         let result = match (&args.trace, &args.journal) {
             (Some(trace), Some(journal)) => {
                 let sink = Tee::new(PipeTracer::default(), Journal::default());
-                let (result, sink) =
-                    run_one_with_ledger(args, config, &program, &label, sink, ledger_path)?;
+                let (result, sink) = run_one_with_ledger(
+                    args,
+                    config,
+                    &program,
+                    checkpoint.as_ref(),
+                    &label,
+                    sink,
+                    ledger_path,
+                )?;
                 let path = per_policy_path(trace, policy, selected.len());
                 write(&path, sink.a.write_to(&path))?;
                 let path = per_policy_path(journal, policy, selected.len());
@@ -280,6 +344,7 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
                     args,
                     config,
                     &program,
+                    checkpoint.as_ref(),
                     &label,
                     PipeTracer::default(),
                     ledger_path,
@@ -293,6 +358,7 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
                     args,
                     config,
                     &program,
+                    checkpoint.as_ref(),
                     &label,
                     Journal::default(),
                     ledger_path,
@@ -302,7 +368,16 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
                 result
             }
             (None, None) => {
-                run_one_with_ledger(args, config, &program, &label, NullSink, ledger_path)?.0
+                run_one_with_ledger(
+                    args,
+                    config,
+                    &program,
+                    checkpoint.as_ref(),
+                    &label,
+                    NullSink,
+                    ledger_path,
+                )?
+                .0
             }
         };
         let base = *baseline.get_or_insert(result.stats.ipc());
@@ -316,6 +391,11 @@ fn run_workload(args: &Args, workload: &Workload) -> Result<(), String> {
             .with("instructions", args.instructions)
             .with("rob_pkru", args.rob_pkru as u64)
             .with("policies", per_policy);
+        if let Some(cp) = &checkpoint {
+            // Recorded only for sampled runs so default artifacts stay
+            // byte-stable.
+            artifact.set("fast_forwarded", cp.executed);
+        }
         if args.profile_guest.is_some() {
             // The region side map lets `specmpk-report profile` fold the
             // per-PC tables into named workload regions. Emitted only
